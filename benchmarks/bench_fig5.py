@@ -1,0 +1,45 @@
+"""Figure 5 benchmark: effect of the filter size g (f = 3).
+
+Regenerates both panels' series (candidates/peer, heavy groups, cost
+breakdown vs g) and asserts the paper's shape: no pruning at tiny g, a
+U-shaped total cost with an interior minimum near Formula 3's g_opt, and
+a linear filtering cost.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.fig5 import predicted_optimal_g, run_figure5
+from repro.experiments.report import render_rows
+
+
+def test_figure5_sweep(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        run_figure5, args=(bench_scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(render_rows(rows, title=f"Figure 5 (f=3, scale={bench_scale.name})"))
+    emit(f"Formula 3 predicted g_opt = {predicted_optimal_g(bench_scale, 0)}")
+
+    # Paper shape 1: tiny g prunes nothing — candidates/peer near o.
+    o = 10 * bench_scale.n_items / bench_scale.n_peers
+    assert rows[0].avg_candidates_per_peer > 0.7 * o
+
+    # Paper shape 2: candidates fall monotonically with g.
+    candidates = [row.avg_candidates_per_peer for row in rows]
+    assert candidates == sorted(candidates, reverse=True)
+
+    # Paper shape 3: the total cost has an interior minimum (U-shape).
+    totals = [row.total_cost for row in rows]
+    best_index = totals.index(min(totals))
+    assert 0 < best_index < len(totals) - 1
+
+    # Paper shape 4: the minimum sits within 2x of Formula 3's prediction.
+    best_g = rows[best_index].filter_size
+    predicted = predicted_optimal_g(bench_scale, 0)
+    assert predicted / 2 <= best_g <= predicted * 2
+
+    # Paper shape 5: filtering cost is linear in g (s_a · f · g).
+    for row in rows:
+        expected = 4 * 3 * row.filter_size
+        assert abs(row.filtering_cost - expected) < 0.05 * expected

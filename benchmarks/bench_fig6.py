@@ -1,0 +1,42 @@
+"""Figure 6 benchmark: effect of the number of filters f (g = 100).
+
+Regenerates both panels' series and asserts the paper's shape: candidates
+fall monotonically with f, heavy groups grow with f, the total cost is
+minimized at a small interior f matching Formula 6's prediction within 1.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.fig6 import predicted_optimal_f, run_figure6
+from repro.experiments.report import render_rows
+
+
+def test_figure6_sweep(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        run_figure6, args=(bench_scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(render_rows(rows, title=f"Figure 6 (g=100, scale={bench_scale.name})"))
+    predicted = predicted_optimal_f(bench_scale, 0)
+    emit(f"Formula 6 predicted f_opt = {predicted}")
+
+    # Paper shape 1: candidate count never increases with f.
+    candidates = [row.candidate_count for row in rows]
+    assert all(a >= b for a, b in zip(candidates, candidates[1:]))
+
+    # Paper shape 2: heavy-group count grows (about linearly) with f.
+    heavy = [row.heavy_groups_total for row in rows]
+    assert heavy == sorted(heavy)
+    assert heavy[-1] > heavy[0]
+
+    # Paper shape 3: filtering and dissemination costs grow with f.
+    filtering = [row.filtering_cost for row in rows]
+    assert filtering == sorted(filtering)
+
+    # Paper shape 4: total cost minimized at a small interior f, within 1
+    # of the Formula 6 prediction.
+    totals = [row.total_cost for row in rows]
+    best_f = rows[totals.index(min(totals))].num_filters
+    assert 1 < best_f < rows[-1].num_filters
+    assert abs(best_f - predicted) <= 1

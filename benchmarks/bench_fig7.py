@@ -1,0 +1,46 @@
+"""Figure 7 benchmark: netFilter vs naive across data skewness.
+
+Regenerates the two-curve series and asserts the paper's observations:
+netFilter costs a small fraction of naive across the sweep, and both
+costs decrease as skew grows.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.fig7 import run_figure7
+from repro.experiments.report import render_rows
+
+
+def test_figure7_sweep(benchmark, bench_scale):
+    num_filters = 5 if bench_scale.n_items >= 1_000_000 else 3
+    rows = benchmark.pedantic(
+        run_figure7,
+        args=(bench_scale,),
+        kwargs={"seed": 0, "num_filters": num_filters},
+        rounds=1,
+        iterations=1,
+    )
+    emit(render_rows(rows, title=f"Figure 7 (scale={bench_scale.name}, f={num_filters})"))
+
+    # Paper shape 1: netFilter beats naive across the (moderate) skew range.
+    # netFilter's s_a·f·g filtering floor does not shrink with the scale,
+    # while the naive cost does, so on scaled-down workloads the claim is
+    # asserted up to alpha=1 (the paper's default) and at full scale over
+    # the whole sweep.
+    claim_limit = 5.0 if bench_scale.n_items >= 100_000 else 1.0
+    for row in rows:
+        if row.skew <= claim_limit:
+            assert row.netfilter_total < row.naive_total, f"alpha={row.skew}"
+
+    # Paper shape 2: both costs decrease with skew over the sweep.
+    assert rows[-1].naive_total < rows[0].naive_total
+    assert rows[-1].netfilter_total < rows[0].netfilter_total
+
+    # Paper shape 3 (the headline): at the default skew the ratio is small —
+    # the paper reports 2-5% at n=1e6; at smaller scales the fixed
+    # filtering cost weighs more, so the bound is looser.
+    default_row = next(row for row in rows if row.skew == 1.0)
+    limit = 0.06 if bench_scale.n_items >= 1_000_000 else 0.45
+    assert default_row.cost_ratio < limit

@@ -1,0 +1,65 @@
+"""Scaling benchmarks (beyond the paper's figures).
+
+How does netFilter's per-peer cost move with the population N and the item
+universe n?  The cost model predicts: filtering cost is independent of
+both (s_a·f·g); aggregation cost grows with the candidate count, i.e.
+with n at fixed (g, f); and nothing grows with N — the defining property
+of an in-network technique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from conftest import emit
+
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter
+from repro.experiments.harness import ExperimentScale, build_trial
+from repro.experiments.report import render_table
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    n_peers: int
+    n_items: int
+
+
+def sweep(points: list[ScalePoint], seed: int = 0) -> list[dict]:
+    rows = []
+    for point in points:
+        scale = ExperimentScale("custom", point.n_peers, point.n_items)
+        trial = build_trial(scale, seed=seed)
+        config = NetFilterConfig(filter_size=100, num_filters=3, threshold_ratio=0.01)
+        result = NetFilter(config).run(trial.engine)
+        rows.append(
+            {
+                "N": point.n_peers,
+                "n": point.n_items,
+                "total B/peer": result.breakdown.total,
+                "filtering": result.breakdown.filtering,
+                "aggregation": result.breakdown.aggregation,
+                "frequent": len(result.frequent),
+            }
+        )
+    return rows
+
+
+def test_cost_independent_of_population(benchmark):
+    points = [ScalePoint(n, 10_000) for n in (50, 100, 200, 400)]
+    rows = benchmark.pedantic(sweep, args=(points,), rounds=1, iterations=1)
+    emit(render_table(rows, title="Scaling with population N (n=10k fixed)"))
+    totals = [row["total B/peer"] for row in rows]
+    # Per-peer cost must not grow with N.
+    assert max(totals) < 1.3 * min(totals)
+
+
+def test_cost_grows_sublinearly_with_universe(benchmark):
+    points = [ScalePoint(100, n) for n in (5_000, 20_000, 80_000)]
+    rows = benchmark.pedantic(sweep, args=(points,), rounds=1, iterations=1)
+    emit(render_table(rows, title="Scaling with item universe n (N=100 fixed)"))
+    # Filtering cost is n-independent by construction.
+    filtering = [row["filtering"] for row in rows]
+    assert max(filtering) - min(filtering) < 0.05 * max(filtering)
+    # Total cost grows far slower than n (16x items, far less than 16x cost).
+    assert rows[-1]["total B/peer"] < 6 * rows[0]["total B/peer"]

@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Each figure benchmark runs the corresponding experiment sweep once,
+prints the paper-style table, and asserts the paper's qualitative shape.
+The scale defaults to ``small`` so the suite finishes in seconds; set
+``REPRO_BENCH_SCALE=paper`` (or ``large``) to regenerate the numbers
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The sweep scale, from REPRO_BENCH_SCALE (default: small)."""
+    return ExperimentScale.by_name(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+
+def emit(table: str) -> None:
+    """Print a results table so `pytest -s benchmarks/` shows the series."""
+    print()
+    print(table)

@@ -1,0 +1,70 @@
+"""DoS-attack detection as an IFI query (paper Table I, row 6).
+
+Peers are vantage points observing traffic flows.  Each peer's local item
+set maps destination addresses to the bytes it saw flowing toward them.
+A fraction of peers forwards attack traffic toward one victim address.
+IFI with a suitable threshold surfaces exactly the victim — with its exact
+global traffic volume, which is what a mitigation system needs and why the
+paper insists on a *precise* (no-false-positive) answer for this use case.
+
+Run:  python examples/dos_detection.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AggregationEngine,
+    Hierarchy,
+    NetFilter,
+    NetFilterConfig,
+    Network,
+    Simulation,
+    Topology,
+)
+from repro.workload.applications import flow_destination_workload
+
+
+def main() -> None:
+    n_peers = 150
+
+    sim = Simulation(seed=7)
+    topology = Topology.random_connected(n_peers, 4.0, sim.rng.stream("topology"))
+    network = Network(sim, topology)
+
+    workload, scenario = flow_destination_workload(
+        n_peers=n_peers,
+        n_addresses=5000,
+        flows_per_peer=80,
+        rng=sim.rng.stream("workload"),
+        attack_flows_per_peer=8,
+        attack_flow_bytes=1500,
+    )
+    network.assign_items(workload.item_sets)
+    print(f"Traffic observed by {n_peers} vantage peers over "
+          f"{scenario.background_addresses} destination addresses")
+    print(f"(planted attack: {scenario.attack_bytes_total} bytes toward one victim)\n")
+
+    hierarchy = Hierarchy.build(network, root=0)
+    engine = AggregationEngine(hierarchy)
+
+    # Threshold: any destination receiving more than 2% of all observed
+    # traffic is suspicious.
+    config = NetFilterConfig(filter_size=200, num_filters=3, threshold_ratio=0.02)
+    result = NetFilter(config).run(engine)
+
+    print(f"Destinations over the {result.threshold}-byte threshold "
+          f"(2% of {result.grand_total} total observed bytes):")
+    for address, volume in result.frequent:
+        marker = "  <-- the planted victim" if address == scenario.victim_address else ""
+        print(f"  address {address:>6}: {volume} bytes{marker}")
+
+    detected = scenario.victim_address in result.frequent
+    print(f"\nVictim detected: {detected}")
+    print(f"False alarms: {len(result.frequent) - int(detected)}")
+    print(f"Detection cost: {result.breakdown.total:.0f} bytes/peer "
+          f"(vs shipping every address's counter to a coordinator)")
+    assert detected, "the planted victim must be found"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""A tour of the aggregation hierarchy and its repair machinery
+(paper Figure 3 + Section III-A.3).
+
+Builds the BFS hierarchy over a random overlay, prints its shape, then
+kills an internal peer and watches the repair protocol re-attach the
+orphaned subtree: depth ← ∞ cascades down, heartbeats (carrying the DEPTH
+counter) advertise finite depths, and detached peers adopt new parents.
+
+Run:  python examples/hierarchy_tour.py
+"""
+
+from __future__ import annotations
+
+from repro import HeartbeatConfig, Hierarchy, Network, Simulation, Topology
+from repro.hierarchy import check_invariants, tree_stats
+from repro.hierarchy.maintenance import enable_maintenance
+from repro.hierarchy.roles import NodeRole
+
+
+def main() -> None:
+    sim = Simulation(seed=3)
+    topology = Topology.random_connected(60, 4.0, sim.rng.stream("topology"))
+    network = Network(sim, topology)
+
+    hierarchy = Hierarchy.build(network, root=0)
+    stats = tree_stats(hierarchy)
+    print("Hierarchy built over a random overlay:")
+    print(f"  participants: {stats.n_participants}")
+    print(f"  height h:     {stats.height}")
+    print(f"  mean fanout b: {stats.mean_fanout:.2f} (paper default b = 3)")
+    print(f"  depth histogram: {stats.depth_histogram}")
+    print(f"  invariant violations: {len(check_invariants(hierarchy))}")
+
+    # Watch repair events as they happen.
+    repairs: list[str] = []
+    sim.trace.subscribe(
+        "hierarchy.invalidated",
+        lambda record: repairs.append(f"    t={record.time:7.1f}  peer {record.fields['peer']} set depth to INFINITY"),
+    )
+    sim.trace.subscribe(
+        "hierarchy.reattached",
+        lambda record: repairs.append(
+            f"    t={record.time:7.1f}  peer {record.fields['peer']} reattached "
+            f"under {record.fields['parent']} at depth {record.fields['depth']}"
+        ),
+    )
+
+    enable_maintenance(hierarchy, HeartbeatConfig(interval=2.0, timeout=7.0, jitter=0.2))
+
+    # Pick an internal node with the most children and crash it.
+    internal = [p for p in hierarchy.participants() if hierarchy.role_of(p) == NodeRole.INTERNAL]
+    victim = max(internal, key=lambda p: len(hierarchy.children_of(p)))
+    orphans = sorted(hierarchy.children_of(victim))
+    print(f"\nCrashing internal peer {victim} "
+          f"(depth {hierarchy.depth_of(victim)}, children {orphans}) ...")
+    network.fail_peer(victim)
+    sim.run(until=sim.now + 150.0)
+
+    print("  repair log:")
+    for line in repairs[:20]:
+        print(line)
+    if len(repairs) > 20:
+        print(f"    ... and {len(repairs) - 20} more events")
+
+    print("\nAfter repair:")
+    for orphan in orphans:
+        state = hierarchy.state_of(orphan)
+        print(f"  peer {orphan}: parent {state.upstream}, depth {state.depth}")
+    problems = check_invariants(hierarchy)
+    print(f"  invariant violations: {len(problems)}")
+    stats = tree_stats(hierarchy)
+    print(f"  participants now: {stats.n_participants} "
+          f"(the victim is gone, everyone else is attached)")
+    assert problems == []
+
+
+if __name__ == "__main__":
+    main()

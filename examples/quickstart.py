@@ -1,0 +1,73 @@
+"""Quickstart: find the frequent items in a simulated P2P system.
+
+Builds the paper's default scenario at laptop scale — N peers sharing a
+Zipf-popular item universe — runs netFilter, checks it against the naive
+full-collection baseline, and prints the cost comparison that motivates
+the whole paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AggregationEngine,
+    Hierarchy,
+    NaiveProtocol,
+    NetFilter,
+    NetFilterConfig,
+    Network,
+    Simulation,
+    Topology,
+    Workload,
+)
+
+
+def main() -> None:
+    n_peers, n_items = 200, 20_000
+
+    # 1. A deterministic simulated P2P system.
+    sim = Simulation(seed=42)
+    topology = Topology.random_connected(n_peers, 4.0, sim.rng.stream("topology"))
+    network = Network(sim, topology)
+
+    # 2. The paper's workload: 10·n item instances, Zipf-popular,
+    #    scattered uniformly over peers.
+    workload = Workload.zipf(
+        n_items=n_items, n_peers=n_peers, skew=1.0, rng=sim.rng.stream("workload")
+    )
+    network.assign_items(workload.item_sets)
+
+    # 3. A BFS hierarchy over the overlay, and the aggregation engine.
+    hierarchy = Hierarchy.build(network, root=0)
+    engine = AggregationEngine(hierarchy)
+
+    # 4. netFilter: find every item with global value >= 1% of the total.
+    config = NetFilterConfig(filter_size=100, num_filters=3, threshold_ratio=0.01)
+    result = NetFilter(config).run(engine)
+
+    print(f"System: {n_peers} peers, {n_items} distinct items, "
+          f"grand total v = {result.grand_total}")
+    print(f"Threshold t = {result.threshold} (ratio 0.01)")
+    print(f"\nFrequent items found: {len(result.frequent)}")
+    for item_id, value in list(result.frequent)[:10]:
+        print(f"  item {item_id:>6}: global value {value}")
+
+    print(f"\nnetFilter cost: {result.breakdown.total:8.1f} bytes/peer "
+          f"(filtering {result.breakdown.filtering:.0f}, "
+          f"dissemination {result.breakdown.dissemination:.0f}, "
+          f"aggregation {result.breakdown.aggregation:.0f})")
+    print(f"Candidates verified: {result.candidate_count} "
+          f"({result.false_positive_count} filtering false positives, "
+          f"all removed by verification)")
+
+    # 5. The naive baseline: ship every (item, value) pair up the tree.
+    naive = NaiveProtocol(config).run(engine)
+    print(f"naive cost:     {naive.breakdown.naive:8.1f} bytes/peer")
+    print(f"\nnetFilter uses {100 * result.breakdown.total / naive.breakdown.naive:.1f}% "
+          f"of the naive approach's bandwidth — with the identical, exact answer: "
+          f"{result.frequent == naive.frequent}")
+
+
+if __name__ == "__main__":
+    main()

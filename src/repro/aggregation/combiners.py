@@ -1,0 +1,176 @@
+"""The merge algebra for aggregate computation.
+
+A :class:`Combiner` is a commutative monoid (identity + associative,
+commutative ``combine``) plus a wire-size function.  Hierarchical
+aggregation is correct for exactly this class of operations: merging
+contributions in tree order gives the same result as any other order.
+
+The three combiners the paper needs:
+
+* :class:`VectorSumCombiner` — item-group aggregate vectors (phase 1);
+  one aggregate value per group, ``s_a`` bytes each.
+* :class:`KeyedSumCombiner` — (item identifier, value) pair sets (phase 2
+  and the naive baseline); ``s_a + s_i`` bytes per pair.
+* :class:`ScalarSumCombiner` — the grand total ``v`` and the population
+  ``N`` (Section IV obtains both "through simple aggregate computation").
+
+Plus :class:`MinCombiner` / :class:`MaxCombiner` (used e.g. to find the
+minimum threshold among concurrent requests, Section III-A.1) and
+:class:`TupleCombiner` to ship several aggregates in one session — the
+paper notes the ``v`` and ``N`` computations "can be combined with other
+aggregate computation".
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generic, TypeVar
+
+import numpy as np
+
+from repro.errors import AggregationError
+from repro.items.itemset import LocalItemSet
+from repro.net.wire import SizeModel
+
+T = TypeVar("T")
+
+
+class Combiner(abc.ABC, Generic[T]):
+    """A commutative monoid with a wire-size function."""
+
+    @abc.abstractmethod
+    def identity(self) -> T:
+        """The neutral element (contribution of a peer with no data)."""
+
+    @abc.abstractmethod
+    def combine(self, left: T, right: T) -> T:
+        """Merge two aggregates.  Must be associative and commutative."""
+
+    @abc.abstractmethod
+    def size_bytes(self, value: T, model: SizeModel) -> int:
+        """Wire size of one aggregate value."""
+
+    def combine_many(self, values: list[T]) -> T:
+        """Fold ``combine`` over a list (identity for the empty list)."""
+        result = self.identity()
+        for value in values:
+            result = self.combine(result, value)
+        return result
+
+
+class ScalarSumCombiner(Combiner[float]):
+    """Sum of scalars; ``s_a`` bytes on the wire."""
+
+    def identity(self) -> float:
+        return 0
+
+    def combine(self, left: float, right: float) -> float:
+        return left + right
+
+    def size_bytes(self, value: float, model: SizeModel) -> int:
+        return model.aggregate_bytes
+
+
+class MinCombiner(Combiner[float]):
+    """Minimum of scalars (e.g. the smallest threshold among concurrent
+    IFI requests, Section III-A.1)."""
+
+    def identity(self) -> float:
+        return float("inf")
+
+    def combine(self, left: float, right: float) -> float:
+        return min(left, right)
+
+    def size_bytes(self, value: float, model: SizeModel) -> int:
+        return model.aggregate_bytes
+
+
+class MaxCombiner(Combiner[float]):
+    """Maximum of scalars."""
+
+    def identity(self) -> float:
+        return float("-inf")
+
+    def combine(self, left: float, right: float) -> float:
+        return max(left, right)
+
+    def size_bytes(self, value: float, model: SizeModel) -> int:
+        return model.aggregate_bytes
+
+
+class VectorSumCombiner(Combiner[np.ndarray]):
+    """Element-wise sum of fixed-length vectors.
+
+    Phase 1 of netFilter aggregates, per filter, a length-``g`` vector of
+    item-group aggregates; with ``f`` filters the payload is a flat
+    ``f·g`` vector costing ``s_a · f · g`` bytes — exactly the paper's
+    candidate filtering cost.
+    """
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise AggregationError(f"vector length must be positive, got {length}")
+        self.length = length
+
+    def identity(self) -> np.ndarray:
+        return np.zeros(self.length, dtype=np.int64)
+
+    def combine(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        left = np.asarray(left)
+        right = np.asarray(right)
+        if left.shape != (self.length,) or right.shape != (self.length,):
+            raise AggregationError(
+                f"vector shape mismatch: expected ({self.length},), "
+                f"got {left.shape} and {right.shape}"
+            )
+        return left + right
+
+    def size_bytes(self, value: np.ndarray, model: SizeModel) -> int:
+        return model.aggregate_bytes * self.length
+
+
+class KeyedSumCombiner(Combiner[LocalItemSet]):
+    """Keyed sum over (item identifier, value) pairs.
+
+    The wire size is ``(s_a + s_i)`` per pair actually present — this is
+    why the naive approach costs less than ``O(n · N)`` (Section IV-B):
+    peers only ship items with non-zero values in their subtree.
+    """
+
+    def identity(self) -> LocalItemSet:
+        return LocalItemSet.empty()
+
+    def combine(self, left: LocalItemSet, right: LocalItemSet) -> LocalItemSet:
+        return left.merge(right)
+
+    def size_bytes(self, value: LocalItemSet, model: SizeModel) -> int:
+        return model.pair_bytes * len(value)
+
+
+class TupleCombiner(Combiner[tuple]):
+    """Combine several aggregates in a single session.
+
+    Section IV: the computations of ``v`` and ``N`` "can be combined with
+    other aggregate computation since they only need to propagate one
+    single value along the hierarchy" — this combiner is that mechanism.
+    """
+
+    def __init__(self, *parts: Combiner[Any]) -> None:
+        if not parts:
+            raise AggregationError("TupleCombiner needs at least one part")
+        self.parts = parts
+
+    def identity(self) -> tuple:
+        return tuple(part.identity() for part in self.parts)
+
+    def combine(self, left: tuple, right: tuple) -> tuple:
+        if len(left) != len(self.parts) or len(right) != len(self.parts):
+            raise AggregationError("tuple arity mismatch")
+        return tuple(
+            part.combine(lv, rv) for part, lv, rv in zip(self.parts, left, right)
+        )
+
+    def size_bytes(self, value: tuple, model: SizeModel) -> int:
+        return sum(
+            part.size_bytes(item, model) for part, item in zip(self.parts, value)
+        )

@@ -1,0 +1,213 @@
+"""Push-sum gossip aggregation.
+
+The paper's conclusion names "a fault-tolerant gossip aggregation that can
+obtain the precise aggregates" as future work, and Section III-A surveys
+gossip as the alternative to hierarchical aggregation: peers repeatedly
+exchange mass with random neighbours until every peer's estimate (almost)
+converges to the global value, at the price of ``O(log N)`` rounds of
+all-to-all traffic and only approximate results.
+
+This module implements the classic push-sum protocol (Kempe, Dobra &
+Gehrke, FOCS 2003) over the simulated overlay so the trade-off can be
+measured: each peer ``i`` holds a mass vector ``x_i`` and a weight ``w_i``;
+every round it keeps half of ``(x_i, w_i)`` and pushes the other half to a
+uniformly random live neighbour; ``x_i / w_i`` converges to the global
+*average*, and with total weight ``N`` known, to the sum.  Mass
+conservation (``Σ x_i`` constant) is the protocol invariant the tests
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AggregationError
+from repro.net.message import Message, Payload
+from repro.net.network import Network
+from repro.net.wire import CostCategory, SizeModel
+
+
+@dataclass(frozen=True, eq=False)
+class GossipPayload(Payload):
+    """Half of a peer's (mass vector, weight) for one push-sum round."""
+
+    mass: np.ndarray
+    weight: float
+    category = CostCategory.GOSSIP
+
+    def body_bytes(self, model: SizeModel) -> int:
+        # The mass vector plus the scalar weight.
+        return model.aggregate_bytes * (int(self.mass.size) + 1)
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Timing and duration of a push-sum run.
+
+    Attributes
+    ----------
+    rounds:
+        Number of push-sum rounds.  ``O(log N + log(1/ε))`` rounds give
+        relative error ε; 30-60 rounds are typical for N=1000.
+    round_period:
+        Simulated time between rounds.  Must exceed the transport latency
+        so that pushed mass arrives before the next split.
+    """
+
+    rounds: int = 50
+    round_period: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise AggregationError("rounds must be positive")
+        if self.round_period <= 0:
+            raise AggregationError("round_period must be positive")
+
+
+class GossipAggregation:
+    """One push-sum computation over a network.
+
+    Parameters
+    ----------
+    network:
+        The overlay; every live peer participates.
+    contributions:
+        ``{peer_id: vector}`` of local contributions.  Missing peers
+        contribute zero.
+    length:
+        Dimension of the aggregated vector.
+    config:
+        Round count and period.
+
+    Examples
+    --------
+    >>> # see tests/aggregation/test_gossip.py for an executable example
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        contributions: dict[int, np.ndarray],
+        length: int,
+        config: GossipConfig | None = None,
+        initiator: int | None = None,
+    ) -> None:
+        self.network = network
+        self.config = config or GossipConfig()
+        self.length = length
+        self.initiator = initiator
+        self._mass: dict[int, np.ndarray] = {}
+        self._weight: dict[int, float] = {}
+        self._inbox_mass: dict[int, np.ndarray] = {}
+        self._inbox_weight: dict[int, float] = {}
+        self._participants = list(network.live_peers())
+        if initiator is not None and initiator not in self._participants:
+            raise AggregationError(f"initiator {initiator} is not a live peer")
+        for peer in self._participants:
+            vector = np.asarray(
+                contributions.get(peer, np.zeros(length)), dtype=np.float64
+            )
+            if vector.shape != (length,):
+                raise AggregationError(
+                    f"contribution of peer {peer} has shape {vector.shape}, "
+                    f"expected ({length},)"
+                )
+            self._mass[peer] = vector.copy()
+            # Two weight disciplines (both classic push-sum):
+            #  - everyone holds weight 1  -> x/w estimates the AVERAGE and
+            #    the sum needs the population size (the simulator knows it);
+            #  - only one initiator holds weight 1 -> x/w estimates the SUM
+            #    directly, with no global knowledge at all.  This is what a
+            #    real deployment (and GossipNetFilter) uses.
+            if initiator is None:
+                self._weight[peer] = 1.0
+            else:
+                self._weight[peer] = 1.0 if peer == initiator else 0.0
+            self._inbox_mass[peer] = np.zeros(length)
+            self._inbox_weight[peer] = 0.0
+            network.node(peer).register_handler(GossipPayload, self._make_handler(peer))
+        self._rounds_done = 0
+
+    def _make_handler(self, peer: int):
+        def handle(message: Message) -> None:
+            payload = message.payload
+            assert isinstance(payload, GossipPayload)
+            self._inbox_mass[peer] += payload.mass
+            self._inbox_weight[peer] += payload.weight
+
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Execute all configured rounds (drives the simulation)."""
+        sim = self.network.sim
+        for _ in range(self.config.rounds):
+            sim.schedule(self.config.round_period, self._round)
+            sim.run(until=sim.now + self.config.round_period)
+        # Allow the final round's in-flight mass to land.
+        sim.run(until=sim.now + self.config.round_period)
+        self._absorb_inboxes()
+
+    def _round(self) -> None:
+        self._absorb_inboxes()
+        rng = self.network.sim.rng.stream("gossip")
+        for peer in self._participants:
+            node = self.network.node(peer)
+            if not node.alive:
+                continue
+            neighbors = node.neighbors
+            if not neighbors:
+                continue
+            target = int(neighbors[int(rng.integers(0, len(neighbors)))])
+            half_mass = self._mass[peer] / 2.0
+            half_weight = self._weight[peer] / 2.0
+            self._mass[peer] = half_mass
+            self._weight[peer] = half_weight
+            node.send(target, GossipPayload(mass=half_mass.copy(), weight=half_weight))
+        self._rounds_done += 1
+
+    def _absorb_inboxes(self) -> None:
+        for peer in self._participants:
+            if self._inbox_weight[peer] or self._inbox_mass[peer].any():
+                self._mass[peer] = self._mass[peer] + self._inbox_mass[peer]
+                self._weight[peer] += self._inbox_weight[peer]
+                self._inbox_mass[peer] = np.zeros(self.length)
+                self._inbox_weight[peer] = 0.0
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def estimate_at(self, peer: int) -> np.ndarray:
+        """Peer's current estimate of the global *sum* vector.
+
+        With uniform weights, ``x/w`` converges to the average and is
+        scaled by the participant count; with an initiator (total weight
+        1), ``x/w`` is the sum directly.
+        """
+        weight = self._weight[peer]
+        if weight <= 0:
+            raise AggregationError(f"peer {peer} has zero push-sum weight")
+        if self.initiator is None:
+            return self._mass[peer] / weight * len(self._participants)
+        return self._mass[peer] / weight
+
+    def estimates(self) -> dict[int, np.ndarray]:
+        """Sum estimates of every live peer that holds positive weight
+        (with an initiator, weight takes a few rounds to spread)."""
+        return {
+            peer: self.estimate_at(peer)
+            for peer in self._participants
+            if self.network.node(peer).alive and self._weight[peer] > 0
+        }
+
+    def total_mass(self) -> np.ndarray:
+        """Σ of all mass vectors incl. in-flight inboxes — conserved by the
+        protocol; exposed for the invariant tests."""
+        total = np.zeros(self.length)
+        for peer in self._participants:
+            total += self._mass[peer] + self._inbox_mass[peer]
+        return total

@@ -1,0 +1,157 @@
+"""Push-sum gossip over *keyed* values.
+
+The vector push-sum of :mod:`repro.aggregation.gossip` needs a fixed,
+globally-known coordinate space.  Candidate verification does not have
+one — each peer holds (candidate id, local value) pairs for its own items
+— so this module gossips sparse keyed mass instead: a peer repeatedly
+keeps half of its ``{id: value}`` mass (and weight) and pushes the other
+half to a random neighbour.  With the initiator-weight discipline
+(total weight 1 at one peer), ``value/weight`` at any positive-weight
+peer converges to the global sum per key.
+
+Used by :class:`repro.core.gossip_netfilter.GossipNetFilter` for its
+verification phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AggregationError
+from repro.net.message import Message, Payload
+from repro.net.network import Network
+from repro.net.wire import CostCategory, SizeModel
+from repro.aggregation.gossip import GossipConfig
+
+
+@dataclass(frozen=True, eq=False)
+class KeyedGossipPayload(Payload):
+    """Half of a peer's keyed mass and weight for one push-sum round."""
+
+    values: dict[int, float]
+    weight: float
+    category = CostCategory.GOSSIP
+
+    def body_bytes(self, model: SizeModel) -> int:
+        # One (id, value) pair per key plus the scalar weight.
+        return model.pair_bytes * len(self.values) + model.aggregate_bytes
+
+
+class KeyedGossipAggregation:
+    """One keyed push-sum computation over a network.
+
+    Parameters
+    ----------
+    network:
+        The overlay; every live peer participates.
+    contributions:
+        ``{peer_id: {item_id: value}}`` local keyed mass.
+    initiator:
+        The single peer holding initial weight 1 — its ``x/w`` estimates
+        global sums directly (no population knowledge needed).
+    config:
+        Round count and period.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        contributions: dict[int, dict[int, float]],
+        initiator: int,
+        config: GossipConfig | None = None,
+    ) -> None:
+        self.network = network
+        self.config = config or GossipConfig()
+        self.initiator = initiator
+        self._participants = list(network.live_peers())
+        if initiator not in self._participants:
+            raise AggregationError(f"initiator {initiator} is not a live peer")
+        self._mass: dict[int, dict[int, float]] = {}
+        self._weight: dict[int, float] = {}
+        self._inbox_mass: dict[int, dict[int, float]] = {}
+        self._inbox_weight: dict[int, float] = {}
+        for peer in self._participants:
+            self._mass[peer] = {
+                int(key): float(value)
+                for key, value in contributions.get(peer, {}).items()
+            }
+            self._weight[peer] = 1.0 if peer == initiator else 0.0
+            self._inbox_mass[peer] = {}
+            self._inbox_weight[peer] = 0.0
+            network.node(peer).register_handler(
+                KeyedGossipPayload, self._make_handler(peer)
+            )
+
+    def _make_handler(self, peer: int):
+        def handle(message: Message) -> None:
+            payload = message.payload
+            assert isinstance(payload, KeyedGossipPayload)
+            inbox = self._inbox_mass[peer]
+            for key, value in payload.values.items():
+                inbox[key] = inbox.get(key, 0.0) + value
+            self._inbox_weight[peer] += payload.weight
+
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Execute all configured rounds (drives the simulation)."""
+        sim = self.network.sim
+        for _ in range(self.config.rounds):
+            sim.schedule(self.config.round_period, self._round)
+            sim.run(until=sim.now + self.config.round_period)
+        sim.run(until=sim.now + self.config.round_period)
+        self._absorb_inboxes()
+
+    def _round(self) -> None:
+        self._absorb_inboxes()
+        rng = self.network.sim.rng.stream("gossip.keyed")
+        for peer in self._participants:
+            node = self.network.node(peer)
+            if not node.alive:
+                continue
+            neighbors = node.neighbors
+            if not neighbors:
+                continue
+            mass = self._mass[peer]
+            weight = self._weight[peer]
+            if not mass and weight == 0.0:
+                continue  # nothing to push — saves empty messages
+            target = int(neighbors[int(rng.integers(0, len(neighbors)))])
+            half = {key: value / 2.0 for key, value in mass.items()}
+            self._mass[peer] = dict(half)
+            self._weight[peer] = weight / 2.0
+            node.send(target, KeyedGossipPayload(values=half, weight=weight / 2.0))
+
+    def _absorb_inboxes(self) -> None:
+        for peer in self._participants:
+            inbox = self._inbox_mass[peer]
+            if inbox:
+                mass = self._mass[peer]
+                for key, value in inbox.items():
+                    mass[key] = mass.get(key, 0.0) + value
+                self._inbox_mass[peer] = {}
+            if self._inbox_weight[peer]:
+                self._weight[peer] += self._inbox_weight[peer]
+                self._inbox_weight[peer] = 0.0
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def estimate_at(self, peer: int) -> dict[int, float]:
+        """Peer's estimate of the global sum per key."""
+        weight = self._weight[peer]
+        if weight <= 0:
+            raise AggregationError(f"peer {peer} has zero push-sum weight")
+        return {key: value / weight for key, value in self._mass[peer].items()}
+
+    def total_mass(self) -> dict[int, float]:
+        """Σ of all keyed mass (conserved by the protocol; for tests)."""
+        totals: dict[int, float] = {}
+        for peer in self._participants:
+            for source in (self._mass[peer], self._inbox_mass[peer]):
+                for key, value in source.items():
+                    totals[key] = totals.get(key, 0.0) + value
+        return totals

@@ -1,0 +1,320 @@
+"""Hierarchical aggregate computation (Section III-A.2).
+
+One *session* computes one aggregate: the request travels from the root
+down the hierarchy; leaves answer with their local contribution; each
+internal node merges its children's replies with its own contribution and
+forwards the merged value upstream; the root ends with the global
+aggregate.
+
+Fault tolerance: a node that forwarded the request to its children arms a
+timeout; if some child never answers (it failed, or its subtree is mid
+repair), the node proceeds with the contributions it has.  Under churn the
+aggregate is then computed over the reachable subtree — the behaviour the
+paper accepts for hierarchical aggregation and mitigates by recruiting
+stable peers.
+
+The engine installs one :class:`AggregationService` per participant and
+multiplexes any number of concurrent sessions over them (needed both for
+netFilter's two phases and for Section III-A.1's concurrent-request
+sharing).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.aggregation.spec import AggregateSpec
+from repro.errors import AggregationError
+from repro.hierarchy.builder import Hierarchy
+from repro.net.message import Message, Payload
+from repro.net.node import Node
+from repro.net.wire import CostCategory, SizeModel
+from repro.sim.timers import Timeout
+
+
+@dataclass(frozen=True, eq=False)
+class AggRequestPayload(Payload):
+    """Down-sweep: "compute this aggregate; here is the request data"."""
+
+    session_id: int
+    spec: AggregateSpec
+    request_data: Any
+
+    @property
+    def category(self) -> CostCategory:  # type: ignore[override]
+        return self.spec.down_category
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return self.spec.request_bytes(self.request_data, model)
+
+
+@dataclass(frozen=True, eq=False)
+class AggReplyPayload(Payload):
+    """Up-sweep: the merged aggregate of the sender's subtree."""
+
+    session_id: int
+    spec: AggregateSpec
+    value: Any
+
+    @property
+    def category(self) -> CostCategory:  # type: ignore[override]
+        return self.spec.up_category
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return self.spec.combiner.size_bytes(self.value, model)
+
+
+class SessionHandle:
+    """Root-side view of one aggregation session."""
+
+    def __init__(self, session_id: int, spec: AggregateSpec) -> None:
+        self.session_id = session_id
+        self.spec = spec
+        self.done = False
+        self.value: Any = None
+
+    def _complete(self, value: Any) -> None:
+        self.done = True
+        self.value = value
+
+
+@dataclass
+class _NodeSessionState:
+    """Per-node bookkeeping for one in-flight session."""
+
+    spec: AggregateSpec
+    request_data: Any
+    parent: int | None
+    waiting_on: set[int] = field(default_factory=set)
+    received: list[Any] = field(default_factory=list)
+    timeout: Timeout | None = None
+    replied: bool = False
+
+
+class AggregationService:
+    """The per-node participant logic, shared by all sessions."""
+
+    def __init__(self, engine: "AggregationEngine", node: Node) -> None:
+        self._engine = engine
+        self._node = node
+        self._sessions: dict[int, _NodeSessionState] = {}
+        node.register_handler(engine.request_cls, self._handle_request)
+        node.register_handler(engine.reply_cls, self._handle_reply)
+
+    # ------------------------------------------------------------------
+    # Request handling (down-sweep)
+    # ------------------------------------------------------------------
+    def _handle_request(self, message: Message) -> None:
+        payload = message.payload
+        assert isinstance(payload, AggRequestPayload)
+        self.begin_session(
+            payload.session_id, payload.spec, payload.request_data, parent=message.sender
+        )
+
+    def begin_session(
+        self,
+        session_id: int,
+        spec: AggregateSpec,
+        request_data: Any,
+        parent: int | None,
+    ) -> None:
+        """Join a session: forward the request to children, then reply once
+        every child answered (or timed out).  Called with ``parent=None``
+        on the root by the engine."""
+        if session_id in self._sessions:
+            return  # duplicate request (possible transiently during repair)
+        hierarchy = self._engine.hierarchy
+        network = self._node.network
+        children = {
+            child
+            for child in hierarchy.children_of(self._node.peer_id)
+            if network.node(child).alive
+        }
+        state = _NodeSessionState(
+            spec=spec, request_data=request_data, parent=parent, waiting_on=children
+        )
+        self._sessions[session_id] = state
+        if children:
+            request = self._engine.request_cls(
+                session_id=session_id, spec=spec, request_data=request_data
+            )
+            for child in children:
+                self._node.send(child, request)
+            # Stagger deadlines by depth: a node's patience must exceed its
+            # children's, or parents give up while their subtrees are still
+            # (legitimately) collecting and the partial results are lost.
+            own_depth = min(
+                max(hierarchy.depth_of(self._node.peer_id), 0), network.n_peers
+            )
+            duration = self._engine.child_timeout / (own_depth + 1)
+            state.timeout = Timeout(
+                network.sim,
+                duration,
+                lambda sid=session_id: self._give_up_waiting(sid),
+            )
+            state.timeout.reset()
+        else:
+            self._reply(session_id)
+
+    # ------------------------------------------------------------------
+    # Reply handling (up-sweep)
+    # ------------------------------------------------------------------
+    def _handle_reply(self, message: Message) -> None:
+        payload = message.payload
+        assert isinstance(payload, AggReplyPayload)
+        state = self._sessions.get(payload.session_id)
+        if state is None or state.replied:
+            return  # late reply after timeout — already merged without it
+        if message.sender not in state.waiting_on:
+            return  # duplicate
+        state.waiting_on.discard(message.sender)
+        state.received.append(payload.value)
+        if not state.waiting_on:
+            if state.timeout is not None:
+                state.timeout.cancel()
+            self._reply(payload.session_id)
+
+    def _give_up_waiting(self, session_id: int) -> None:
+        state = self._sessions.get(session_id)
+        if state is None or state.replied:
+            return
+        sim = self._node.network.sim
+        sim.trace.emit(
+            sim.now,
+            "aggregation.child_timeout",
+            peer=self._node.peer_id,
+            session=session_id,
+            missing=len(state.waiting_on),
+        )
+        self._reply(session_id)
+
+    def _reply(self, session_id: int) -> None:
+        state = self._sessions[session_id]
+        state.replied = True
+        own = state.spec.contribute(self._node, state.request_data)
+        value = state.spec.combiner.combine_many([own, *state.received])
+        if state.parent is None:
+            self._engine._complete(session_id, value)
+        else:
+            self._node.send(
+                state.parent,
+                self._engine.reply_cls(
+                    session_id=session_id, spec=state.spec, value=value
+                ),
+            )
+        # Free the merged child contributions; keep the entry so duplicate
+        # requests stay idempotent.
+        state.received.clear()
+
+
+class AggregationEngine:
+    """Runs aggregation sessions over a built hierarchy.
+
+    Parameters
+    ----------
+    hierarchy:
+        The hierarchy to aggregate over.  One engine per hierarchy — the
+        engine registers the aggregation payload handlers on every
+        participant (and on peers that join later).
+    child_timeout:
+        How long a node waits for its children before proceeding without
+        the missing ones.  Only matters under churn.
+
+    Examples
+    --------
+    See :func:`repro.aggregation.hierarchical.scalar_total_spec` and the
+    tests in ``tests/aggregation/test_hierarchical.py``.
+    """
+
+    def __init__(self, hierarchy: Hierarchy, child_timeout: float = 300.0) -> None:
+        from repro.net.tagging import tagged
+
+        self.hierarchy = hierarchy
+        self.network = hierarchy.network
+        self.sim = hierarchy.network.sim
+        self.child_timeout = child_timeout
+        # Engines over differently-tagged hierarchies (Section III-A.1's
+        # redundant hierarchies) use distinct payload types so their
+        # sessions never collide in the node dispatch tables.
+        self.request_cls = tagged(AggRequestPayload, hierarchy.tag)
+        self.reply_cls = tagged(AggReplyPayload, hierarchy.tag)
+        self._session_ids = itertools.count(1)
+        self._handles: dict[int, SessionHandle] = {}
+        self._callbacks: dict[int, Callable[[Any], None]] = {}
+        self._services: dict[int, AggregationService] = {
+            peer: AggregationService(self, self.network.node(peer))
+            for peer in hierarchy.participants()
+        }
+        self.network.on_join(self._integrate_new_peer)
+
+    def _integrate_new_peer(self, peer: int) -> None:
+        self._services[peer] = AggregationService(self, self.network.node(peer))
+
+    # ------------------------------------------------------------------
+    # Session API
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        spec: AggregateSpec,
+        request_data: Any = None,
+        callback: Callable[[Any], None] | None = None,
+    ) -> SessionHandle:
+        """Begin a session at the root; returns immediately with a handle
+        that completes when the root has the global aggregate."""
+        if not self.network.node(self.hierarchy.root).alive:
+            raise AggregationError("cannot start a session: the root is down")
+        session_id = next(self._session_ids)
+        handle = SessionHandle(session_id, spec)
+        self._handles[session_id] = handle
+        if callback is not None:
+            self._callbacks[session_id] = callback
+        root_service = self._services.get(self.hierarchy.root)
+        if root_service is None:
+            raise AggregationError("root has no aggregation service (is it alive?)")
+        root_service.begin_session(session_id, spec, request_data, parent=None)
+        return handle
+
+    def run(
+        self,
+        spec: AggregateSpec,
+        request_data: Any = None,
+        max_events: int = 50_000_000,
+    ) -> Any:
+        """Start a session and drive the simulation until it completes.
+
+        Raises
+        ------
+        AggregationError
+            If the simulation runs out of events (or hits ``max_events``)
+            before the session completes — a protocol bug, not a runtime
+            condition.
+        """
+        handle = self.start(spec, request_data)
+        steps = 0
+        while not handle.done:
+            if not self.sim.step():
+                raise AggregationError(
+                    f"event queue drained before session {handle.session_id} "
+                    f"({spec.name}) completed"
+                )
+            steps += 1
+            if steps > max_events:
+                raise AggregationError(
+                    f"session {handle.session_id} ({spec.name}) did not complete "
+                    f"within {max_events} events"
+                )
+        return handle.value
+
+    def _complete(self, session_id: int, value: Any) -> None:
+        handle = self._handles.get(session_id)
+        if handle is None or handle.done:
+            return
+        handle._complete(value)
+        self.sim.trace.emit(
+            self.sim.now, "aggregation.complete", session=session_id
+        )
+        callback = self._callbacks.pop(session_id, None)
+        if callback is not None:
+            callback(value)

@@ -1,0 +1,61 @@
+"""Aggregate specifications.
+
+An :class:`AggregateSpec` describes one aggregate computation end to end:
+how each peer derives its local contribution (possibly from data carried in
+the request, e.g. the heavy-group list of Algorithm 2), how contributions
+merge (the combiner), and which cost categories the request (down-sweep)
+and reply (up-sweep) traffic belong to.
+
+In a real deployment the spec is protocol code present at every peer; in
+this simulation the spec object is shared by reference between the nodes of
+one :class:`~repro.aggregation.hierarchical.AggregationEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.aggregation.combiners import Combiner
+from repro.net.wire import CostCategory, SizeModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.node import Node
+
+
+def _no_request_bytes(request_data: Any, model: SizeModel) -> int:
+    """Default request sizing: one aggregate-sized control integer (the
+    session/spec identifier); the paper does not charge request headers to
+    any reported category."""
+    return model.aggregate_bytes
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate computation, end to end.
+
+    Attributes
+    ----------
+    name:
+        Unique name within an engine (used for dispatch and traces).
+    combiner:
+        The merge algebra for contributions.
+    contribute:
+        ``contribute(node, request_data)`` returns the peer's local
+        contribution.  Must be side-effect free.
+    up_category:
+        Cost category for reply (up-sweep) bytes, e.g. ``FILTERING`` for
+        phase 1 or ``AGGREGATION`` for phase 2.
+    down_category:
+        Cost category for request (down-sweep) bytes, e.g.
+        ``DISSEMINATION`` when the request carries the heavy-group list.
+    request_bytes:
+        ``request_bytes(request_data, model)`` prices the request payload.
+    """
+
+    name: str
+    combiner: Combiner
+    contribute: Callable[["Node", Any], Any]
+    up_category: CostCategory
+    down_category: CostCategory = CostCategory.CONTROL
+    request_bytes: Callable[[Any, SizeModel], int] = field(default=_no_request_bytes)

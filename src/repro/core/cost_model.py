@@ -1,0 +1,103 @@
+"""The analytic cost model (Section IV-A, IV-B).
+
+These formulas *predict* per-peer communication cost; the simulator
+*measures* it.  Keeping both lets the tests and the ablation benches check
+the paper's analysis against the implementation:
+
+* **Formula 1** (netFilter):
+  ``C_filter = s_a·f·g + s_g·f·w + (s_a+s_i)·(r+fp)``
+* **Formula 2** (naive):
+  ``(s_a+s_i)·o ≤ C_naive ≤ (s_a+s_i)·o·(h-1)``
+* **Formula 5** (simplified, used to derive f_opt):
+  ``C_filter ≈ s_a·f·g + (s_a+s_i)·(r+fp₂)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.optimizer import expected_heterogeneous_false_positives
+from repro.errors import ConfigurationError
+from repro.net.wire import SizeModel
+
+
+@dataclass(frozen=True)
+class PredictedCost:
+    """Predicted per-peer byte costs of one netFilter run (Formula 1)."""
+
+    filtering: float
+    dissemination: float
+    aggregation: float
+
+    @property
+    def total(self) -> float:
+        """Sum of the three components."""
+        return self.filtering + self.dissemination + self.aggregation
+
+
+def netfilter_cost(
+    filter_size: int,
+    num_filters: int,
+    heavy_groups_per_filter: float,
+    heavy_count: float,
+    false_positives: float,
+    size_model: SizeModel | None = None,
+) -> PredictedCost:
+    """Formula 1 with explicit ``w`` (heavy groups per filter), ``r`` and
+    ``fp``.
+
+    The paper writes the dissemination term as ``s_g · f · w``; ``w`` here
+    is the per-filter heavy-group count, so ``f · w`` is the total number
+    of disseminated identifiers.
+    """
+    model = size_model or SizeModel()
+    if filter_size <= 0 or num_filters <= 0:
+        raise ConfigurationError("filter_size and num_filters must be positive")
+    return PredictedCost(
+        filtering=model.aggregate_bytes * num_filters * filter_size,
+        dissemination=model.group_id_bytes * num_filters * heavy_groups_per_filter,
+        aggregation=model.pair_bytes * (heavy_count + false_positives),
+    )
+
+
+def simplified_netfilter_cost(
+    filter_size: int,
+    num_filters: int,
+    n_items: float,
+    heavy_count: float,
+    size_model: SizeModel | None = None,
+) -> float:
+    """Formula 5: dissemination dropped (``w << g``), ``fp`` replaced by
+    the Formula-4 prediction of heterogeneous false positives."""
+    model = size_model or SizeModel()
+    fp2 = expected_heterogeneous_false_positives(
+        n_items, heavy_count, filter_size, num_filters
+    )
+    return (
+        model.aggregate_bytes * num_filters * filter_size
+        + model.pair_bytes * (heavy_count + fp2)
+    )
+
+
+def naive_cost_bounds(
+    distinct_per_peer: float,
+    hierarchy_height: int,
+    size_model: SizeModel | None = None,
+) -> tuple[float, float]:
+    """Formula 2: lower and upper bound on the naive per-peer cost.
+
+    Parameters
+    ----------
+    distinct_per_peer:
+        ``o`` — mean distinct items in a peer's local set.
+    hierarchy_height:
+        ``h`` — the hierarchy height.
+    """
+    model = size_model or SizeModel()
+    if distinct_per_peer < 0:
+        raise ConfigurationError("distinct_per_peer must be non-negative")
+    if hierarchy_height < 1:
+        raise ConfigurationError("hierarchy_height must be at least 1")
+    low = model.pair_bytes * distinct_per_peer
+    high = model.pair_bytes * distinct_per_peer * max(hierarchy_height - 1, 1)
+    return low, high

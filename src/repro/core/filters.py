@@ -1,0 +1,173 @@
+"""Hash-based item partitioning (Section III-B.1) and multi-filter
+pruning (Section III-B.2).
+
+Partitioning items into groups must not require global coordination — no
+peer knows the full item universe — so the paper uses hashing: every peer
+applies the same hash function(s) to its local items and accumulates local
+values per group.
+
+The hash family matters more than the paper lets on.  Item identifiers are
+typically *structured* (consecutive integers, address blocks, ...), and a
+plain ``(a·x + c) mod g`` maps structured ids onto a strided subset of the
+groups whenever ``gcd(a, g) > 1``, concentrating mass in few groups and
+wrecking the false-positive analysis.  We therefore hash ids through the
+splitmix64 finalizer (a full-avalanche 64-bit mixer) salted per filter:
+``h_i(x) = mix64(x XOR salt_i) mod g``.  This behaves like the uniform
+random hashing Formula 4 assumes, for any id structure, and is fully
+vectorizable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.items.itemset import LocalItemSet
+
+
+def splitmix64(values: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer: a bijective full-avalanche 64-bit mixer.
+
+    Vectorized over a ``uint64`` array; wraparound arithmetic is the
+    intended behaviour.
+    """
+    z = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        z = (z + np.uint64(0x9E3779B97F4A7C15)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+        z ^= z >> np.uint64(30)
+        z *= np.uint64(0xBF58476D1CE4E5B9)
+        z ^= z >> np.uint64(27)
+        z *= np.uint64(0x94D049BB133111EB)
+        z ^= z >> np.uint64(31)
+    return z
+
+
+class HashFilter:
+    """One salted hash function mapping item ids to ``g`` item groups.
+
+    Parameters
+    ----------
+    n_groups:
+        ``g`` — the filter size.
+    salt:
+        64-bit per-filter salt; two filters with different salts behave as
+        independent hash functions (Section III-B.2's requirement).
+    """
+
+    def __init__(self, n_groups: int, salt: int) -> None:
+        if n_groups <= 0:
+            raise ConfigurationError(f"n_groups must be positive, got {n_groups}")
+        self.n_groups = n_groups
+        self.salt = int(salt) & 0xFFFFFFFFFFFFFFFF
+
+    def group_of(self, item_ids: np.ndarray) -> np.ndarray:
+        """Vectorized ``h(x)`` — the group id of each item."""
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        mixed = splitmix64(item_ids.astype(np.uint64) ^ np.uint64(self.salt))
+        return (mixed % np.uint64(self.n_groups)).astype(np.int64)
+
+    def local_group_values(self, item_set: LocalItemSet) -> np.ndarray:
+        """A peer's local aggregate per item group: each local item's value
+        is added to the group the item hashes to (Section III-B.1)."""
+        if len(item_set) == 0:
+            return np.zeros(self.n_groups, dtype=np.int64)
+        groups = self.group_of(item_set.ids)
+        summed = np.bincount(
+            groups, weights=item_set.values.astype(np.float64), minlength=self.n_groups
+        )
+        return summed.astype(np.int64)
+
+
+class FilterBank:
+    """``f`` independent hash filters of size ``g`` (Section III-B.2).
+
+    The bank turns a peer's local item set into one flat ``f·g`` vector of
+    local group values (the phase-1 contribution, costing ``s_a · f · g``
+    bytes per peer on the wire) and, given the heavy groups, decides which
+    local items remain candidates.
+
+    Examples
+    --------
+    >>> bank = FilterBank(num_filters=2, filter_size=8, hash_seed=3)
+    >>> items = LocalItemSet.from_pairs({10: 4, 11: 2})
+    >>> bank.local_group_aggregates(items).shape
+    (16,)
+    >>> int(bank.local_group_aggregates(items).sum())  # mass is conserved per filter
+    12
+    """
+
+    def __init__(self, num_filters: int, filter_size: int, hash_seed: int = 0) -> None:
+        if num_filters <= 0:
+            raise ConfigurationError(f"num_filters must be positive, got {num_filters}")
+        self.num_filters = num_filters
+        self.filter_size = filter_size
+        self.hash_seed = hash_seed
+        rng = np.random.default_rng(hash_seed)
+        self.filters = [
+            HashFilter(filter_size, salt=int(rng.integers(0, 1 << 63)))
+            for _ in range(num_filters)
+        ]
+
+    @property
+    def total_groups(self) -> int:
+        """``f · g`` — the length of the phase-1 aggregate vector."""
+        return self.num_filters * self.filter_size
+
+    # ------------------------------------------------------------------
+    # Phase 1: group aggregates
+    # ------------------------------------------------------------------
+    def local_group_aggregates(self, item_set: LocalItemSet) -> np.ndarray:
+        """A peer's phase-1 contribution: the ``f`` per-filter group-value
+        vectors, concatenated into one flat ``f·g`` vector."""
+        return np.concatenate(
+            [f.local_group_values(item_set) for f in self.filters]
+        )
+
+    def split_aggregate(self, flat: np.ndarray) -> list[np.ndarray]:
+        """Split a flat ``f·g`` aggregate back into per-filter vectors."""
+        flat = np.asarray(flat)
+        if flat.shape != (self.total_groups,):
+            raise ConfigurationError(
+                f"aggregate vector must have shape ({self.total_groups},), "
+                f"got {flat.shape}"
+            )
+        return [
+            flat[i * self.filter_size : (i + 1) * self.filter_size]
+            for i in range(self.num_filters)
+        ]
+
+    def heavy_groups_per_filter(
+        self, flat_aggregate: np.ndarray, threshold: int
+    ) -> list[np.ndarray]:
+        """Per filter, the ids of the heavy item groups (aggregate ≥ t)."""
+        return [
+            np.flatnonzero(vector >= threshold)
+            for vector in self.split_aggregate(flat_aggregate)
+        ]
+
+    # ------------------------------------------------------------------
+    # Phase 2: candidate decision
+    # ------------------------------------------------------------------
+    def candidate_mask(
+        self, item_ids: np.ndarray, heavy_groups: list[np.ndarray]
+    ) -> np.ndarray:
+        """Which of ``item_ids`` survive all ``f`` filters.
+
+        An item is a candidate iff, for every filter, the group it hashes
+        to is heavy (Section III-B.2: Item x survives, Item y is pruned).
+        """
+        if len(heavy_groups) != self.num_filters:
+            raise ConfigurationError(
+                f"expected {self.num_filters} heavy-group arrays, "
+                f"got {len(heavy_groups)}"
+            )
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        mask = np.ones(item_ids.shape, dtype=bool)
+        for hash_filter, heavy in zip(self.filters, heavy_groups):
+            if not mask.any():
+                break
+            groups = hash_filter.group_of(item_ids)
+            heavy_lookup = np.zeros(hash_filter.n_groups, dtype=bool)
+            heavy_lookup[np.asarray(heavy, dtype=np.int64)] = True
+            mask &= heavy_lookup[groups]
+        return mask

@@ -1,0 +1,226 @@
+"""The netFilter protocol (Section III, Algorithm 1).
+
+One :meth:`NetFilter.run` performs, over an already-built hierarchy:
+
+0. A combined scalar aggregation for the grand total ``v`` and the
+   participant count ``N`` (Section IV: "obtained through simple aggregate
+   computation ... combined with other aggregate computation").
+1. **Candidate filtering** — a vector-sum aggregation of the ``f·g``
+   item-group values; groups with aggregate ≥ t are heavy.
+2. **Candidate verification** — the heavy-group lists ride down in the
+   phase-2 request (candidate *dissemination*); every peer materializes
+   its partial candidate set against them; a keyed-sum convergecast merges
+   the partial sets (candidate *aggregation*) so the root ends with the
+   exact global value of every candidate; candidates ≥ t are the answer.
+
+The result is exact: no false positives, no false negatives, exact global
+values — the properties the oracle-equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.aggregation.combiners import (
+    KeyedSumCombiner,
+    ScalarSumCombiner,
+    TupleCombiner,
+    VectorSumCombiner,
+)
+from repro.aggregation.hierarchical import AggregationEngine
+from repro.aggregation.spec import AggregateSpec
+from repro.core.config import NetFilterConfig
+from repro.core.filters import FilterBank
+from repro.core.verification import HeavyGroups, materialize_candidates
+from repro.items.itemset import LocalItemSet
+from repro.metrics.breakdown import CostBreakdown
+from repro.net.node import Node
+from repro.net.wire import CostCategory, SizeModel
+
+
+@dataclass(frozen=True)
+class NetFilterResult:
+    """Everything one netFilter run produced.
+
+    Attributes
+    ----------
+    frequent:
+        The exact answer: frequent item ids with their exact global values.
+    candidates:
+        The merged candidate set the root verified (frequent items plus
+        the filtering false positives).
+    heavy_groups:
+        The heavy item groups found by phase 1.
+    threshold:
+        The absolute threshold ``t`` used.
+    grand_total:
+        The measured grand total ``v``.
+    n_participants:
+        Peers that contributed (the aggregated ``N``).
+    breakdown:
+        Measured per-peer byte costs for this run only.
+    avg_candidates_per_peer:
+        Measured average number of candidate pairs each peer propagated in
+        phase 2 — the y-axis of Figure 5(a)/6(a).
+    config:
+        The configuration that produced this result.
+    """
+
+    frequent: LocalItemSet
+    candidates: LocalItemSet
+    heavy_groups: HeavyGroups
+    threshold: int
+    grand_total: int
+    n_participants: int
+    breakdown: CostBreakdown
+    avg_candidates_per_peer: float
+    config: NetFilterConfig
+    #: Simulated time the whole run took (three convergecasts; with unit
+    #: link latency this is a few times the hierarchy height — the
+    #: latency face of the hierarchical-vs-gossip trade-off).
+    elapsed_time: float = 0.0
+
+    @property
+    def frequent_ids(self) -> np.ndarray:
+        """Ids of the reported frequent items, ascending."""
+        return self.frequent.ids
+
+    @property
+    def candidate_count(self) -> int:
+        """Distinct candidates verified in phase 2."""
+        return len(self.candidates)
+
+    @property
+    def false_positive_count(self) -> int:
+        """Candidates that verification rejected (``fp`` in the paper —
+        false positives *of the candidate set*; the final answer has
+        none)."""
+        return len(self.candidates) - len(self.frequent)
+
+    def __str__(self) -> str:
+        return (
+            f"NetFilterResult({len(self.frequent)} frequent items, "
+            f"{self.candidate_count} candidates, t={self.threshold}, "
+            f"{self.breakdown.total:.0f} B/peer)"
+        )
+
+
+def totals_spec() -> AggregateSpec:
+    """The combined (v, N) aggregation of Section IV."""
+    return AggregateSpec(
+        name="netfilter.totals",
+        combiner=TupleCombiner(ScalarSumCombiner(), ScalarSumCombiner()),
+        contribute=lambda node, _: (node.items.total_value, 1),
+        up_category=CostCategory.CONTROL,
+    )
+
+
+def filtering_spec(bank: FilterBank) -> AggregateSpec:
+    """Phase 1: the item-group aggregate vector (costs ``s_a·f·g``/peer)."""
+
+    def contribute(node: Node, _: Any) -> np.ndarray:
+        return bank.local_group_aggregates(node.items)
+
+    return AggregateSpec(
+        name="netfilter.group_aggregates",
+        combiner=VectorSumCombiner(bank.total_groups),
+        contribute=contribute,
+        up_category=CostCategory.FILTERING,
+    )
+
+
+def verification_spec(bank: FilterBank) -> AggregateSpec:
+    """Phase 2: heavy groups ride down in the request (dissemination),
+    partial candidate sets merge upward (Algorithm 2)."""
+
+    def contribute(node: Node, heavy: HeavyGroups) -> LocalItemSet:
+        return materialize_candidates(node.items, bank, heavy)
+
+    def request_bytes(heavy: HeavyGroups, model: SizeModel) -> int:
+        return heavy.wire_bytes(model)
+
+    return AggregateSpec(
+        name="netfilter.candidates",
+        combiner=KeyedSumCombiner(),
+        contribute=contribute,
+        up_category=CostCategory.AGGREGATION,
+        down_category=CostCategory.DISSEMINATION,
+        request_bytes=request_bytes,
+    )
+
+
+class NetFilter:
+    """The two-phase in-network filtering protocol.
+
+    Examples
+    --------
+    See ``examples/quickstart.py`` for an end-to-end run; the essential
+    shape is::
+
+        hierarchy = Hierarchy.build(network, root=0)
+        engine = AggregationEngine(hierarchy)
+        result = NetFilter(NetFilterConfig(filter_size=100, num_filters=3,
+                                           threshold_ratio=0.01)).run(engine)
+        result.frequent.to_dict()   # {item_id: exact global value}
+    """
+
+    def __init__(self, config: NetFilterConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, engine: AggregationEngine) -> NetFilterResult:
+        """Execute Algorithm 1 over the engine's hierarchy and return the
+        exact frequent-item set with measured costs."""
+        network = engine.network
+        accounting = network.accounting
+        before = accounting.bytes_by_category()
+        started_at = engine.sim.now
+
+        # Step 0: grand total v and participant count N.
+        grand_total, n_participants = engine.run(totals_spec())
+        threshold = self.config.resolve_threshold(int(grand_total))
+
+        bank = FilterBank(
+            self.config.num_filters, self.config.filter_size, self.config.hash_seed
+        )
+
+        # Phase 1: candidate filtering (Algorithm 1, lines 1-3).
+        flat_aggregate = engine.run(filtering_spec(bank))
+        heavy = HeavyGroups.from_aggregate(bank, flat_aggregate, threshold)
+
+        # Phase 2: candidate verification (Algorithm 1, line 4; Algorithm 2).
+        candidates: LocalItemSet = engine.run(
+            verification_spec(bank), request_data=heavy
+        )
+        frequent = candidates.filter_values(threshold)
+
+        after = accounting.bytes_by_category()
+        population = network.n_peers
+        delta = {
+            category: after.get(category, 0) - before.get(category, 0)
+            for category in set(before) | set(after)
+        }
+        breakdown = CostBreakdown(
+            filtering=delta.get(CostCategory.FILTERING, 0) / population,
+            dissemination=delta.get(CostCategory.DISSEMINATION, 0) / population,
+            aggregation=delta.get(CostCategory.AGGREGATION, 0) / population,
+            control=delta.get(CostCategory.CONTROL, 0) / population,
+        )
+        pairs_sent = delta.get(CostCategory.AGGREGATION, 0) / network.size_model.pair_bytes
+        return NetFilterResult(
+            frequent=frequent,
+            candidates=candidates,
+            heavy_groups=heavy,
+            threshold=threshold,
+            grand_total=int(grand_total),
+            n_participants=int(n_participants),
+            breakdown=breakdown,
+            avg_candidates_per_peer=pairs_sent / population,
+            config=self.config,
+            elapsed_time=engine.sim.now - started_at,
+        )

@@ -1,0 +1,154 @@
+"""Optimal netFilter settings (Section IV-C and IV-D).
+
+Two closed forms from the paper:
+
+* **Formula 3** — the filter size that avoids homogeneous false positives:
+  ``g_opt = c + v̄_light / (ρ · v̄)`` with a small positive constant ``c``
+  (at this size, at most ``t / v̄_light`` light items land in one group on
+  average, so a group of light items alone cannot reach the threshold).
+* **Formula 6** — the filter count that balances the marginal filtering
+  cost of one more filter (``g · s_a``) against the marginal saving in
+  candidate-aggregation cost, reached when the expected heterogeneous
+  false positives ``fp₂`` drop to ``g·s_a / (s_a+s_i)``:
+
+  ``f_opt = ⌈ log_{1/(1-(1-1/g)^r)} ((s_a+s_i)·(n-r) / (g·s_a)) ⌉``
+
+with **Formula 4** giving the heterogeneous-false-positive model itself:
+``fp₂ = (n-r) · (1 - (1-1/g)^r)^f``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.net.wire import SizeModel
+
+
+@dataclass(frozen=True)
+class ParameterEstimates:
+    """The four quantities the optimal setting needs (Section IV-E).
+
+    Obtained either exactly (from a workload / the oracle) or in-network by
+    :class:`~repro.core.sampling.ParameterEstimator`.
+    """
+
+    n_items: float
+    heavy_count: float
+    mean_value: float
+    mean_light_value: float
+    source: str = "oracle"
+
+
+@dataclass(frozen=True)
+class OptimalSettings:
+    """A derived (g, f) pair ready to drop into a
+    :class:`~repro.core.config.NetFilterConfig`."""
+
+    filter_size: int
+    num_filters: int
+
+
+#: The paper's "small positive constant" c in Formula 3.  The evaluation
+#: finds g_opt = c + 80 ≈ 100 for the default workload, i.e. c ≈ 20.
+DEFAULT_SLACK: int = 20
+
+
+def optimal_filter_size(
+    threshold_ratio: float,
+    mean_value: float,
+    mean_light_value: float,
+    slack: int = DEFAULT_SLACK,
+) -> int:
+    """Formula 3: ``g_opt = c + v̄_light / (ρ · v̄)``.
+
+    Examples
+    --------
+    >>> optimal_filter_size(0.01, mean_value=10.0, mean_light_value=8.0)
+    100
+    """
+    if not 0 < threshold_ratio <= 1:
+        raise ConfigurationError(f"threshold_ratio must be in (0, 1], got {threshold_ratio}")
+    if mean_value <= 0:
+        raise ConfigurationError(f"mean_value must be positive, got {mean_value}")
+    if mean_light_value < 0:
+        raise ConfigurationError("mean_light_value must be non-negative")
+    return max(1, slack + math.ceil(mean_light_value / (threshold_ratio * mean_value)))
+
+
+def heterogeneous_collision_probability(filter_size: int, heavy_count: float) -> float:
+    """``1 - (1 - 1/g)^r`` — probability that a light item shares its group
+    with at least one heavy item under one filter (Section IV-D)."""
+    if filter_size <= 0:
+        raise ConfigurationError(f"filter_size must be positive, got {filter_size}")
+    if heavy_count < 0:
+        raise ConfigurationError("heavy_count must be non-negative")
+    return 1.0 - (1.0 - 1.0 / filter_size) ** heavy_count
+
+
+def expected_heterogeneous_false_positives(
+    n_items: float, heavy_count: float, filter_size: int, num_filters: int
+) -> float:
+    """Formula 4: ``fp₂ = (n - r) · (1 - (1 - 1/g)^r)^f``."""
+    if num_filters <= 0:
+        raise ConfigurationError(f"num_filters must be positive, got {num_filters}")
+    collision = heterogeneous_collision_probability(filter_size, heavy_count)
+    light = max(n_items - heavy_count, 0.0)
+    return light * collision**num_filters
+
+
+def optimal_filter_count(
+    filter_size: int,
+    heavy_count: float,
+    n_items: float,
+    size_model: SizeModel | None = None,
+) -> int:
+    """Formula 6: the ``f`` at which one more filter costs more than it
+    saves.
+
+    Degenerate cases resolve to a single filter: no heavy items means no
+    heterogeneous false positives at all, and a collision probability of 1
+    means extra filters cannot prune anything.
+
+    Examples
+    --------
+    >>> optimal_filter_count(filter_size=100, heavy_count=8, n_items=10**5)
+    3
+    """
+    model = size_model or SizeModel()
+    if heavy_count <= 0:
+        return 1
+    collision = heterogeneous_collision_probability(filter_size, heavy_count)
+    if collision <= 0.0 or collision >= 1.0:
+        return 1
+    target = (
+        model.pair_bytes * max(n_items - heavy_count, 0.0)
+        / (filter_size * model.aggregate_bytes)
+    )
+    if target <= 1.0:
+        return 1
+    f_opt = math.ceil(math.log(target) / math.log(1.0 / collision))
+    return max(1, f_opt)
+
+
+def derive_optimal_settings(
+    estimates: ParameterEstimates,
+    threshold_ratio: float,
+    size_model: SizeModel | None = None,
+    slack: int = DEFAULT_SLACK,
+) -> OptimalSettings:
+    """Formulae 3 and 6 together: the paper's recommended (g, f)."""
+    filter_size = optimal_filter_size(
+        threshold_ratio,
+        mean_value=estimates.mean_value,
+        mean_light_value=estimates.mean_light_value,
+        slack=slack,
+    )
+    num_filters = optimal_filter_count(
+        filter_size,
+        heavy_count=estimates.heavy_count,
+        n_items=estimates.n_items,
+        size_model=size_model,
+    )
+    return OptimalSettings(filter_size=filter_size, num_filters=num_filters)

@@ -1,0 +1,39 @@
+"""Centralized ground truth.
+
+The oracle computes ``IFI(A, t)`` by merging every live peer's local item
+set in one process — the definition from Section I, with none of the
+protocol machinery.  Tests assert that netFilter's distributed answer is
+*identical* to the oracle's for every configuration, which is the paper's
+central exactness claim (no false positives, no false negatives, exact
+values).
+"""
+
+from __future__ import annotations
+
+from repro.items.itemset import LocalItemSet
+from repro.net.network import Network
+
+
+def oracle_global_values(network: Network) -> LocalItemSet:
+    """Exact global value of every item held by any live peer."""
+    return LocalItemSet.merge_many(
+        [network.node(peer).items for peer in network.live_peers()]
+    )
+
+
+def oracle_frequent_items(network: Network, threshold: int) -> LocalItemSet:
+    """Exact ``IFI(A, t)`` over the live population.
+
+    Parameters
+    ----------
+    network:
+        The network whose peers hold the data.
+    threshold:
+        The absolute threshold ``t``.
+
+    Returns
+    -------
+    LocalItemSet
+        Frequent item ids with their exact global values.
+    """
+    return oracle_global_values(network).filter_values(threshold)

@@ -1,0 +1,207 @@
+"""Concurrent IFI requests sharing one netFilter run (Section III-A.1).
+
+Multiple peers may simultaneously ask for frequent items with different
+thresholds.  Rather than one hierarchy and one netFilter per request, the
+paper routes every request to the root, runs netFilter once with the
+*minimum* requested threshold, and carves each requester's answer out of
+the resulting superset (items frequent at ``t_min`` include items frequent
+at any larger ``t``).
+
+The implementation is message-real: requests hop upstream along the tree
+(recording their route), results are source-routed back down, and every
+hop is charged to the ``CONTROL`` category (the paper does not price this
+traffic in any reported component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aggregation.hierarchical import AggregationEngine
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter, NetFilterResult
+from repro.errors import ProtocolError
+from repro.items.itemset import LocalItemSet
+from repro.net.message import Message, Payload
+from repro.net.wire import CostCategory, SizeModel
+
+
+@dataclass(frozen=True)
+class IfiRequest:
+    """One peer's request for the frequent items at its threshold ratio."""
+
+    requester: int
+    threshold_ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threshold_ratio <= 1:
+            raise ProtocolError(
+                f"threshold_ratio must be in (0, 1], got {self.threshold_ratio}"
+            )
+
+
+@dataclass(frozen=True, eq=False)
+class RequestPayload(Payload):
+    """A request hopping toward the root, recording its route."""
+
+    threshold_ratio: float
+    route: tuple[int, ...]
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return model.aggregate_bytes
+
+
+@dataclass(frozen=True, eq=False)
+class ResultPayload(Payload):
+    """A requester's answer, source-routed back along the recorded route."""
+
+    items: LocalItemSet
+    remaining_route: tuple[int, ...]
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return model.pair_bytes * len(self.items)
+
+
+class MultiRequestCoordinator:
+    """Routes concurrent requests to the root and shares one netFilter run.
+
+    Parameters
+    ----------
+    engine:
+        The aggregation engine (and hierarchy) to run over.
+    config:
+        Filter settings for the shared run.  The threshold fields of the
+        config are ignored — the minimum requested ratio is used.
+    """
+
+    def __init__(self, engine: AggregationEngine, config: NetFilterConfig) -> None:
+        self.engine = engine
+        self.config = config
+        self._pending_at_root: list[RequestPayload] = []
+        self._delivered: dict[int, LocalItemSet] = {}
+        network = engine.network
+        for peer in engine.hierarchy.participants():
+            node = network.node(peer)
+            node.register_handler(RequestPayload, self._make_request_handler(peer))
+            node.register_handler(ResultPayload, self._make_result_handler(peer))
+
+    # ------------------------------------------------------------------
+    # Relaying
+    # ------------------------------------------------------------------
+    def _make_request_handler(self, peer: int):
+        def handle(message: Message) -> None:
+            payload = message.payload
+            assert isinstance(payload, RequestPayload)
+            self._relay_request(peer, payload)
+
+        return handle
+
+    def _relay_request(self, peer: int, payload: RequestPayload) -> None:
+        hierarchy = self.engine.hierarchy
+        if peer == hierarchy.root:
+            self._pending_at_root.append(payload)
+            return
+        parent = hierarchy.parent_of(peer)
+        if parent is None:
+            raise ProtocolError(f"peer {peer} has no route to the root")
+        self.engine.network.node(peer).send(
+            parent,
+            RequestPayload(
+                threshold_ratio=payload.threshold_ratio,
+                route=payload.route + (peer,),
+            ),
+        )
+
+    def _make_result_handler(self, peer: int):
+        def handle(message: Message) -> None:
+            payload = message.payload
+            assert isinstance(payload, ResultPayload)
+            if not payload.remaining_route:
+                self._delivered[peer] = payload.items
+                return
+            next_hop = payload.remaining_route[-1]
+            self.engine.network.node(peer).send(
+                next_hop,
+                ResultPayload(
+                    items=payload.items,
+                    remaining_route=payload.remaining_route[:-1],
+                ),
+            )
+
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, requests: list[IfiRequest]
+    ) -> tuple[dict[int, LocalItemSet], NetFilterResult]:
+        """Serve all requests with one shared netFilter run.
+
+        Returns
+        -------
+        tuple
+            ``(answers, shared_result)`` where ``answers[requester]`` is
+            that requester's frequent-item set at *its* threshold, and
+            ``shared_result`` is the underlying netFilter run at the
+            minimum threshold.
+        """
+        if not requests:
+            raise ProtocolError("no requests to serve")
+        engine = self.engine
+        sim = engine.sim
+        hierarchy = engine.hierarchy
+        network = engine.network
+
+        # 1. Every requester fires its request toward the root.
+        self._pending_at_root.clear()
+        self._delivered.clear()
+        for request in requests:
+            payload = RequestPayload(
+                threshold_ratio=request.threshold_ratio, route=()
+            )
+            self._relay_request(request.requester, payload)
+        expected = len(requests)
+        guard = 0
+        while len(self._pending_at_root) < expected:
+            if not sim.step():
+                raise ProtocolError("requests never reached the root")
+            guard += 1
+            if guard > 10_000_000:
+                raise ProtocolError("request routing did not converge")
+
+        # 2. One netFilter run at the minimum threshold ratio.
+        min_ratio = min(p.threshold_ratio for p in self._pending_at_root)
+        shared_config = NetFilterConfig(
+            filter_size=self.config.filter_size,
+            num_filters=self.config.num_filters,
+            threshold_ratio=min_ratio,
+            hash_seed=self.config.hash_seed,
+        )
+        shared_result = NetFilter(shared_config).run(engine)
+
+        # 3. Carve out and deliver each requester's subset.
+        for payload in self._pending_at_root:
+            threshold = max(
+                int(-(-payload.threshold_ratio * shared_result.grand_total // 1)), 1
+            )
+            subset = shared_result.frequent.filter_values(threshold)
+            if not payload.route:
+                # The root asked for itself.
+                self._delivered[hierarchy.root] = subset
+                continue
+            next_hop = payload.route[-1]
+            network.node(hierarchy.root).send(
+                next_hop,
+                ResultPayload(items=subset, remaining_route=payload.route[:-1]),
+            )
+        guard = 0
+        while len(self._delivered) < len({r.requester for r in requests}):
+            if not sim.step():
+                raise ProtocolError("results were not delivered to all requesters")
+            guard += 1
+            if guard > 10_000_000:
+                raise ProtocolError("result delivery did not converge")
+        return dict(self._delivered), shared_result

@@ -1,0 +1,44 @@
+"""The experiment harness: one module per figure of the paper.
+
+Every figure of the evaluation (Section V) has a ``run_figureX`` function
+that sweeps the paper's parameter, executes measured protocol runs, and
+returns structured rows; :mod:`repro.experiments.report` renders them as
+the tables recorded in ``EXPERIMENTS.md``.  ``python -m repro.experiments
+<fig5|fig6|fig7|fig8|ablations|all>`` runs them from the command line.
+
+Scales
+------
+The paper's defaults are ``N = 1000`` peers and ``n = 10^5`` items
+(``n = 10^6`` for Figures 7(b) and 8).  Because a laptop run of the full
+sweep takes minutes, every experiment accepts an
+:class:`~repro.experiments.harness.ExperimentScale`; the ``small`` preset
+keeps the workload *shape* (``o = 10·n/N`` instances per peer, same ρ and
+α defaults) at a fraction of the size and is what the benchmark suite
+uses.  EXPERIMENTS.md records paper-scale runs.
+"""
+
+from repro.experiments.harness import (
+    ExperimentScale,
+    PaperDefaults,
+    TrialSetup,
+    build_trial,
+)
+from repro.experiments.fig5 import Fig5Row, run_figure5
+from repro.experiments.fig6 import Fig6Row, run_figure6
+from repro.experiments.fig7 import Fig7Row, run_figure7
+from repro.experiments.fig8 import Fig8Row, run_figure8
+
+__all__ = [
+    "ExperimentScale",
+    "Fig5Row",
+    "Fig6Row",
+    "Fig7Row",
+    "Fig8Row",
+    "PaperDefaults",
+    "TrialSetup",
+    "build_trial",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+]

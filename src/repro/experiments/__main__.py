@@ -1,0 +1,163 @@
+"""Command-line entry point for the evaluation experiments.
+
+Usage::
+
+    python -m repro.experiments fig5 --scale paper --seed 0
+    python -m repro.experiments all --scale small --json results.json
+
+``--scale small`` keeps the workload shape at a fraction of the paper's
+size (fast; used by CI); ``--scale paper`` and ``--scale large`` are the
+sizes of the paper's Figures 5-7(a) and 7(b)/8 respectively.  ``--json``
+additionally writes every generated row to a machine-readable file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+from repro.experiments.ablations import run_all_ablations
+from repro.experiments.fig5 import predicted_optimal_g, run_figure5
+from repro.experiments.fig6 import predicted_optimal_f, run_figure6
+from repro.experiments.fig7 import run_figure7
+from repro.experiments.fig8 import run_figure8
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.report import render_rows, render_table
+
+RowsByTable = dict[str, list[dict[str, Any]]]
+
+
+def _fig5(scale: ExperimentScale, seed: int) -> RowsByTable:
+    rows = run_figure5(scale, seed)
+    print(render_rows(rows, title=f"Figure 5 — effect of filter size g (f=3, {scale.name})"))
+    predicted = predicted_optimal_g(scale, seed)
+    print(f"\nFormula 3 predicted g_opt = {predicted}")
+    best = min(rows, key=lambda row: row.total_cost)
+    print(f"Measured minimum total cost at g = {best.filter_size}")
+    return {"fig5": [row.as_dict() for row in rows]}
+
+
+def _fig6(scale: ExperimentScale, seed: int) -> RowsByTable:
+    rows = run_figure6(scale, seed)
+    print(render_rows(rows, title=f"Figure 6 — effect of number of filters f (g=100, {scale.name})"))
+    predicted = predicted_optimal_f(scale, seed)
+    print(f"\nFormula 6 predicted f_opt = {predicted}")
+    best = min(rows, key=lambda row: row.total_cost)
+    print(f"Measured minimum total cost at f = {best.num_filters}")
+    return {"fig6": [row.as_dict() for row in rows]}
+
+
+def _fig7(scale: ExperimentScale, seed: int) -> RowsByTable:
+    num_filters = 5 if scale.n_items >= 1_000_000 else 3
+    rows = run_figure7(scale, seed, num_filters=num_filters)
+    print(
+        render_rows(
+            rows,
+            title=(
+                f"Figure 7 — effect of data skewness (g=100, f={num_filters}, "
+                f"{scale.name}): netFilter vs naive"
+            ),
+        )
+    )
+    return {"fig7": [row.as_dict() for row in rows]}
+
+
+def _fig8(scale: ExperimentScale, seed: int) -> RowsByTable:
+    rows = run_figure8(scale, seed)
+    print(
+        render_rows(
+            rows,
+            title=f"Figure 8 — effect of threshold ratio ({scale.name}): cost vs skew",
+        )
+    )
+    return {"fig8": [row.as_dict() for row in rows]}
+
+
+def _model(scale: ExperimentScale, seed: int) -> RowsByTable:
+    from repro.experiments.model_validation import run_model_validation
+
+    rows = run_model_validation(scale, seed)
+    print(
+        render_rows(
+            rows,
+            title=(
+                f"Cost model validation — Formula 1 predicted vs measured "
+                f"({scale.name})"
+            ),
+        )
+    )
+    worst = max(row.filtering_error for row in rows)
+    print(f"\nWorst filtering-term prediction error: {100 * worst:.2f}%")
+    return {"model_validation": [row.as_dict() for row in rows]}
+
+
+def _ablations(scale: ExperimentScale, seed: int) -> RowsByTable:
+    collected: RowsByTable = {}
+    for title, rows in run_all_ablations(scale, seed).items():
+        print(render_table([row.as_dict() for row in rows], title=f"Ablation — {title}"))
+        print()
+        collected[f"ablation: {title}"] = [row.as_dict() for row in rows]
+    return collected
+
+
+COMMANDS = {
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "model": _model,
+    "ablations": _ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the selected experiments, print (and
+    optionally export) the tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the figures of 'Identifying Frequent Items "
+        "in P2P Systems' (ICDCS 2008).",
+    )
+    parser.add_argument(
+        "experiment", choices=[*COMMANDS, "all"], help="which figure to regenerate"
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=["small", "medium", "paper", "large"],
+        help="experiment size (paper defaults: fig5-7a=paper, fig7b/8=large)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write all generated rows to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    scale = ExperimentScale.by_name(args.scale)
+    selected = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    exported: dict[str, Any] = {
+        "scale": scale.name,
+        "n_peers": scale.n_peers,
+        "n_items": scale.n_items,
+        "seed": args.seed,
+        "tables": {},
+    }
+    for name in selected:
+        started = time.perf_counter()
+        exported["tables"].update(COMMANDS[name](scale, args.seed))
+        print(f"\n[{name} completed in {time.perf_counter() - started:.1f}s]\n")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(exported, handle, indent=2, default=float)
+        print(f"Rows exported to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Figure 5 — effect of the filter size ``g``.
+
+The paper sweeps ``g`` from 25 to 500 with ``f = 3`` under the Table III
+defaults and reports (a) the average number of candidates propagated per
+peer and the number of heavy item groups, and (b) the communication cost
+split into its three components.
+
+Shape targets (Section V-A): below ``g ≈ 50`` nothing is pruned and the
+candidates per peer sit near the local-set size ``o``; the heavy-group
+count first rises then falls; the total cost dips to its minimum near
+``g = 100`` (Formula 3 predicts ``g_opt = c + v̄_light/(ρ·v̄) ≈ c + 80``)
+and then grows linearly with the filtering cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter
+from repro.core.optimizer import optimal_filter_size
+from repro.experiments.harness import ExperimentScale, build_trial
+
+#: The paper's sweep (x-axis of Figure 5).
+DEFAULT_G_VALUES: tuple[int, ...] = (25, 50, 75, 100, 150, 200, 250, 300, 400, 500)
+DEFAULT_NUM_FILTERS = 3
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One point of Figure 5 (both panels)."""
+
+    filter_size: int
+    avg_candidates_per_peer: float
+    heavy_groups_total: int
+    candidate_count: int
+    false_positives: int
+    filtering_cost: float
+    dissemination_cost: float
+    aggregation_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        """Panel (b) total: the sum of the three components."""
+        return self.filtering_cost + self.dissemination_cost + self.aggregation_cost
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "g": self.filter_size,
+            "candidates/peer": self.avg_candidates_per_peer,
+            "heavy groups": self.heavy_groups_total,
+            "candidates": self.candidate_count,
+            "false pos": self.false_positives,
+            "filtering": self.filtering_cost,
+            "dissemination": self.dissemination_cost,
+            "aggregation": self.aggregation_cost,
+            "total": self.total_cost,
+        }
+
+
+def run_figure5(
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    g_values: tuple[int, ...] = DEFAULT_G_VALUES,
+    num_filters: int = DEFAULT_NUM_FILTERS,
+) -> list[Fig5Row]:
+    """Reproduce Figure 5: sweep ``g`` at fixed ``f`` over one workload."""
+    trial = build_trial(scale or ExperimentScale.paper(), seed=seed)
+    ratio = trial.defaults.threshold_ratio
+    rows = []
+    for filter_size in g_values:
+        config = NetFilterConfig(
+            filter_size=filter_size,
+            num_filters=num_filters,
+            threshold_ratio=ratio,
+        )
+        result = NetFilter(config).run(trial.engine)
+        rows.append(
+            Fig5Row(
+                filter_size=filter_size,
+                avg_candidates_per_peer=result.avg_candidates_per_peer,
+                heavy_groups_total=result.heavy_groups.total_count,
+                candidate_count=result.candidate_count,
+                false_positives=result.false_positive_count,
+                filtering_cost=result.breakdown.filtering,
+                dissemination_cost=result.breakdown.dissemination,
+                aggregation_cost=result.breakdown.aggregation,
+            )
+        )
+    return rows
+
+
+def predicted_optimal_g(
+    scale: ExperimentScale | None = None, seed: int = 0
+) -> int:
+    """Formula 3's prediction for the swept workload (the paper's
+    ``g_opt = c + 80 ≈ 100``)."""
+    trial = build_trial(scale or ExperimentScale.paper(), seed=seed)
+    ratio = trial.defaults.threshold_ratio
+    threshold = trial.workload.threshold(ratio)
+    return optimal_filter_size(
+        ratio,
+        mean_value=trial.workload.mean_value(),
+        mean_light_value=trial.workload.mean_light_value(threshold),
+    )

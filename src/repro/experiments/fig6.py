@@ -1,0 +1,105 @@
+"""Figure 6 — effect of the number of filters ``f``.
+
+The paper sweeps ``f`` from 1 to 10 with ``g = 100`` and reports the same
+two panels as Figure 5.
+
+Shape targets (Section V-B): candidates per peer decrease monotonically
+with ``f`` (each extra filter can only prune); the heavy-group count grows
+roughly linearly (each filter contributes its own heavy groups); the total
+cost is minimized at ``f = 3`` (Formula 6) — filtering cost grows linearly
+while the aggregation saving saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter
+from repro.core.optimizer import optimal_filter_count
+from repro.experiments.harness import ExperimentScale, build_trial
+
+DEFAULT_F_VALUES: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+DEFAULT_FILTER_SIZE = 100
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """One point of Figure 6 (both panels)."""
+
+    num_filters: int
+    avg_candidates_per_peer: float
+    heavy_groups_total: int
+    candidate_count: int
+    false_positives: int
+    filtering_cost: float
+    dissemination_cost: float
+    aggregation_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        """Panel (b) total cost."""
+        return self.filtering_cost + self.dissemination_cost + self.aggregation_cost
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "f": self.num_filters,
+            "candidates/peer": self.avg_candidates_per_peer,
+            "heavy groups": self.heavy_groups_total,
+            "candidates": self.candidate_count,
+            "false pos": self.false_positives,
+            "filtering": self.filtering_cost,
+            "dissemination": self.dissemination_cost,
+            "aggregation": self.aggregation_cost,
+            "total": self.total_cost,
+        }
+
+
+def run_figure6(
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    f_values: tuple[int, ...] = DEFAULT_F_VALUES,
+    filter_size: int = DEFAULT_FILTER_SIZE,
+) -> list[Fig6Row]:
+    """Reproduce Figure 6: sweep ``f`` at fixed ``g`` over one workload."""
+    trial = build_trial(scale or ExperimentScale.paper(), seed=seed)
+    ratio = trial.defaults.threshold_ratio
+    rows = []
+    for num_filters in f_values:
+        config = NetFilterConfig(
+            filter_size=filter_size,
+            num_filters=num_filters,
+            threshold_ratio=ratio,
+        )
+        result = NetFilter(config).run(trial.engine)
+        rows.append(
+            Fig6Row(
+                num_filters=num_filters,
+                avg_candidates_per_peer=result.avg_candidates_per_peer,
+                heavy_groups_total=result.heavy_groups.total_count,
+                candidate_count=result.candidate_count,
+                false_positives=result.false_positive_count,
+                filtering_cost=result.breakdown.filtering,
+                dissemination_cost=result.breakdown.dissemination,
+                aggregation_cost=result.breakdown.aggregation,
+            )
+        )
+    return rows
+
+
+def predicted_optimal_f(
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    filter_size: int = DEFAULT_FILTER_SIZE,
+) -> int:
+    """Formula 6's prediction for the swept workload (the paper's
+    ``f_opt = 3``)."""
+    trial = build_trial(scale or ExperimentScale.paper(), seed=seed)
+    ratio = trial.defaults.threshold_ratio
+    threshold = trial.workload.threshold(ratio)
+    return optimal_filter_count(
+        filter_size,
+        heavy_count=trial.workload.heavy_count(threshold),
+        n_items=trial.workload.n_items,
+        size_model=trial.network.size_model,
+    )

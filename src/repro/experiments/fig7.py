@@ -1,0 +1,91 @@
+"""Figure 7 — effect of data skewness ``α``: netFilter vs the naive
+approach.
+
+The paper sweeps the Zipf skew with netFilter at its tuned setting
+(``g = 100``; ``f = 3`` for ``n = 10^5``, ``f = 5`` for ``n = 10^6``) and
+plots netFilter's and the naive approach's total cost on a log axis.
+
+Shape targets (Section V-C): netFilter costs a small fraction of naive
+(2–5 % at ``n = 10^6``); both costs fall as skew grows — netFilter because
+filtering gets sharper on skewed data, naive because peers hold (and
+therefore forward) fewer distinct items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import NetFilterConfig
+from repro.core.naive import NaiveProtocol
+from repro.core.netfilter import NetFilter
+from repro.experiments.harness import ExperimentScale, build_trial
+
+#: The paper's x-axis ticks are not recoverable from the available text
+#: (the "0..5" sequence near the axis label is the log-scale *y* axis).
+#: The sweep below stays in the regime where the paper's observations hold;
+#: EXTENDED_SKEWS adds the very-skewed tail where the item universe
+#: collapses to a handful of items and naive becomes trivially cheap.
+DEFAULT_SKEWS: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5)
+EXTENDED_SKEWS: tuple[float, ...] = DEFAULT_SKEWS + (2.0, 3.0)
+DEFAULT_FILTER_SIZE = 100
+#: The paper's tuned f: 3 at n=1e5, 5 at n=1e6.
+DEFAULT_NUM_FILTERS = 3
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """One point of Figure 7: both protocols at one skew."""
+
+    skew: float
+    netfilter_total: float
+    naive_total: float
+    netfilter_filtering: float
+    netfilter_dissemination: float
+    netfilter_aggregation: float
+    frequent_count: int
+
+    @property
+    def cost_ratio(self) -> float:
+        """netFilter cost as a fraction of naive."""
+        return self.netfilter_total / self.naive_total if self.naive_total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "alpha": self.skew,
+            "netFilter": self.netfilter_total,
+            "naive": self.naive_total,
+            "ratio": self.cost_ratio,
+            "frequent": self.frequent_count,
+        }
+
+
+def run_figure7(
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    skews: tuple[float, ...] = DEFAULT_SKEWS,
+    filter_size: int = DEFAULT_FILTER_SIZE,
+    num_filters: int = DEFAULT_NUM_FILTERS,
+) -> list[Fig7Row]:
+    """Reproduce one panel of Figure 7 (the scale chooses the panel:
+    ``paper`` ≈ 7(a) with n=1e5, ``large`` ≈ 7(b) with n=1e6)."""
+    rows = []
+    for skew in skews:
+        trial = build_trial(scale or ExperimentScale.paper(), seed=seed, skew=skew)
+        ratio = trial.defaults.threshold_ratio
+        config = NetFilterConfig(
+            filter_size=filter_size, num_filters=num_filters, threshold_ratio=ratio
+        )
+        net_result = NetFilter(config).run(trial.engine)
+        naive_result = NaiveProtocol(config).run(trial.engine)
+        rows.append(
+            Fig7Row(
+                skew=skew,
+                netfilter_total=net_result.breakdown.total,
+                naive_total=naive_result.breakdown.naive,
+                netfilter_filtering=net_result.breakdown.filtering,
+                netfilter_dissemination=net_result.breakdown.dissemination,
+                netfilter_aggregation=net_result.breakdown.aggregation,
+                frequent_count=len(net_result.frequent),
+            )
+        )
+    return rows

@@ -1,0 +1,77 @@
+"""Figure 8 — effect of the threshold ratio ``ρ`` (at ``n = 10^6``).
+
+The paper plots, against skew, netFilter's total cost for
+``ρ ∈ {0.001, 0.01, 0.1}`` — each at its tuned setting,
+``(g, f) = (1000, 2)``, ``(100, 5)`` and ``(10, 6)`` respectively — plus
+the naive baseline.
+
+Shape targets (Section V-D): a larger threshold ratio means fewer frequent
+items and coarser filters suffice, so cost falls as ``ρ`` rises; every
+netFilter curve sits far below naive.  Note how the tuned ``g`` tracks
+Formula 3's ``g_opt ∝ 1/ρ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import NetFilterConfig
+from repro.core.naive import NaiveProtocol
+from repro.core.netfilter import NetFilter
+from repro.experiments.harness import ExperimentScale, build_trial
+
+#: The paper's tuned (ρ → (g, f)) settings for Figure 8.
+PAPER_SETTINGS: tuple[tuple[float, int, int], ...] = (
+    (0.001, 1000, 2),
+    (0.01, 100, 5),
+    (0.1, 10, 6),
+)
+#: Same skew range as Figure 7 (see the note there on the paper's axis).
+DEFAULT_SKEWS: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5)
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """One point of Figure 8: all three ρ curves plus naive at one skew."""
+
+    skew: float
+    cost_by_ratio: dict[float, float]
+    naive_total: float
+
+    def as_dict(self) -> dict[str, float]:
+        row: dict[str, float] = {"alpha": self.skew}
+        for ratio, cost in sorted(self.cost_by_ratio.items()):
+            row[f"rho={ratio}"] = cost
+        row["naive"] = self.naive_total
+        return row
+
+
+def run_figure8(
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    skews: tuple[float, ...] = DEFAULT_SKEWS,
+    settings: tuple[tuple[float, int, int], ...] = PAPER_SETTINGS,
+) -> list[Fig8Row]:
+    """Reproduce Figure 8 (the paper uses the ``large`` scale, n=1e6)."""
+    rows = []
+    for skew in skews:
+        trial = build_trial(scale or ExperimentScale.large(), seed=seed, skew=skew)
+        cost_by_ratio: dict[float, float] = {}
+        for ratio, filter_size, num_filters in settings:
+            config = NetFilterConfig(
+                filter_size=filter_size,
+                num_filters=num_filters,
+                threshold_ratio=ratio,
+            )
+            result = NetFilter(config).run(trial.engine)
+            cost_by_ratio[ratio] = result.breakdown.total
+        naive_config = NetFilterConfig(filter_size=1, threshold_ratio=settings[0][0])
+        naive_result = NaiveProtocol(naive_config).run(trial.engine)
+        rows.append(
+            Fig8Row(
+                skew=skew,
+                cost_by_ratio=cost_by_ratio,
+                naive_total=naive_result.breakdown.naive,
+            )
+        )
+    return rows

@@ -1,0 +1,146 @@
+"""Common machinery for the evaluation experiments.
+
+:class:`PaperDefaults` pins the constants of the paper's Table III;
+:func:`build_trial` assembles a complete simulated system (topology →
+network → workload → hierarchy → aggregation engine) from a scale and a
+seed, so every figure module is a parameter sweep over ready-made trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.aggregation.hierarchical import AggregationEngine
+from repro.hierarchy.builder import Hierarchy
+from repro.hierarchy.monitor import tree_stats
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.net.wire import SizeModel
+from repro.sim.engine import Simulation
+from repro.workload.workload import Workload
+
+
+@dataclass(frozen=True)
+class PaperDefaults:
+    """Table III of the paper: simulation parameters and default values."""
+
+    #: N — number of peers in the network.
+    n_peers: int = 1000
+    #: n — number of distinct items in the system.
+    n_items: int = 100_000
+    #: ρ — threshold ratio (t = ρ·v).
+    threshold_ratio: float = 0.01
+    #: α — skew of the Zipf distribution.
+    skew: float = 1.0
+    #: b — target mean number of downstream neighbours per peer.
+    branching: int = 3
+    #: Instances generated per distinct item (the paper's ``10·n`` total).
+    instances_per_item: int = 10
+    #: s_a = s_g = s_i = 4 bytes.
+    size_model: SizeModel = SizeModel()
+
+
+#: The scales experiments run at.  ``o = instances_per_item · n / N`` stays
+#: at the paper's 1000 for "paper"; "small" keeps the same shape at ~1/20
+#: of the size so the test and benchmark suites stay fast.
+@dataclass(frozen=True)
+class ExperimentScale:
+    """A (N, n) scale for an experiment run."""
+
+    name: str
+    n_peers: int
+    n_items: int
+
+    @classmethod
+    def small(cls) -> "ExperimentScale":
+        return cls(name="small", n_peers=100, n_items=5_000)
+
+    @classmethod
+    def medium(cls) -> "ExperimentScale":
+        return cls(name="medium", n_peers=300, n_items=30_000)
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        return cls(name="paper", n_peers=1000, n_items=100_000)
+
+    @classmethod
+    def large(cls) -> "ExperimentScale":
+        return cls(name="large", n_peers=1000, n_items=1_000_000)
+
+    @classmethod
+    def by_name(cls, name: str) -> "ExperimentScale":
+        presets = {
+            "small": cls.small,
+            "medium": cls.medium,
+            "paper": cls.paper,
+            "large": cls.large,
+        }
+        if name not in presets:
+            raise ValueError(f"unknown scale {name!r}; choose from {sorted(presets)}")
+        return presets[name]()
+
+
+@dataclass
+class TrialSetup:
+    """A fully-assembled simulated system ready for protocol runs."""
+
+    sim: Simulation
+    network: Network
+    hierarchy: Hierarchy
+    engine: AggregationEngine
+    workload: Workload
+    defaults: PaperDefaults
+
+    @property
+    def hierarchy_height(self) -> int:
+        """Measured hierarchy height ``h``."""
+        return self.hierarchy.height()
+
+    @property
+    def mean_fanout(self) -> float:
+        """Measured mean downstream fan-out ``b``."""
+        return tree_stats(self.hierarchy).mean_fanout
+
+
+def build_trial(
+    scale: ExperimentScale,
+    seed: int = 0,
+    skew: float | None = None,
+    defaults: PaperDefaults | None = None,
+) -> TrialSetup:
+    """Assemble a trial: overlay, network, Zipf workload, hierarchy, engine.
+
+    The overlay is a connected random graph with mean degree
+    ``branching + 1`` so the BFS hierarchy's mean downstream fan-out lands
+    near the paper's ``b`` (each non-root peer consumes one edge for its
+    parent).  The root is peer 0 — the paper selects a root at random, and
+    under a seeded random topology peer 0 *is* a random peer.
+    """
+    base = defaults or PaperDefaults()
+    base = replace(base, n_peers=scale.n_peers, n_items=scale.n_items)
+    if skew is not None:
+        base = replace(base, skew=skew)
+
+    sim = Simulation(seed=seed)
+    topology = Topology.random_connected(
+        base.n_peers, float(base.branching + 1), sim.rng.stream("topology")
+    )
+    network = Network(sim, topology, size_model=base.size_model)
+    workload = Workload.zipf(
+        n_items=base.n_items,
+        n_peers=base.n_peers,
+        skew=base.skew,
+        rng=sim.rng.stream("workload"),
+        instances_per_item=base.instances_per_item,
+    )
+    network.assign_items(workload.item_sets)
+    hierarchy = Hierarchy.build(network, root=0)
+    engine = AggregationEngine(hierarchy)
+    return TrialSetup(
+        sim=sim,
+        network=network,
+        hierarchy=hierarchy,
+        engine=engine,
+        workload=workload,
+        defaults=base,
+    )

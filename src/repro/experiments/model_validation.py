@@ -1,0 +1,96 @@
+"""Analytic cost model vs measurement (Section IV-A, Formula 1).
+
+The paper derives ``C_filter = s_a·f·g + s_g·f·w + (s_a+s_i)·(r+fp)``
+analytically.  This experiment runs the Figure 5 sweep and prints, per
+``g``, each component's prediction next to its measurement:
+
+* filtering and dissemination are *exact* predictions (up to the root's
+  missing ``1/N`` share — the root sends nothing upward);
+* the aggregation term is an upper bound (it charges every candidate at
+  every peer; a peer only forwards candidates present in its subtree), so
+  the measured value sits below it — by a factor that shrinks as
+  filtering improves and the surviving candidates are the globally-popular
+  items held almost everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import NetFilterConfig
+from repro.core.cost_model import netfilter_cost
+from repro.core.netfilter import NetFilter
+from repro.experiments.harness import ExperimentScale, build_trial
+
+DEFAULT_G_VALUES: tuple[int, ...] = (50, 100, 200, 400)
+NUM_FILTERS = 3
+
+
+@dataclass(frozen=True)
+class ModelRow:
+    """Predicted vs measured per-peer cost at one filter size."""
+
+    filter_size: int
+    predicted_filtering: float
+    measured_filtering: float
+    predicted_dissemination: float
+    measured_dissemination: float
+    aggregation_bound: float
+    measured_aggregation: float
+
+    @property
+    def filtering_error(self) -> float:
+        """Relative prediction error of the filtering term."""
+        return abs(self.measured_filtering - self.predicted_filtering) / max(
+            self.predicted_filtering, 1e-9
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "g": self.filter_size,
+            "filt pred": self.predicted_filtering,
+            "filt meas": self.measured_filtering,
+            "diss pred": self.predicted_dissemination,
+            "diss meas": self.measured_dissemination,
+            "aggr bound": self.aggregation_bound,
+            "aggr meas": self.measured_aggregation,
+        }
+
+
+def run_model_validation(
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    g_values: tuple[int, ...] = DEFAULT_G_VALUES,
+) -> list[ModelRow]:
+    """Run the sweep and pair Formula 1 with the wire measurements."""
+    trial = build_trial(scale or ExperimentScale.paper(), seed=seed)
+    population = trial.network.n_peers
+    non_root_share = (population - 1) / population
+    rows = []
+    for filter_size in g_values:
+        config = NetFilterConfig(
+            filter_size=filter_size,
+            num_filters=NUM_FILTERS,
+            threshold_ratio=trial.defaults.threshold_ratio,
+        )
+        result = NetFilter(config).run(trial.engine)
+        predicted = netfilter_cost(
+            filter_size=filter_size,
+            num_filters=NUM_FILTERS,
+            heavy_groups_per_filter=result.heavy_groups.total_count / NUM_FILTERS,
+            heavy_count=len(result.frequent),
+            false_positives=result.false_positive_count,
+            size_model=trial.network.size_model,
+        )
+        rows.append(
+            ModelRow(
+                filter_size=filter_size,
+                predicted_filtering=predicted.filtering * non_root_share,
+                measured_filtering=result.breakdown.filtering,
+                predicted_dissemination=predicted.dissemination * non_root_share,
+                measured_dissemination=result.breakdown.dissemination,
+                aggregation_bound=predicted.aggregation,
+                measured_aggregation=result.breakdown.aggregation,
+            )
+        )
+    return rows

@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results.
+
+The experiments return rows of numbers; this module turns them into the
+aligned ASCII tables that the CLI prints and ``EXPERIMENTS.md`` records.
+No plotting dependency: the paper's claims are about orderings, ratios and
+crossover points, all of which are judged from the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Compact numeric formatting: ints plain, floats adaptively."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1_000_000:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def render_table(rows: Sequence[dict[str, Any]], title: str | None = None) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    All rows must share the first row's keys (extra keys are dropped so
+    heterogeneous sweeps degrade gracefully).
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(rows[0].keys())
+    table = [[format_value(row.get(header, "")) for header in headers] for row in rows]
+    widths = [
+        max(len(header), *(len(line[col]) for line in table))
+        for col, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in table:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def render_rows(rows: Sequence[Any], title: str | None = None) -> str:
+    """Render experiment row objects (anything with ``as_dict``)."""
+    return render_table([row.as_dict() for row in rows], title=title)

@@ -1,0 +1,37 @@
+"""The aggregation hierarchy (Section III-A of the paper).
+
+Peers participating in netFilter organize into a BFS hierarchy rooted at a
+designated peer: the root's immediate neighbours sit at depth 1, their
+not-yet-attached neighbours at depth 2, and so on.  Aggregates flow up this
+tree (convergecast) and heavy-group identifiers flow down (broadcast).
+
+* :mod:`repro.hierarchy.roles` — per-node hierarchy state and roles.
+* :mod:`repro.hierarchy.builder` — distributed BFS construction, plus the
+  :class:`~repro.hierarchy.builder.Hierarchy` facade the protocols use.
+* :mod:`repro.hierarchy.maintenance` — heartbeat-driven repair after
+  join/leave/failure (depth ← ∞ invalidation, reattachment).
+* :mod:`repro.hierarchy.monitor` — invariant checks and tree statistics.
+"""
+
+from repro.hierarchy.builder import Hierarchy, HierarchyService
+from repro.hierarchy.maintenance import MaintenanceService, enable_maintenance
+from repro.hierarchy.monitor import HierarchyStats, check_invariants, tree_stats
+from repro.hierarchy.multi import MultiHierarchy
+from repro.hierarchy.roles import HierarchyState, NodeRole
+from repro.hierarchy.root_selection import central_root, most_stable_root, random_root
+
+__all__ = [
+    "Hierarchy",
+    "HierarchyService",
+    "HierarchyState",
+    "HierarchyStats",
+    "MaintenanceService",
+    "MultiHierarchy",
+    "NodeRole",
+    "central_root",
+    "check_invariants",
+    "enable_maintenance",
+    "most_stable_root",
+    "random_root",
+    "tree_stats",
+]

@@ -1,0 +1,195 @@
+"""Hierarchy repair after churn (Section III-A.3).
+
+The paper's repair protocol, verbatim:
+
+* Heartbeats carry a ``DEPTH`` counter.
+* A peer that detects the loss of its *upstream* neighbour sets its own
+  depth to ∞ and recursively informs its downstream neighbours to do the
+  same (the ``INVALIDATE`` cascade here).
+* A peer at depth ∞ that receives a heartbeat from a neighbour ``P`` with
+  finite depth attaches under ``P`` at depth ``d(P) + 1``.
+* A newly joined peer is accommodated the same way: it starts detached and
+  attaches to the first finite-depth neighbour it hears.
+
+:class:`MaintenanceService` wires one node's
+:class:`~repro.net.heartbeat.HeartbeatService` into its
+:class:`~repro.hierarchy.builder.HierarchyService` to implement exactly
+this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.heartbeat import HeartbeatConfig, HeartbeatService
+from repro.net.message import Message, Payload
+from repro.net.network import Network
+from repro.net.wire import CostCategory, SizeModel
+from repro.hierarchy.builder import Hierarchy, HierarchyService
+from repro.types import INFINITE_DEPTH
+
+
+@dataclass(frozen=True)
+class InvalidatePayload(Payload):
+    """"Your subtree lost its root path — set your depth to ∞ too"."""
+
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return model.aggregate_bytes
+
+
+@dataclass(frozen=True)
+class ResetPayload(Payload):
+    """A rejoining peer's announcement: "I crashed and remember nothing —
+    drop any hierarchy relationship you had with me".
+
+    Without this, a peer that fails and revives *faster than the failure
+    detector's timeout* leaves its old parent with a stale child entry and
+    its old children with a parent that has forgotten them.
+    """
+
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return model.aggregate_bytes
+
+
+class MaintenanceService:
+    """Heartbeat-driven repair for one peer.
+
+    Parameters
+    ----------
+    hierarchy_service:
+        The peer's hierarchy state machine.
+    heartbeat_config:
+        Timing for the underlying heartbeat/failure-detection service.
+    """
+
+    def __init__(
+        self,
+        hierarchy_service: HierarchyService,
+        heartbeat_config: HeartbeatConfig | None = None,
+    ) -> None:
+        self._hier = hierarchy_service
+        node = hierarchy_service.node
+        node.register_handler(InvalidatePayload, self._handle_invalidate)
+        node.register_handler(ResetPayload, self._handle_reset)
+        self.heartbeats = HeartbeatService(
+            node,
+            heartbeat_config or HeartbeatConfig(),
+            depth_provider=lambda: self._hier.state.depth,
+            on_heartbeat=self._on_heartbeat,
+            on_neighbor_down=self._on_neighbor_down,
+        )
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _on_neighbor_down(self, neighbor: int) -> None:
+        state = self._hier.state
+        if neighbor in state.downstream:
+            self._hier.drop_child(neighbor)
+        if state.upstream == neighbor:
+            self._start_invalidation()
+
+    def _start_invalidation(self) -> None:
+        """Detach and cascade ∞-depth into the subtree (paper III-A.3)."""
+        state = self._hier.state
+        node = self._hier.node
+        state.detach()
+        node.network.sim.trace.emit(
+            node.network.sim.now, "hierarchy.invalidated", peer=node.peer_id
+        )
+        payload = InvalidatePayload()
+        for child in list(state.downstream):
+            node.send(child, payload)
+
+    def _handle_invalidate(self, message: Message) -> None:
+        state = self._hier.state
+        # Only cascade if the message came from our current upstream —
+        # a stale invalidate from a former parent must not tear down a
+        # subtree that already reattached elsewhere.
+        if state.upstream == message.sender and state.attached:
+            self._start_invalidation()
+
+    # ------------------------------------------------------------------
+    # Rejoin handling
+    # ------------------------------------------------------------------
+    def announce_reset(self) -> None:
+        """Tell all overlay neighbours to forget me (sent on rejoin)."""
+        node = self._hier.node
+        payload = ResetPayload()
+        for neighbor in node.network.topology.adjacency[node.peer_id]:
+            node.send(neighbor, payload)
+
+    def _handle_reset(self, message: Message) -> None:
+        state = self._hier.state
+        self._hier.drop_child(message.sender)
+        if state.upstream == message.sender and state.attached:
+            self._start_invalidation()
+
+    # ------------------------------------------------------------------
+    # Reattachment and depth reconciliation
+    # ------------------------------------------------------------------
+    def _on_heartbeat(self, neighbor: int, depth: int) -> None:
+        state = self._hier.state
+        node = self._hier.node
+        if state.attached and neighbor == state.upstream:
+            # Continuous reconciliation against the parent's advertised
+            # depth.  This is the cycle breaker: reattachment races (a peer
+            # adopting a parent based on a heartbeat sent *before* that
+            # parent was invalidated) can create parent loops, in which the
+            # reconciled depths count up without bound; once a depth
+            # exceeds the population size — impossible in any real tree —
+            # the peer detaches and the loop dissolves.
+            if depth >= INFINITE_DEPTH:
+                self._start_invalidation()
+            elif state.depth != depth + 1:
+                if depth + 1 > node.network.n_peers:
+                    self._start_invalidation()
+                else:
+                    state.depth = depth + 1
+            return
+        if state.attached or depth >= INFINITE_DEPTH:
+            return
+        if depth + 1 > node.network.n_peers:
+            return  # an absurd depth is itself evidence of a loop
+        self._hier.attach_under(neighbor, depth + 1)
+        node.network.sim.trace.emit(
+            node.network.sim.now,
+            "hierarchy.reattached",
+            peer=node.peer_id,
+            parent=neighbor,
+            depth=depth + 1,
+        )
+
+
+def enable_maintenance(
+    hierarchy: Hierarchy,
+    heartbeat_config: HeartbeatConfig | None = None,
+) -> dict[int, MaintenanceService]:
+    """Attach a :class:`MaintenanceService` to every hierarchy participant.
+
+    Newly revived peers are integrated automatically: a join listener
+    installs fresh hierarchy + maintenance services, and the peer attaches
+    on the first finite-depth heartbeat it receives (paper III-A.3's
+    join handling).
+    """
+    config = heartbeat_config or HeartbeatConfig()
+    services = {
+        peer: MaintenanceService(service, config)
+        for peer, service in hierarchy.services.items()
+        if hierarchy.network.node(peer).alive
+    }
+
+    def integrate_new_peer(peer: int) -> None:
+        node = hierarchy.network.node(peer)
+        hier_service = HierarchyService(node)
+        hierarchy.services[peer] = hier_service
+        maintenance = MaintenanceService(hier_service, config)
+        services[peer] = maintenance
+        maintenance.announce_reset()
+
+    hierarchy.network.on_join(integrate_new_peer)
+    return services

@@ -1,0 +1,146 @@
+"""Hierarchy invariant checks and statistics.
+
+Tests and experiments need to answer two questions about a (possibly
+repaired) hierarchy: *is it still a consistent tree?* and *what is its
+shape?* (height ``h`` and mean fan-out ``b`` enter the paper's cost model
+for the naive approach, Formula 2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.hierarchy.builder import Hierarchy
+from repro.types import INFINITE_DEPTH
+
+
+@dataclass(frozen=True)
+class HierarchyStats:
+    """Shape summary of a hierarchy."""
+
+    n_participants: int
+    height: int
+    mean_fanout: float
+    n_leaves: int
+    depth_histogram: dict[int, int]
+
+    def __str__(self) -> str:
+        return (
+            f"HierarchyStats(participants={self.n_participants}, "
+            f"height={self.height}, mean_fanout={self.mean_fanout:.2f}, "
+            f"leaves={self.n_leaves})"
+        )
+
+
+def check_invariants(hierarchy: Hierarchy) -> list[str]:
+    """Return a list of invariant violations (empty = consistent).
+
+    Checked invariants, over live attached peers:
+
+    1. Exactly one root, which is the designated root, at depth 0.
+    2. Every non-root peer has a live upstream neighbour with
+       ``depth(parent) == depth(child) - 1`` that lists it downstream.
+    3. Parent/child links are overlay edges.
+    4. Every downstream entry points to a live peer that names this peer
+       as its upstream (no stale children).
+    5. Following upstream pointers from any peer reaches the root (no
+       cycles, no orphan islands).
+    """
+    problems: list[str] = []
+    network = hierarchy.network
+    participants = hierarchy.participants()
+    participant_set = set(participants)
+
+    roots = [p for p in participants if hierarchy.depth_of(p) == 0]
+    if roots != [hierarchy.root]:
+        problems.append(f"expected single root {hierarchy.root}, found {roots}")
+
+    for peer in participants:
+        state = hierarchy.state_of(peer)
+        neighbors = set(network.topology.adjacency[peer])
+        if peer != hierarchy.root:
+            parent = state.upstream
+            if parent is None:
+                problems.append(f"peer {peer} attached but has no upstream")
+                continue
+            if parent not in neighbors:
+                problems.append(f"peer {peer} upstream {parent} is not a neighbour")
+            if parent not in participant_set:
+                problems.append(f"peer {peer} upstream {parent} is not attached/alive")
+            else:
+                parent_state = hierarchy.state_of(parent)
+                if parent_state.depth != state.depth - 1:
+                    problems.append(
+                        f"peer {peer} depth {state.depth} but parent {parent} "
+                        f"depth {parent_state.depth}"
+                    )
+                if peer not in parent_state.downstream:
+                    problems.append(
+                        f"peer {peer} missing from parent {parent}'s downstream set"
+                    )
+        for child in state.downstream:
+            if child not in neighbors:
+                problems.append(f"peer {peer} child {child} is not a neighbour")
+            if child not in participant_set:
+                problems.append(f"peer {peer} has stale dead child {child}")
+            elif hierarchy.parent_of(child) != peer:
+                problems.append(
+                    f"peer {peer} lists child {child} whose upstream is "
+                    f"{hierarchy.parent_of(child)}"
+                )
+
+    # Reachability: walk up from every peer; depth strictly decreases so a
+    # walk longer than the population means a cycle.
+    for peer in participants:
+        current = peer
+        for _ in range(len(participants) + 1):
+            if current == hierarchy.root:
+                break
+            upstream = hierarchy.state_of(current).upstream
+            if upstream is None or upstream not in participant_set:
+                problems.append(f"peer {peer}: upstream walk dead-ends at {current}")
+                break
+            current = upstream
+        else:
+            problems.append(f"peer {peer}: upstream walk does not terminate (cycle)")
+    return problems
+
+
+def tree_stats(hierarchy: Hierarchy) -> HierarchyStats:
+    """Shape statistics of the hierarchy (height, fan-out, leaves)."""
+    participants = hierarchy.participants()
+    depths = [hierarchy.depth_of(p) for p in participants]
+    histogram = Counter(d for d in depths if d < INFINITE_DEPTH)
+    internal = [
+        p for p in participants if hierarchy.children_of(p)
+    ]
+    total_children = sum(len(hierarchy.children_of(p)) for p in internal)
+    n_leaves = sum(1 for p in participants if not hierarchy.children_of(p))
+    return HierarchyStats(
+        n_participants=len(participants),
+        height=max(histogram, default=0),
+        mean_fanout=(total_children / len(internal)) if internal else 0.0,
+        n_leaves=n_leaves,
+        depth_histogram=dict(sorted(histogram.items())),
+    )
+
+
+def bfs_depths(hierarchy: Hierarchy) -> dict[int, int]:
+    """Ground-truth BFS hop distances from the root over live peers.
+
+    Used by tests to assert that the distributed construction produced
+    true BFS depths (it must, under uniform link latency).
+    """
+    network = hierarchy.network
+    depths = {hierarchy.root: 0}
+    frontier = [hierarchy.root]
+    while frontier:
+        nxt: list[int] = []
+        for peer in frontier:
+            for other in network.live_neighbors(peer):
+                if other not in depths:
+                    depths[other] = depths[peer] + 1
+                    nxt.append(other)
+        frontier = nxt
+    return depths

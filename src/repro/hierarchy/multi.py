@@ -1,0 +1,120 @@
+"""Multiple redundant hierarchies (Section III-A.1).
+
+"the hierarchy is still vulnerable to single point of failure.  We can
+construct multiple hierarchies to alleviate this issue" — this module
+implements exactly that: ``k`` independently-rooted hierarchies coexist
+over one overlay (their protocol messages are kept apart by payload
+tagging), each with its own aggregation engine, and a protocol run fails
+over to the next hierarchy when the current root is down.
+
+Redundant hierarchies and the repair protocol of
+:mod:`repro.hierarchy.maintenance` are alternative answers to churn: the
+repair protocol heals one hierarchy in place (and is what the paper's
+main design assumes), while redundancy gives instant failover at ``k``
+times the build cost.  The heartbeat service is a per-node singleton, so
+in-place maintenance attaches to at most one of the hierarchies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+from repro.errors import HierarchyError
+from repro.hierarchy.builder import Hierarchy
+from repro.net.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.aggregation.hierarchical import AggregationEngine
+
+T = TypeVar("T")
+
+
+class MultiHierarchy:
+    """``k`` independently-rooted hierarchies with failover.
+
+    Examples
+    --------
+    >>> # see tests/hierarchy/test_multi.py for an executable example
+    """
+
+    def __init__(
+        self, hierarchies: list[Hierarchy], engines: "list[AggregationEngine]"
+    ) -> None:
+        if not hierarchies:
+            raise HierarchyError("need at least one hierarchy")
+        if len(hierarchies) != len(engines):
+            raise HierarchyError("one engine per hierarchy required")
+        self.hierarchies = hierarchies
+        self.engines = engines
+
+    @classmethod
+    def build(
+        cls,
+        network: Network,
+        roots: list[int],
+        settle_time: float = 500.0,
+        child_timeout: float = 300.0,
+    ) -> "MultiHierarchy":
+        """Build one hierarchy per root (roots must be distinct).
+
+        Each instance is tagged ``h0, h1, ...`` so its BUILD/aggregation
+        traffic is independent of the others'.
+        """
+        from repro.aggregation.hierarchical import AggregationEngine
+
+        if len(set(roots)) != len(roots):
+            raise HierarchyError(f"roots must be distinct, got {roots}")
+        hierarchies = [
+            Hierarchy.build(
+                network, root=root, settle_time=settle_time, tag=f"h{index}"
+            )
+            for index, root in enumerate(roots)
+        ]
+        engines = [
+            AggregationEngine(hierarchy, child_timeout=child_timeout)
+            for hierarchy in hierarchies
+        ]
+        return cls(hierarchies, engines)
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def live_engines(self) -> "list[AggregationEngine]":
+        """Engines whose hierarchy root is currently alive, primary first."""
+        return [
+            engine
+            for engine, hierarchy in zip(self.engines, self.hierarchies)
+            if hierarchy.network.node(hierarchy.root).alive
+        ]
+
+    def primary(self) -> "AggregationEngine":
+        """The first engine with a live root.
+
+        Raises
+        ------
+        HierarchyError
+            If every root is down.
+        """
+        live = self.live_engines()
+        if not live:
+            raise HierarchyError("all hierarchy roots are down")
+        return live[0]
+
+    def run_with_failover(self, protocol: "Callable[[AggregationEngine], T]") -> T:
+        """Run ``protocol(engine)`` on the first hierarchy that works.
+
+        A hierarchy is skipped when its root is dead or the protocol
+        raises :class:`~repro.errors.ReproError` on it (e.g. the root died
+        mid-run); the next hierarchy is tried.
+        """
+        from repro.errors import ReproError
+
+        last_error: ReproError | None = None
+        for engine in self.live_engines():
+            try:
+                return protocol(engine)
+            except ReproError as error:  # root died mid-run: fail over
+                last_error = error
+        raise HierarchyError(
+            "no hierarchy could complete the protocol"
+        ) from last_error

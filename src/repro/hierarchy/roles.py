@@ -1,0 +1,77 @@
+"""Per-node hierarchy state.
+
+Each participating peer tracks its depth, its upstream neighbour (parent)
+and its downstream neighbours (children).  The paper's terminology
+(Section III-A.1): the *root* has depth 0; peers with no downstream
+neighbours are *leaf nodes*; everything else is an *internal node*.  During
+repair (Section III-A.3) a peer's depth is temporarily "infinite" — here
+that peer is *detached*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.types import INFINITE_DEPTH
+
+
+class NodeRole(enum.Enum):
+    """A peer's role in the hierarchy."""
+
+    ROOT = "root"
+    INTERNAL = "internal"
+    LEAF = "leaf"
+    DETACHED = "detached"
+
+
+@dataclass
+class HierarchyState:
+    """Mutable hierarchy bookkeeping for one peer.
+
+    Attributes
+    ----------
+    depth:
+        Hops from the root along the tree (0 for the root,
+        ``INFINITE_DEPTH`` while detached).
+    upstream:
+        Parent peer id, or ``None`` for the root / detached peers.
+    downstream:
+        Child peer ids.
+    """
+
+    depth: int = INFINITE_DEPTH
+    upstream: int | None = None
+    downstream: set[int] = field(default_factory=set)
+    #: The upstream neighbour held before the last detach.  Needed so a
+    #: peer that reattaches under a *different* parent can unregister from
+    #: the old one — otherwise the old parent keeps a stale child forever.
+    former_upstream: int | None = None
+
+    @property
+    def attached(self) -> bool:
+        """Whether the peer currently has a finite depth."""
+        return self.depth < INFINITE_DEPTH
+
+    @property
+    def role(self) -> NodeRole:
+        """The peer's current role."""
+        if not self.attached:
+            return NodeRole.DETACHED
+        if self.depth == 0:
+            return NodeRole.ROOT
+        if not self.downstream:
+            return NodeRole.LEAF
+        return NodeRole.INTERNAL
+
+    def detach(self) -> None:
+        """Enter the repair state of Section III-A.3 (depth ← ∞).
+
+        The downstream set is kept: children that reattach elsewhere
+        unregister explicitly, and dead children are removed by the
+        failure detector.
+        """
+        if self.upstream is not None:
+            self.former_upstream = self.upstream
+        self.depth = INFINITE_DEPTH
+        self.upstream = None

@@ -1,0 +1,12 @@
+"""Vectorized item-set containers.
+
+The unit of data in the IFI problem (Section I of the paper) is the *local
+item set*: the distinct items a peer holds, each with a local value.  These
+sets are merged (keyed sums) on every hop of every aggregation, so the
+representation must make merging cheap at ``n = 10^6`` scale.  We store them
+as parallel NumPy arrays of sorted item identifiers and values.
+"""
+
+from repro.items.itemset import LocalItemSet
+
+__all__ = ["LocalItemSet"]

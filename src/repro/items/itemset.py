@@ -1,0 +1,196 @@
+"""The :class:`LocalItemSet` container.
+
+A local item set maps distinct item identifiers to non-negative integer
+values.  It is immutable by convention: every operation returns a new set
+(protocol code merges sets received from downstream neighbours with its own
+set — see Algorithm 2 of the paper — and must never mutate a neighbour's
+message in place).
+
+Values are ``int64``.  Intermediate keyed sums use ``float64`` bincounts for
+speed but are exact for any realistic workload (totals stay far below
+``2**53``) and are cast back to ``int64`` with a verification in debug mode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class LocalItemSet:
+    """A set of (item id, value) pairs with vectorized merge operations.
+
+    Parameters
+    ----------
+    ids:
+        1-D integer array of item identifiers.  Must be unique; will be
+        sorted.
+    values:
+        1-D integer array of the same length with the value per item.
+
+    Examples
+    --------
+    >>> s = LocalItemSet.from_pairs({3: 2, 1: 5})
+    >>> s.ids.tolist(), s.values.tolist()
+    ([1, 3], [5, 2])
+    >>> t = LocalItemSet.from_pairs({3: 1, 7: 4})
+    >>> s.merge(t).to_dict()
+    {1: 5, 3: 3, 7: 4}
+    """
+
+    __slots__ = ("ids", "values")
+
+    def __init__(self, ids: np.ndarray, values: np.ndarray) -> None:
+        ids = np.asarray(ids, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if ids.ndim != 1 or values.ndim != 1:
+            raise WorkloadError("ids and values must be 1-D arrays")
+        if ids.shape != values.shape:
+            raise WorkloadError(
+                f"ids and values must have equal length, got {len(ids)} != {len(values)}"
+            )
+        order = np.argsort(ids, kind="stable")
+        ids = ids[order]
+        values = values[order]
+        if ids.size and np.any(ids[1:] == ids[:-1]):
+            raise WorkloadError("item ids must be unique within a LocalItemSet")
+        self.ids = ids
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "LocalItemSet":
+        """The empty item set."""
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def from_pairs(cls, pairs: Mapping[int, int] | Iterable[tuple[int, int]]) -> "LocalItemSet":
+        """Build from a mapping or an iterable of ``(item_id, value)``.
+
+        Duplicate ids in an iterable are summed.
+        """
+        if isinstance(pairs, Mapping):
+            items = list(pairs.items())
+        else:
+            items = list(pairs)
+        if not items:
+            return cls.empty()
+        ids = np.fromiter((int(i) for i, _ in items), dtype=np.int64, count=len(items))
+        values = np.fromiter((int(v) for _, v in items), dtype=np.int64, count=len(items))
+        return cls._from_possibly_duplicated(ids, values)
+
+    @classmethod
+    def from_instances(cls, instance_ids: np.ndarray) -> "LocalItemSet":
+        """Build from raw item *instances* (one array entry per occurrence).
+
+        This is how workload generators hand data to peers: the paper
+        generates ``10·n`` item instances and scatters them over peers; a
+        peer's local value for an item is its occurrence count.
+        """
+        instance_ids = np.asarray(instance_ids, dtype=np.int64)
+        if instance_ids.size == 0:
+            return cls.empty()
+        ids, counts = np.unique(instance_ids, return_counts=True)
+        return cls(ids, counts.astype(np.int64))
+
+    @classmethod
+    def _from_possibly_duplicated(cls, ids: np.ndarray, values: np.ndarray) -> "LocalItemSet":
+        unique_ids, inverse = np.unique(ids, return_inverse=True)
+        summed = np.bincount(inverse, weights=values.astype(np.float64))
+        return cls(unique_ids, summed.astype(np.int64))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return zip(self.ids.tolist(), self.values.tolist())
+
+    def __contains__(self, item_id: int) -> bool:
+        idx = np.searchsorted(self.ids, item_id)
+        return bool(idx < self.ids.size and self.ids[idx] == item_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocalItemSet):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.ids, other.ids)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - sets are not dict keys
+        return hash((self.ids.tobytes(), self.values.tobytes()))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{i}:{v}" for i, v in list(self)[:4])
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"LocalItemSet({len(self)} items: {{{preview}{suffix}}})"
+
+    @property
+    def total_value(self) -> int:
+        """Sum of all values (a peer's contribution to the grand total v)."""
+        return int(self.values.sum())
+
+    def value_of(self, item_id: int) -> int:
+        """The value for ``item_id`` (0 if absent)."""
+        idx = np.searchsorted(self.ids, item_id)
+        if idx < self.ids.size and self.ids[idx] == item_id:
+            return int(self.values[idx])
+        return 0
+
+    def to_dict(self) -> dict[int, int]:
+        """A plain dict copy (small sets / tests only)."""
+        return dict(zip(self.ids.tolist(), self.values.tolist()))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def merge(self, other: "LocalItemSet") -> "LocalItemSet":
+        """Keyed sum of two item sets."""
+        return LocalItemSet.merge_many([self, other])
+
+    @staticmethod
+    def merge_many(sets: Iterable["LocalItemSet"]) -> "LocalItemSet":
+        """Keyed sum of any number of item sets.
+
+        This is the workhorse of both the naive baseline (merging full local
+        item sets up the hierarchy) and candidate aggregation (merging
+        partial candidate sets, Algorithm 2 line 4).
+        """
+        sets = [s for s in sets if len(s)]
+        if not sets:
+            return LocalItemSet.empty()
+        if len(sets) == 1:
+            return sets[0]
+        ids = np.concatenate([s.ids for s in sets])
+        values = np.concatenate([s.values for s in sets])
+        return LocalItemSet._from_possibly_duplicated(ids, values)
+
+    def restrict_to(self, item_ids: np.ndarray) -> "LocalItemSet":
+        """Keep only the items present in ``item_ids``.
+
+        Used during candidate-set materialization: given the candidate item
+        universe, a peer keeps the intersection with its local item set.
+        """
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        mask = np.isin(self.ids, item_ids, assume_unique=False)
+        return LocalItemSet(self.ids[mask], self.values[mask])
+
+    def select(self, mask: np.ndarray) -> "LocalItemSet":
+        """Keep only the items where ``mask`` is True (vectorized filter)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.ids.shape:
+            raise WorkloadError("mask must match the number of items")
+        return LocalItemSet(self.ids[mask], self.values[mask])
+
+    def filter_values(self, minimum: int) -> "LocalItemSet":
+        """Keep only items with value >= minimum."""
+        return self.select(self.values >= minimum)

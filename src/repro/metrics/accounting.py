@@ -1,0 +1,108 @@
+"""Per-peer, per-category byte accounting.
+
+The transport calls :meth:`CostAccounting.record` once per sent message;
+everything else (totals, averages, breakdowns) is derived.  Costs are
+attributed to the *sender*, matching the paper's definition of
+"bytes propagated per peer".
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.net.wire import NETFILTER_CATEGORIES, CostCategory
+
+
+class CostAccounting:
+    """Accumulates bytes and message counts sent per peer per category.
+
+    Examples
+    --------
+    >>> acc = CostAccounting()
+    >>> acc.record(peer=1, category=CostCategory.FILTERING, size=1200)
+    >>> acc.record(peer=2, category=CostCategory.FILTERING, size=1200)
+    >>> acc.total_bytes(CostCategory.FILTERING)
+    2400
+    >>> acc.average_bytes_per_peer(n_peers=4, categories=[CostCategory.FILTERING])
+    600.0
+    """
+
+    def __init__(self) -> None:
+        self._bytes: dict[CostCategory, dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._messages: Counter[CostCategory] = Counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, peer: int, category: CostCategory, size: int) -> None:
+        """Charge ``size`` bytes sent by ``peer`` to ``category``."""
+        self._bytes[category][peer] += size
+        self._messages[category] += 1
+
+    def reset(self) -> None:
+        """Forget everything recorded so far."""
+        self._bytes.clear()
+        self._messages.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def total_bytes(self, *categories: CostCategory) -> int:
+        """Total bytes over the given categories (all categories if none)."""
+        selected = categories or tuple(self._bytes)
+        return sum(
+            sum(self._bytes.get(category, {}).values()) for category in selected
+        )
+
+    def message_count(self, *categories: CostCategory) -> int:
+        """Total messages over the given categories (all if none given)."""
+        selected = categories or tuple(self._messages)
+        return sum(self._messages.get(cat, 0) for cat in selected)
+
+    def bytes_by_category(self) -> dict[CostCategory, int]:
+        """Total bytes per category."""
+        return {cat: sum(per_peer.values()) for cat, per_peer in self._bytes.items()}
+
+    def per_peer_bytes(
+        self, *categories: CostCategory
+    ) -> dict[int, int]:
+        """Bytes sent by each peer over the given categories."""
+        selected = categories or tuple(self._bytes)
+        out: dict[int, int] = defaultdict(int)
+        for cat in selected:
+            for peer, size in self._bytes.get(cat, {}).items():
+                out[peer] += size
+        return dict(out)
+
+    def peer_bytes(self, peer: int, *categories: CostCategory) -> int:
+        """Bytes sent by one peer over the given categories."""
+        selected = categories or tuple(self._bytes)
+        return sum(self._bytes.get(cat, {}).get(peer, 0) for cat in selected)
+
+    def average_bytes_per_peer(
+        self,
+        n_peers: int,
+        categories: tuple[CostCategory, ...] | list[CostCategory] | None = None,
+    ) -> float:
+        """The paper's metric: total bytes divided by the peer population.
+
+        Note the divisor is the full population ``n_peers``, not only the
+        peers that happened to transmit — a peer that sent nothing still
+        counts in the average, exactly as in the paper's formulation.
+        """
+        if n_peers <= 0:
+            raise ValueError(f"n_peers must be positive, got {n_peers}")
+        selected = tuple(categories) if categories is not None else tuple(self._bytes)
+        return self.total_bytes(*selected) / n_peers
+
+    def netfilter_average(self, n_peers: int) -> float:
+        """Average per-peer bytes over the three netFilter categories."""
+        return self.average_bytes_per_peer(n_peers, NETFILTER_CATEGORIES)
+
+    def max_peer_bytes(self, *categories: CostCategory) -> int:
+        """The heaviest-loaded peer's byte count (bottleneck analysis,
+        Section IV-A's 'no bottleneck at the root' claim)."""
+        per_peer = self.per_peer_bytes(*categories)
+        return max(per_peer.values(), default=0)

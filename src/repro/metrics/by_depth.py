@@ -1,0 +1,66 @@
+"""Per-depth cost analysis (Section IV-A's bottleneck argument).
+
+The paper argues that netFilter does not bottleneck the root: the
+candidate-filtering cost is the same at every non-root peer, dissemination
+at every non-leaf, and only candidate aggregation grows toward the root —
+but stays small because few candidates survive filtering.  These helpers
+slice the measured per-peer byte accounting by hierarchy depth so tests
+and reports can check that argument against data instead of trusting it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from repro.metrics.accounting import CostAccounting
+from repro.net.wire import NETFILTER_CATEGORIES, CostCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.hierarchy.builder import Hierarchy
+
+
+def bytes_by_depth(
+    accounting: CostAccounting,
+    hierarchy: "Hierarchy",
+    categories: tuple[CostCategory, ...] | None = None,
+) -> dict[int, float]:
+    """Average bytes sent per peer, grouped by the peer's hierarchy depth.
+
+    Peers that sent nothing still count in their depth's average.
+    """
+    selected = categories if categories is not None else NETFILTER_CATEGORIES
+    per_peer = accounting.per_peer_bytes(*selected)
+    totals: dict[int, float] = defaultdict(float)
+    counts: dict[int, int] = defaultdict(int)
+    for peer in hierarchy.participants():
+        depth = hierarchy.depth_of(peer)
+        totals[depth] += per_peer.get(peer, 0)
+        counts[depth] += 1
+    return {
+        depth: totals[depth] / counts[depth] for depth in sorted(counts)
+    }
+
+
+def bottleneck_ratio(
+    accounting: CostAccounting,
+    hierarchy: "Hierarchy",
+    categories: tuple[CostCategory, ...] | None = None,
+) -> float:
+    """Heaviest single peer's bytes over the population average.
+
+    The paper's claim translates to this ratio staying small (a true
+    bottleneck protocol — e.g. every peer unicasting to the root — would
+    put the entire population's traffic on a handful of peers).
+    """
+    selected = categories if categories is not None else NETFILTER_CATEGORIES
+    per_peer = accounting.per_peer_bytes(*selected)
+    participants = hierarchy.participants()
+    if not participants:
+        return 0.0
+    total = sum(per_peer.get(peer, 0) for peer in participants)
+    if total == 0:
+        return 0.0
+    mean = total / len(participants)
+    heaviest = max(per_peer.get(peer, 0) for peer in participants)
+    return heaviest / mean

@@ -1,0 +1,37 @@
+"""The P2P network substrate.
+
+This package provides everything the paper assumes of an unstructured P2P
+system: peers (:class:`~repro.net.node.Node`) connected by an overlay
+topology (:mod:`repro.net.overlay`), exchanging sized messages
+(:mod:`repro.net.message`, :mod:`repro.net.wire`) through a simulated
+transport with latency and optional loss (:mod:`repro.net.transport`),
+with periodic heartbeats and failure detection
+(:mod:`repro.net.heartbeat`) and a churn process (:mod:`repro.net.churn`).
+
+Every byte that any protocol sends flows through
+:meth:`~repro.net.network.Network.send` and is charged to a cost category
+by the :class:`~repro.metrics.accounting.CostAccounting` — the experiment
+harness never computes costs from formulas, it reads them off the wire.
+"""
+
+from repro.net.heartbeat import HeartbeatConfig, HeartbeatService
+from repro.net.message import Message, Payload
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.overlay import Topology
+from repro.net.transport import Transport, TransportConfig
+from repro.net.wire import CostCategory, SizeModel
+
+__all__ = [
+    "CostCategory",
+    "HeartbeatConfig",
+    "HeartbeatService",
+    "Message",
+    "Network",
+    "Node",
+    "Payload",
+    "SizeModel",
+    "Topology",
+    "Transport",
+    "TransportConfig",
+]

@@ -1,0 +1,106 @@
+"""Churn: peers failing and rejoining over time.
+
+Section III-A of the paper recruits *stable* peers for the hierarchy
+precisely because churn is what breaks hierarchical aggregation; Section
+III-A.3 then gives the repair protocol for the residual churn among those
+stable peers.  This module provides a Poisson churn process to drive that
+repair machinery in tests and robustness ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+from repro.net.network import Network
+from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of the Poisson churn process.
+
+    Attributes
+    ----------
+    failure_rate:
+        Expected peer failures per simulated time unit (Poisson arrivals).
+    mean_downtime:
+        Mean of the exponential downtime after which a failed peer
+        revives.  ``None`` means failures are permanent.
+    protected_peers:
+        Peers that never fail (e.g. the hierarchy root, or the requester
+        whose result we are asserting on in a test).
+    """
+
+    failure_rate: float = 0.01
+    mean_downtime: float | None = 50.0
+    protected_peers: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.failure_rate <= 0:
+            raise NetworkError("failure_rate must be positive")
+        if self.mean_downtime is not None and self.mean_downtime <= 0:
+            raise NetworkError("mean_downtime must be positive or None")
+
+
+class ChurnProcess:
+    """Drives random peer failures (and optional revivals) on a network.
+
+    The process is started with :meth:`start` and keeps scheduling itself
+    until :meth:`stop` or the simulation ends.  All randomness comes from
+    the simulation's ``"churn"`` stream, so runs are reproducible.
+    """
+
+    def __init__(self, sim: Simulation, network: Network, config: ChurnConfig) -> None:
+        self._sim = sim
+        self._network = network
+        self._config = config
+        self._active = False
+        self.failures = 0
+        self.revivals = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether the process is currently scheduling failures."""
+        return self._active
+
+    def start(self) -> None:
+        """Begin injecting failures.  Idempotent."""
+        if self._active:
+            return
+        self._active = True
+        self._schedule_next_failure()
+
+    def stop(self) -> None:
+        """Stop injecting failures (pending revivals still happen)."""
+        self._active = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _schedule_next_failure(self) -> None:
+        rng = self._sim.rng.stream("churn")
+        gap = float(rng.exponential(1.0 / self._config.failure_rate))
+        self._sim.schedule(gap, self._fail_one)
+
+    def _fail_one(self) -> None:
+        if not self._active:
+            return
+        rng = self._sim.rng.stream("churn")
+        candidates = [
+            peer
+            for peer in self._network.live_peers()
+            if peer not in self._config.protected_peers
+        ]
+        if candidates:
+            victim = int(candidates[int(rng.integers(0, len(candidates)))])
+            self._network.fail_peer(victim)
+            self.failures += 1
+            if self._config.mean_downtime is not None:
+                downtime = float(rng.exponential(self._config.mean_downtime))
+                self._sim.schedule(downtime, self._revive_one, victim)
+        self._schedule_next_failure()
+
+    def _revive_one(self, peer: int) -> None:
+        self._network.revive_peer(peer)
+        self.revivals += 1

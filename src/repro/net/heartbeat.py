@@ -1,0 +1,168 @@
+"""Heartbeats with a DEPTH counter, and neighbour failure detection.
+
+Section III-A.3 of the paper: peers periodically exchange heartbeat
+messages with their overlay neighbours; the messages are extended with a
+``DEPTH`` counter (the sender's depth in the aggregation hierarchy) so that
+the hierarchy can be repaired after churn — a peer whose depth is
+"infinite" reattaches under the first neighbour it hears from with a finite
+depth.
+
+The service is deliberately decoupled from the hierarchy: it takes a
+``depth_provider`` callback and emits ``on_heartbeat`` / ``on_neighbor_down``
+events.  The hierarchy-maintenance service subscribes to those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.message import Message, Payload
+from repro.net.node import Node
+from repro.net.wire import CostCategory, SizeModel
+from repro.sim.timers import PeriodicTimer, Timeout
+from repro.types import INFINITE_DEPTH
+
+
+@dataclass(frozen=True)
+class HeartbeatPayload(Payload):
+    """A heartbeat carrying the sender's hierarchy depth (Section III-A.3)."""
+
+    depth: int
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        # The DEPTH counter rides in the (pre-existing) heartbeat; we charge
+        # one aggregate-sized integer for it.
+        return model.aggregate_bytes
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Timing of the heartbeat protocol.
+
+    Attributes
+    ----------
+    interval:
+        Period between heartbeats from one peer.
+    timeout:
+        Silence after which a neighbour is declared failed.  Must exceed
+        the interval (typically 3-4x) or live neighbours get falsely
+        suspected whenever jitter stretches a gap.
+    jitter:
+        Per-tick jitter so peers do not phase-lock.
+    """
+
+    interval: float = 10.0
+    timeout: float = 35.0
+    jitter: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if self.timeout <= self.interval:
+            raise ValueError("heartbeat timeout must exceed the interval")
+
+
+class HeartbeatService:
+    """Per-node heartbeat emitter and neighbour failure detector.
+
+    Parameters
+    ----------
+    node:
+        The node this service runs on.
+    config:
+        Heartbeat timing.
+    depth_provider:
+        Returns the node's current hierarchy depth, embedded in every
+        heartbeat (``INFINITE_DEPTH`` while detached).
+    on_heartbeat:
+        Called ``(neighbor, depth)`` for every received heartbeat.
+    on_neighbor_down:
+        Called ``(neighbor,)`` when a neighbour times out.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        config: HeartbeatConfig,
+        depth_provider: Callable[[], int] | None = None,
+        on_heartbeat: Callable[[int, int], None] | None = None,
+        on_neighbor_down: Callable[[int], None] | None = None,
+    ) -> None:
+        self._node = node
+        self._config = config
+        self._depth_provider = depth_provider or (lambda: INFINITE_DEPTH)
+        self._on_heartbeat = on_heartbeat
+        self._on_neighbor_down = on_neighbor_down
+        self._watchdogs: dict[int, Timeout] = {}
+        self.last_known_depth: dict[int, int] = {}
+
+        sim = node.network.sim
+        node.register_handler(HeartbeatPayload, self._handle_heartbeat)
+        self._timer = PeriodicTimer(
+            sim,
+            config.interval,
+            self._beat,
+            jitter=config.jitter,
+            start_immediately=True,
+        )
+        node.on_failure(self.stop)
+        # Arm a watchdog per current neighbour so a neighbour that dies
+        # before ever beating is still detected.
+        for neighbor in node.network.topology.adjacency[node.peer_id]:
+            self._arm_watchdog(neighbor)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _beat(self) -> None:
+        depth = self._depth_provider()
+        payload = HeartbeatPayload(depth=depth)
+        for neighbor in self._node.network.topology.adjacency[self._node.peer_id]:
+            self._node.send(neighbor, payload)
+
+    # ------------------------------------------------------------------
+    # Receiving / detection
+    # ------------------------------------------------------------------
+    def _handle_heartbeat(self, message: Message) -> None:
+        payload = message.payload
+        assert isinstance(payload, HeartbeatPayload)
+        neighbor = message.sender
+        self.last_known_depth[neighbor] = payload.depth
+        self._arm_watchdog(neighbor)
+        if self._on_heartbeat is not None:
+            self._on_heartbeat(neighbor, payload.depth)
+
+    def _arm_watchdog(self, neighbor: int) -> None:
+        watchdog = self._watchdogs.get(neighbor)
+        if watchdog is None:
+            watchdog = Timeout(
+                self._node.network.sim,
+                self._config.timeout,
+                lambda n=neighbor: self._neighbor_down(n),
+            )
+            self._watchdogs[neighbor] = watchdog
+        watchdog.reset()
+
+    def _neighbor_down(self, neighbor: int) -> None:
+        if not self._node.alive:
+            return
+        self.last_known_depth.pop(neighbor, None)
+        self._node.network.sim.trace.emit(
+            self._node.network.sim.now,
+            "heartbeat.neighbor_down",
+            peer=self._node.peer_id,
+            neighbor=neighbor,
+        )
+        if self._on_neighbor_down is not None:
+            self._on_neighbor_down(neighbor)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Silence the service (node failed or protocol torn down)."""
+        self._timer.stop()
+        for watchdog in self._watchdogs.values():
+            watchdog.cancel()

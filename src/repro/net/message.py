@@ -1,0 +1,51 @@
+"""Message and payload base classes.
+
+A :class:`Payload` is what protocol code constructs and handles; the
+:class:`Message` envelope (sender, recipient, timestamps) is added by the
+transport.  Every payload prices itself against a
+:class:`~repro.net.wire.SizeModel` and declares the
+:class:`~repro.net.wire.CostCategory` its bytes are charged to, so the
+accounting is decided where the payload is defined — next to the protocol —
+rather than in the transport.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.net.wire import CostCategory, SizeModel
+
+
+class Payload(abc.ABC):
+    """Base class for everything sent between peers.
+
+    Subclasses must set :attr:`category` and implement :meth:`body_bytes`.
+    """
+
+    #: Accounting bucket for this payload's bytes.
+    category: CostCategory = CostCategory.CONTROL
+
+    @abc.abstractmethod
+    def body_bytes(self, model: SizeModel) -> int:
+        """Size of the payload body in bytes under the given size model."""
+
+    def size_bytes(self, model: SizeModel) -> int:
+        """Total wire size: body plus the model's per-message header."""
+        return self.body_bytes(model) + model.header_bytes
+
+
+@dataclass(frozen=True)
+class Message:
+    """A payload in flight, as seen by the receiving node."""
+
+    sender: int
+    recipient: int
+    payload: Payload
+    sent_at: float
+    delivered_at: float
+
+    @property
+    def kind(self) -> str:
+        """Short payload-class name, for traces and debugging."""
+        return type(self.payload).__name__

@@ -1,0 +1,151 @@
+"""The :class:`Network`: peers + topology + transport + accounting.
+
+This is the object every protocol receives.  It owns the node table, knows
+which peers are alive, exposes the transport, and carries the single
+:class:`~repro.metrics.accounting.CostAccounting` instance that the
+experiments read their results from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import NetworkError
+from repro.items.itemset import LocalItemSet
+from repro.metrics.accounting import CostAccounting
+from repro.net.node import Node
+from repro.net.overlay import Topology
+from repro.net.transport import Transport, TransportConfig
+from repro.net.wire import SizeModel
+from repro.sim.engine import Simulation
+
+
+class Network:
+    """A population of peers connected by an overlay.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulation driving this network.
+    topology:
+        The overlay graph; one :class:`~repro.net.node.Node` is created per
+        topology vertex.
+    transport_config:
+        Link latency/jitter/loss.  Defaults to 1-unit fixed latency.
+    size_model:
+        Wire pricing (defaults to the paper's 4-byte integers).
+
+    Examples
+    --------
+    >>> from repro.sim import Simulation
+    >>> from repro.net.overlay import Topology
+    >>> sim = Simulation(seed=1)
+    >>> net = Network(sim, Topology.star(4))
+    >>> sorted(net.node(0).neighbors)
+    [1, 2, 3]
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        topology: Topology,
+        transport_config: TransportConfig | None = None,
+        size_model: SizeModel | None = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.accounting = CostAccounting()
+        self.size_model = size_model or SizeModel()
+        self.transport = Transport(
+            sim,
+            self._resolve,
+            transport_config or TransportConfig(),
+            self.size_model,
+            self.accounting,
+        )
+        self.nodes: dict[int, Node] = {
+            peer_id: Node(self, peer_id) for peer_id in range(topology.n_peers)
+        }
+        self._join_listeners: list[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Node access
+    # ------------------------------------------------------------------
+    @property
+    def n_peers(self) -> int:
+        """Total peer population (live and failed)."""
+        return len(self.nodes)
+
+    def node(self, peer_id: int) -> Node:
+        """The node for ``peer_id``.
+
+        Raises
+        ------
+        NetworkError
+            If the peer does not exist.
+        """
+        node = self.nodes.get(peer_id)
+        if node is None:
+            raise NetworkError(f"unknown peer {peer_id}")
+        return node
+
+    def _resolve(self, peer_id: int) -> Node | None:
+        return self.nodes.get(peer_id)
+
+    def live_peers(self) -> list[int]:
+        """Identifiers of currently-live peers, ascending."""
+        return [peer_id for peer_id, node in self.nodes.items() if node.alive]
+
+    @property
+    def n_live_peers(self) -> int:
+        """Count of currently-live peers."""
+        return sum(1 for node in self.nodes.values() if node.alive)
+
+    def live_neighbors(self, peer_id: int) -> list[int]:
+        """Live overlay neighbours of a peer."""
+        return [
+            other
+            for other in self.topology.adjacency[peer_id]
+            if self.nodes[other].alive
+        ]
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def assign_items(self, item_sets: dict[int, LocalItemSet] | Iterable[LocalItemSet]) -> None:
+        """Install local item sets on the peers.
+
+        Accepts either a ``{peer_id: LocalItemSet}`` mapping or an iterable
+        assigned to peers ``0, 1, 2, ...`` in order.
+        """
+        if isinstance(item_sets, dict):
+            pairs = item_sets.items()
+        else:
+            pairs = enumerate(item_sets)
+        for peer_id, item_set in pairs:
+            self.node(peer_id).items = item_set
+
+    def grand_total_value(self) -> int:
+        """``v`` — the sum of all local values of all items at live peers
+        (Section IV introduces ``t = ρ · v``)."""
+        return sum(node.items.total_value for node in self.nodes.values() if node.alive)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def on_join(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked with the peer id on every revive."""
+        self._join_listeners.append(listener)
+
+    def fail_peer(self, peer_id: int) -> None:
+        """Crash a peer (it stops sending, receiving, and timing)."""
+        self.node(peer_id).fail()
+
+    def revive_peer(self, peer_id: int) -> None:
+        """Bring a failed peer back and notify join listeners."""
+        node = self.node(peer_id)
+        if node.alive:
+            return
+        node.revive()
+        for listener in self._join_listeners:
+            listener(peer_id)

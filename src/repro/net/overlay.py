@@ -1,0 +1,220 @@
+"""Overlay topology builders.
+
+The paper assumes an *unstructured* P2P overlay (Section I) and a BFS
+hierarchy built over it with a mean downstream fan-out of ``b = 3``
+(Table III).  This module provides several ways to get such an overlay:
+
+* :meth:`Topology.random_connected` — a uniform spanning tree plus random
+  extra edges; always connected, tunable mean degree.  This is the default
+  used in the experiments.
+* :meth:`Topology.random_regular`, :meth:`Topology.small_world`,
+  :meth:`Topology.scale_free` — classical graph families (via ``networkx``)
+  for topology-sensitivity studies.
+* :meth:`Topology.balanced_tree` — an exact ``b``-ary tree, so the
+  hierarchy's fan-out equals ``b`` precisely (used when validating the
+  analytic cost model, which assumes a clean tree).
+* :meth:`Topology.line` / :meth:`Topology.star` — degenerate shapes for
+  unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected overlay graph as adjacency lists.
+
+    Attributes
+    ----------
+    adjacency:
+        ``adjacency[p]`` is the sorted tuple of peer ``p``'s neighbours.
+    name:
+        Human-readable description for reports.
+    """
+
+    adjacency: tuple[tuple[int, ...], ...]
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for peer, neighbors in enumerate(self.adjacency):
+            for other in neighbors:
+                if other == peer:
+                    raise TopologyError(f"peer {peer} has a self-loop")
+                if not 0 <= other < len(self.adjacency):
+                    raise TopologyError(f"peer {peer} links to unknown peer {other}")
+                if peer not in self.adjacency[other]:
+                    raise TopologyError(
+                        f"edge {peer}->{other} is not symmetric"
+                    )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_peers(self) -> int:
+        """Number of peers in the overlay."""
+        return len(self.adjacency)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self.adjacency) // 2
+
+    @property
+    def mean_degree(self) -> float:
+        """Average neighbour count."""
+        return 2.0 * self.n_edges / self.n_peers if self.n_peers else 0.0
+
+    def degree(self, peer: int) -> int:
+        """Neighbour count of one peer."""
+        return len(self.adjacency[peer])
+
+    def is_connected(self) -> bool:
+        """Whether every peer is reachable from peer 0 (BFS check)."""
+        if self.n_peers == 0:
+            return True
+        seen = np.zeros(self.n_peers, dtype=bool)
+        frontier = [0]
+        seen[0] = True
+        while frontier:
+            nxt: list[int] = []
+            for peer in frontier:
+                for other in self.adjacency[peer]:
+                    if not seen[other]:
+                        seen[other] = True
+                        nxt.append(other)
+            frontier = nxt
+        return bool(seen.all())
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edges(n_peers: int, edges: list[tuple[int, int]], name: str = "custom") -> "Topology":
+        """Build a topology from an explicit edge list."""
+        neighbor_sets: list[set[int]] = [set() for _ in range(n_peers)]
+        for a, b in edges:
+            if a == b:
+                raise TopologyError(f"self-loop on peer {a}")
+            neighbor_sets[a].add(b)
+            neighbor_sets[b].add(a)
+        adjacency = tuple(tuple(sorted(s)) for s in neighbor_sets)
+        return Topology(adjacency=adjacency, name=name)
+
+    @staticmethod
+    def random_connected(
+        n_peers: int, mean_degree: float, rng: np.random.Generator
+    ) -> "Topology":
+        """A connected random graph with the requested mean degree.
+
+        Construction: a uniform random attachment tree (guarantees
+        connectivity with ``n-1`` edges) plus uniformly random extra edges
+        until the edge budget ``n · mean_degree / 2`` is met.
+        """
+        if n_peers < 2:
+            raise TopologyError("need at least 2 peers")
+        if mean_degree < 2.0 * (n_peers - 1) / n_peers:
+            raise TopologyError(
+                f"mean_degree {mean_degree} cannot keep {n_peers} peers connected"
+            )
+        edges: set[tuple[int, int]] = set()
+        # Random attachment tree: peer k attaches to a uniform earlier peer.
+        parents = rng.integers(0, np.arange(1, n_peers))
+        for child in range(1, n_peers):
+            parent = int(parents[child - 1])
+            edges.add((min(parent, child), max(parent, child)))
+        target_edges = int(round(n_peers * mean_degree / 2.0))
+        max_edges = n_peers * (n_peers - 1) // 2
+        target_edges = min(target_edges, max_edges)
+        attempts = 0
+        while len(edges) < target_edges and attempts < 50 * target_edges:
+            a, b = rng.integers(0, n_peers, size=2)
+            attempts += 1
+            if a == b:
+                continue
+            edges.add((int(min(a, b)), int(max(a, b))))
+        return Topology.from_edges(
+            n_peers, sorted(edges), name=f"random(n={n_peers}, deg~{mean_degree})"
+        )
+
+    @staticmethod
+    def random_regular(n_peers: int, degree: int, rng: np.random.Generator) -> "Topology":
+        """A connected random ``degree``-regular graph (via networkx)."""
+        import networkx as nx
+
+        seed = int(rng.integers(0, 2**31 - 1))
+        for attempt in range(20):
+            graph = nx.random_regular_graph(degree, n_peers, seed=seed + attempt)
+            if nx.is_connected(graph):
+                return Topology.from_edges(
+                    n_peers,
+                    [(int(a), int(b)) for a, b in graph.edges()],
+                    name=f"regular(n={n_peers}, d={degree})",
+                )
+        raise TopologyError(
+            f"could not build a connected {degree}-regular graph on {n_peers} peers"
+        )
+
+    @staticmethod
+    def small_world(
+        n_peers: int, k: int, rewire_prob: float, rng: np.random.Generator
+    ) -> "Topology":
+        """A connected Watts-Strogatz small-world overlay (via networkx)."""
+        import networkx as nx
+
+        seed = int(rng.integers(0, 2**31 - 1))
+        graph = nx.connected_watts_strogatz_graph(n_peers, k, rewire_prob, seed=seed)
+        return Topology.from_edges(
+            n_peers,
+            [(int(a), int(b)) for a, b in graph.edges()],
+            name=f"small_world(n={n_peers}, k={k}, p={rewire_prob})",
+        )
+
+    @staticmethod
+    def scale_free(n_peers: int, attach_edges: int, rng: np.random.Generator) -> "Topology":
+        """A Barabási-Albert scale-free overlay (via networkx) — the degree
+        distribution empirically observed in Gnutella-like systems."""
+        import networkx as nx
+
+        seed = int(rng.integers(0, 2**31 - 1))
+        graph = nx.barabasi_albert_graph(n_peers, attach_edges, seed=seed)
+        return Topology.from_edges(
+            n_peers,
+            [(int(a), int(b)) for a, b in graph.edges()],
+            name=f"scale_free(n={n_peers}, m={attach_edges})",
+        )
+
+    @staticmethod
+    def balanced_tree(n_peers: int, branching: int) -> "Topology":
+        """A ``branching``-ary tree with exactly ``n_peers`` nodes.
+
+        Node ``k``'s parent is ``(k - 1) // branching``; this gives every
+        internal node exactly ``branching`` children (except possibly the
+        last), matching the paper's parameter ``b``.
+        """
+        if branching < 1:
+            raise TopologyError("branching must be >= 1")
+        if n_peers < 1:
+            raise TopologyError("need at least 1 peer")
+        edges = [((k - 1) // branching, k) for k in range(1, n_peers)]
+        return Topology.from_edges(
+            n_peers, edges, name=f"tree(n={n_peers}, b={branching})"
+        )
+
+    @staticmethod
+    def line(n_peers: int) -> "Topology":
+        """A path graph — worst-case hierarchy height, for tests."""
+        edges = [(k, k + 1) for k in range(n_peers - 1)]
+        return Topology.from_edges(n_peers, edges, name=f"line(n={n_peers})")
+
+    @staticmethod
+    def star(n_peers: int) -> "Topology":
+        """A star graph — best-case hierarchy height, for tests."""
+        edges = [(0, k) for k in range(1, n_peers)]
+        return Topology.from_edges(n_peers, edges, name=f"star(n={n_peers})")

@@ -1,0 +1,40 @@
+"""Per-instance payload types.
+
+Node message dispatch is keyed by payload *type*.  When two instances of
+the same protocol run on one network — e.g. the multiple redundant
+hierarchies of Section III-A.1 — their messages must not collide in the
+dispatch table.  :func:`tagged` derives (and caches) a distinct subclass
+of a payload type per instance tag; wire size, category and fields are
+inherited unchanged, so tagging never alters measured costs.
+"""
+
+from __future__ import annotations
+
+from repro.net.message import Payload
+
+_CACHE: dict[tuple[type, str], type] = {}
+
+
+def tagged(base: type[Payload], tag: str) -> type[Payload]:
+    """The payload type for instance ``tag`` of a protocol.
+
+    The empty tag returns ``base`` itself, so single-instance deployments
+    pay nothing.
+
+    Examples
+    --------
+    >>> from repro.hierarchy.builder import BuildPayload
+    >>> tagged(BuildPayload, "") is BuildPayload
+    True
+    >>> a = tagged(BuildPayload, "h1"); b = tagged(BuildPayload, "h1")
+    >>> a is b and a is not BuildPayload and issubclass(a, BuildPayload)
+    True
+    """
+    if not tag:
+        return base
+    key = (base, tag)
+    derived = _CACHE.get(key)
+    if derived is None:
+        derived = type(f"{base.__name__}@{tag}", (base,), {})
+        _CACHE[key] = derived
+    return derived

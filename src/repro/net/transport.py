@@ -1,0 +1,130 @@
+"""Simulated point-to-point transport.
+
+The transport models per-message latency (fixed plus optional uniform
+jitter) and optional message loss, delivers payloads to live nodes, and is
+the single place where bytes are priced and charged to the sender's cost
+account.  Losing the destination (it failed or left) silently drops the
+message — exactly what a UDP-style P2P overlay would observe — and the
+protocols above are designed to survive that via timeouts and repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import NetworkError
+from repro.metrics.accounting import CostAccounting
+from repro.net.message import Message, Payload
+from repro.net.wire import SizeModel
+from repro.sim.engine import Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.node import Node
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Delivery characteristics of the simulated links.
+
+    Attributes
+    ----------
+    latency:
+        Base one-hop delay in simulated time units.
+    latency_jitter:
+        Uniform jitter added per message, in ``[0, latency_jitter]``.
+    loss_probability:
+        Independent per-message drop probability (0 disables loss).
+    """
+
+    latency: float = 1.0
+    latency_jitter: float = 0.0
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise NetworkError("latency must be non-negative")
+        if self.latency_jitter < 0:
+            raise NetworkError("latency_jitter must be non-negative")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise NetworkError("loss_probability must be in [0, 1)")
+
+
+class Transport:
+    """Delivers payloads between nodes with latency, jitter and loss.
+
+    Parameters
+    ----------
+    sim:
+        The simulation providing the clock and RNG streams.
+    resolve:
+        Callback mapping a peer id to its :class:`~repro.net.node.Node`
+        (or ``None`` if the peer is unknown/departed).  Supplied by the
+        :class:`~repro.net.network.Network` to avoid a circular reference.
+    config:
+        Link characteristics.
+    size_model:
+        Wire pricing for payloads.
+    accounting:
+        Where sent bytes are charged.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        resolve: Callable[[int], "Node | None"],
+        config: TransportConfig,
+        size_model: SizeModel,
+        accounting: CostAccounting,
+    ) -> None:
+        self._sim = sim
+        self._resolve = resolve
+        self.config = config
+        self.size_model = size_model
+        self.accounting = accounting
+
+    def send(self, sender: int, recipient: int, payload: Payload) -> None:
+        """Charge the sender and schedule delivery.
+
+        Bytes are charged at send time whether or not the message survives:
+        a sender pays for what it puts on the wire.
+        """
+        size = payload.size_bytes(self.size_model)
+        self.accounting.record(sender, payload.category, size)
+        self._sim.trace.emit(
+            self._sim.now,
+            "msg.sent",
+            sender=sender,
+            recipient=recipient,
+            payload_kind=type(payload).__name__,
+            size=size,
+        )
+        if self.config.loss_probability > 0.0:
+            rng = self._sim.rng.stream("transport.loss")
+            if rng.random() < self.config.loss_probability:
+                self._sim.trace.emit(self._sim.now, "msg.lost", sender=sender)
+                return
+        delay = self.config.latency
+        if self.config.latency_jitter > 0.0:
+            rng = self._sim.rng.stream("transport.latency")
+            delay += float(rng.uniform(0.0, self.config.latency_jitter))
+        sent_at = self._sim.now
+        self._sim.schedule(delay, self._deliver, sender, recipient, payload, sent_at)
+
+    def _deliver(
+        self, sender: int, recipient: int, payload: Payload, sent_at: float
+    ) -> None:
+        node = self._resolve(recipient)
+        if node is None or not node.alive:
+            self._sim.trace.emit(
+                self._sim.now, "msg.dropped_dead_recipient", recipient=recipient
+            )
+            return
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            sent_at=sent_at,
+            delivered_at=self._sim.now,
+        )
+        node.deliver(message)

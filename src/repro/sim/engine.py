@@ -1,0 +1,168 @@
+"""The discrete-event loop.
+
+A :class:`Simulation` owns the clock, the event heap, the master random
+seed (see :mod:`repro.sim.rng`) and a :class:`~repro.sim.trace.Tracer`.
+Every other component of the library receives the simulation object and
+schedules its work through it; nothing in the library keeps its own notion
+of time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventHandle
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class Simulation:
+    """A deterministic discrete-event simulation.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for every random stream used during the run.  Two
+        simulations built with the same seed and the same scenario replay
+        the exact same sequence of events.
+
+    Examples
+    --------
+    >>> sim = Simulation(seed=7)
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, fired.append, "b")
+    >>> _ = sim.schedule(1.0, fired.append, "a")
+    >>> sim.run()
+    2
+    >>> fired
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.rng = RngRegistry(seed)
+        self.trace = Tracer()
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now.
+
+        Raises
+        ------
+        SimulationError
+            If ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self._now}"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback`` at the current time (after pending events
+        already due now)."""
+        return self.schedule_at(self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next non-cancelled event.
+
+        Returns
+        -------
+        bool
+            ``True`` if an event fired, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fire()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  Events scheduled at
+            exactly ``until`` still fire.  ``None`` runs to exhaustion.
+        max_events:
+            Safety valve for runaway protocols: stop after this many events.
+
+        Returns
+        -------
+        int
+            Number of events fired.
+        """
+        if self._running:
+            raise SimulationError("simulation is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    self._now = until
+                    break
+                if self.step():
+                    fired += 1
+            else:
+                # Heap drained (or stop() called): advance to `until` so that
+                # repeated run(until=...) calls observe a monotone clock.
+                if until is not None and until > self._now and not self._stopped:
+                    self._now = until
+        finally:
+            self._running = False
+        return fired
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to return after the in-flight
+        event completes."""
+        self._stopped = True

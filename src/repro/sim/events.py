@@ -1,0 +1,60 @@
+"""Event objects for the discrete-event engine.
+
+Events are ordered by ``(time, sequence_number)`` so that two events
+scheduled for the same instant fire in scheduling order.  This determinism
+matters: the whole evaluation of the paper is reproduced from fixed seeds,
+and a heap that broke ties arbitrarily would make runs non-repeatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Instances are created by :meth:`repro.sim.engine.Simulation.schedule`
+    and should not normally be constructed by user code.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event has been cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when
+    popped.  This keeps ``cancel`` O(1), which matters for failure-detector
+    timers that are re-armed on every heartbeat.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulated time at which the event is due to fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True

@@ -1,0 +1,134 @@
+"""Timers built on top of the event loop.
+
+The heartbeat protocol of Section III-A.3 needs periodic timers with a
+little jitter (so that a thousand peers do not all send heartbeats on the
+same tick), and the failure detector needs a re-armable one-shot timeout.
+Both are provided here so protocol code never touches the event heap
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulation
+from repro.sim.events import EventHandle
+
+
+class PeriodicTimer:
+    """Fires ``callback()`` every ``interval`` time units until stopped.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulation.
+    interval:
+        Base period; must be positive.
+    callback:
+        Invoked with no arguments on every tick.
+    jitter:
+        If non-zero, each tick is displaced by a uniform offset in
+        ``[-jitter, +jitter]`` drawn from the simulation's ``"timers"``
+        random stream.  Jitter never reorders ticks (it is clamped so the
+        next tick stays in the future).
+    start_immediately:
+        If ``True`` the first tick happens after one (jittered) interval as
+        soon as the timer is constructed; otherwise call :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        jitter: float = 0.0,
+        start_immediately: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive, got {interval}")
+        if jitter < 0 or jitter >= interval:
+            raise SimulationError(
+                f"jitter must satisfy 0 <= jitter < interval, got {jitter}"
+            )
+        self._sim = sim
+        self._interval = float(interval)
+        self._jitter = float(jitter)
+        self._callback = callback
+        self._handle: EventHandle | None = None
+        self._running = False
+        if start_immediately:
+            self.start()
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently armed."""
+        return self._running
+
+    def start(self) -> None:
+        """Arm the timer.  Idempotent."""
+        if self._running:
+            return
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Disarm the timer.  Idempotent."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _arm(self) -> None:
+        delay = self._interval
+        if self._jitter > 0.0:
+            rng = self._sim.rng.stream("timers")
+            delay += float(rng.uniform(-self._jitter, self._jitter))
+            delay = max(delay, 1e-9)
+        self._handle = self._sim.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:  # callback may have stopped us
+            self._arm()
+
+
+class Timeout:
+    """A re-armable one-shot timeout (the failure-detector primitive).
+
+    ``reset()`` pushes the deadline out by the full duration; ``cancel()``
+    disarms it.  The callback fires at most once per arm.
+    """
+
+    def __init__(
+        self, sim: Simulation, duration: float, callback: Callable[[], None]
+    ) -> None:
+        if duration <= 0:
+            raise SimulationError(f"timeout duration must be positive, got {duration}")
+        self._sim = sim
+        self._duration = float(duration)
+        self._callback = callback
+        self._handle: EventHandle | None = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether a deadline is currently pending."""
+        return self._handle is not None and not self._handle.cancelled
+
+    def reset(self) -> None:
+        """(Re-)arm the timeout ``duration`` from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(self._duration, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm without firing.  Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()

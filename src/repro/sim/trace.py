@@ -1,0 +1,80 @@
+"""Structured tracing and counters.
+
+Protocols emit trace records (``tracer.emit("hierarchy.repair", peer=12)``)
+instead of printing; tests subscribe to assert on protocol behaviour and
+experiments read the counters.  Recording full records is opt-in because a
+million-message run should not accumulate a million dictionaries by default.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One emitted trace event."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Sink for structured trace events.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> tracer.emit(0.0, "msg.sent", size=4)
+    >>> tracer.counters["msg.sent"]
+    1
+    """
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        self._subscribers: dict[str, list[Callable[[TraceRecord], None]]] = {}
+        self._records: list[TraceRecord] | None = None
+
+    def start_recording(self) -> None:
+        """Keep every subsequent record in memory (for tests)."""
+        self._records = []
+
+    def stop_recording(self) -> list[TraceRecord]:
+        """Stop keeping records and return those captured so far."""
+        records = self._records or []
+        self._records = None
+        return records
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """Records captured since :meth:`start_recording` (empty if not
+        recording)."""
+        return list(self._records or [])
+
+    def subscribe(self, kind: str, handler: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``handler`` for every record of the given ``kind``.
+
+        Subscribing to the empty string receives every record.
+        """
+        self._subscribers.setdefault(kind, []).append(handler)
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Record one trace event."""
+        self.counters[kind] += 1
+        needs_record = (
+            self._records is not None
+            or kind in self._subscribers
+            or "" in self._subscribers
+        )
+        if not needs_record:
+            return
+        record = TraceRecord(time=time, kind=kind, fields=fields)
+        if self._records is not None:
+            self._records.append(record)
+        for handler in self._subscribers.get(kind, ()):
+            handler(record)
+        for handler in self._subscribers.get("", ()):
+            handler(record)

@@ -1,0 +1,30 @@
+"""Shared primitive types and aliases used across the library.
+
+The paper's model (Section I) is deliberately simple: peers are identified
+by integers, items are identified by integers, and every value (local or
+global) is a non-negative number.  Keeping these aliases in one module makes
+signatures throughout the code base self-documenting without inventing
+wrapper classes for what are fundamentally array indices.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+#: Identifier of a peer.  Peers are numbered ``0 .. N-1``.
+PeerId = NewType("PeerId", int)
+
+#: Identifier of a distinct data item.  Items are numbered ``0 .. n-1``.
+ItemId = NewType("ItemId", int)
+
+#: Identifier of an item group inside one filter (``0 .. g-1``).
+GroupId = NewType("GroupId", int)
+
+#: Simulated time, in abstract time units (the evaluation metric of the
+#: paper is bytes, not latency, so the unit is only used for ordering).
+SimTime = float
+
+#: Sentinel depth used by the hierarchy-repair protocol of Section III-A.3:
+#: a peer that lost its upstream neighbour sets its depth to "infinity"
+#: until it hears a heartbeat from a neighbour with a finite depth.
+INFINITE_DEPTH: int = 2**31 - 1

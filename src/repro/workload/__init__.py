@@ -1,0 +1,20 @@
+"""Workload generation.
+
+The paper's evaluation (Section V, Table III) generates ``10·n`` instances
+of ``n`` distinct items with Zipf-distributed frequencies (skew ``α``) and
+scatters them uniformly over the ``N`` peers, so each peer ends up with
+``10·n/N`` item instances.  :func:`~repro.workload.workload.Workload.zipf`
+reproduces exactly that.
+
+Beyond the synthetic evaluation workload, :mod:`repro.workload.applications`
+implements generators for the six applications of the paper's Table I
+(frequent query keywords, co-occurring keyword pairs, document replicas,
+popular peers, large traffic flows / DoS detection, frequent byte
+sequences / worm detection) — these drive the example programs.
+"""
+
+from repro.workload.streams import ZipfStream
+from repro.workload.workload import Workload
+from repro.workload.zipf import zipf_global_values, zipf_probabilities
+
+__all__ = ["Workload", "ZipfStream", "zipf_global_values", "zipf_probabilities"]

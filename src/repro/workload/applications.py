@@ -1,0 +1,278 @@
+"""Application workload generators — the paper's Table I.
+
+Table I maps six P2P application operations onto the IFI problem.  Each
+generator below produces the corresponding per-peer local item sets, plus
+scenario metadata (e.g. the planted DoS victim) that the examples and tests
+assert against.
+
+============================  =========================================
+Operation                      Generator
+============================  =========================================
+Frequent keywords              :func:`query_keyword_workload`
+Co-occurring keyword pairs     :func:`keyword_pair_workload`
+Frequent documents             :func:`document_replica_workload`
+Popular peers                  :func:`popular_peer_workload`
+Large flows to a destination   :func:`flow_destination_workload`
+Frequent byte sequences        :func:`byte_sequence_workload`
+============================  =========================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.distributions import partition_to_item_sets
+from repro.workload.workload import Workload
+from repro.workload.zipf import zipf_probabilities
+
+
+def _draw_queries(
+    n_queries: int,
+    vocabulary_size: int,
+    skew: float,
+    rng: np.random.Generator,
+    max_terms: int = 4,
+) -> list[np.ndarray]:
+    """Draw a query log: each query is 1..max_terms distinct Zipf keywords."""
+    probabilities = zipf_probabilities(vocabulary_size, skew)
+    lengths = rng.integers(1, max_terms + 1, size=n_queries)
+    queries = []
+    for length in lengths:
+        terms = np.unique(rng.choice(vocabulary_size, size=int(length), p=probabilities))
+        queries.append(terms)
+    return queries
+
+
+def query_keyword_workload(
+    n_peers: int,
+    vocabulary_size: int,
+    queries_per_peer: int,
+    rng: np.random.Generator,
+    skew: float = 1.0,
+) -> Workload:
+    """Frequent-keyword identification (cache management).
+
+    Table I: the local item set of peer ``i`` is the keywords appearing in
+    the queries issued by peer ``i``; the local value of keyword ``X`` is
+    the number of peer ``i``'s queries that contain ``X``.
+    """
+    item_sets: dict[int, dict[int, int]] = {}
+    for peer in range(n_peers):
+        counts: Counter[int] = Counter()
+        for query in _draw_queries(queries_per_peer, vocabulary_size, skew, rng):
+            counts.update(int(k) for k in query)
+        item_sets[peer] = dict(counts)
+    return Workload.from_item_sets(
+        partition_to_item_sets(item_sets),
+        n_peers=n_peers,
+        n_items=vocabulary_size,
+        description=f"query-keywords(V={vocabulary_size}, q/peer={queries_per_peer})",
+    )
+
+
+def keyword_pair_workload(
+    n_peers: int,
+    vocabulary_size: int,
+    queries_per_peer: int,
+    rng: np.random.Generator,
+    skew: float = 1.0,
+) -> Workload:
+    """Co-occurring keyword pairs (query refinement).
+
+    Items are unordered keyword pairs, encoded as
+    ``min(a,b) · V + max(a,b)``; the local value is how many of the peer's
+    queries contain both keywords.
+    """
+    item_sets: dict[int, dict[int, int]] = {}
+    for peer in range(n_peers):
+        counts: Counter[int] = Counter()
+        for query in _draw_queries(queries_per_peer, vocabulary_size, skew, rng):
+            terms = query.tolist()
+            for idx, a in enumerate(terms):
+                for b in terms[idx + 1 :]:
+                    counts[a * vocabulary_size + b] += 1
+        item_sets[peer] = dict(counts)
+    return Workload.from_item_sets(
+        partition_to_item_sets(item_sets),
+        n_peers=n_peers,
+        n_items=vocabulary_size * vocabulary_size,
+        description=f"keyword-pairs(V={vocabulary_size})",
+    )
+
+
+def decode_keyword_pair(pair_id: int, vocabulary_size: int) -> tuple[int, int]:
+    """Invert the pair encoding used by :func:`keyword_pair_workload`."""
+    return pair_id // vocabulary_size, pair_id % vocabulary_size
+
+
+def document_replica_workload(
+    n_peers: int,
+    n_documents: int,
+    replicas_per_peer: int,
+    rng: np.random.Generator,
+    skew: float = 1.0,
+) -> Workload:
+    """Frequent-document identification (search technique design).
+
+    Table I: items are documents stored at the peer; the local value of
+    document ``X`` is the number of replicas of ``X`` the peer maintains.
+    Popular documents are replicated on more peers (Zipf placement).
+    """
+    probabilities = zipf_probabilities(n_documents, skew)
+    item_sets: dict[int, dict[int, int]] = {}
+    for peer in range(n_peers):
+        docs = rng.choice(n_documents, size=replicas_per_peer, p=probabilities)
+        counts = Counter(int(d) for d in docs)
+        item_sets[peer] = dict(counts)
+    return Workload.from_item_sets(
+        partition_to_item_sets(item_sets),
+        n_peers=n_peers,
+        n_items=n_documents,
+        description=f"document-replicas(D={n_documents})",
+    )
+
+
+def popular_peer_workload(
+    n_peers: int,
+    interactions_per_peer: int,
+    rng: np.random.Generator,
+    skew: float = 1.2,
+) -> Workload:
+    """Popular-peer identification (content mirroring, incentives).
+
+    Items *are* peer identifiers; the local value of peer ``X`` at peer
+    ``i`` is the number of peer ``i``'s queries that ``X`` answered
+    satisfactorily.  A few peers (low ranks) answer most queries.
+    """
+    probabilities = zipf_probabilities(n_peers, skew)
+    item_sets: dict[int, dict[int, int]] = {}
+    for peer in range(n_peers):
+        providers = rng.choice(n_peers, size=interactions_per_peer, p=probabilities)
+        counts = Counter(int(p) for p in providers if int(p) != peer)
+        item_sets[peer] = dict(counts)
+    return Workload.from_item_sets(
+        partition_to_item_sets(item_sets),
+        n_peers=n_peers,
+        n_items=n_peers,
+        description=f"popular-peers(N={n_peers})",
+    )
+
+
+@dataclass(frozen=True)
+class DoSScenario:
+    """Metadata of a planted denial-of-service attack."""
+
+    victim_address: int
+    attack_bytes_total: int
+    background_addresses: int
+
+
+def flow_destination_workload(
+    n_peers: int,
+    n_addresses: int,
+    flows_per_peer: int,
+    rng: np.random.Generator,
+    victim_address: int | None = None,
+    attack_flows_per_peer: int = 5,
+    attack_flow_bytes: int = 1500,
+    background_flow_bytes: int = 40,
+    attacker_fraction: float = 0.3,
+    skew: float = 0.8,
+) -> tuple[Workload, DoSScenario]:
+    """Large-flow-to-destination identification (DoS attack detection).
+
+    Table I: items are destination addresses seen in packets passing
+    through the peer; the local value of address ``X`` is the size of the
+    traffic destined to ``X``.  A fraction of peers additionally forwards
+    attack traffic to one victim address; IFI with a suitable threshold
+    must surface exactly that address.
+    """
+    if not 0 < attacker_fraction <= 1:
+        raise WorkloadError("attacker_fraction must be in (0, 1]")
+    if victim_address is None:
+        victim_address = int(rng.integers(0, n_addresses))
+    probabilities = zipf_probabilities(n_addresses, skew)
+    item_sets: dict[int, dict[int, int]] = {}
+    attack_total = 0
+    attackers = rng.random(n_peers) < attacker_fraction
+    for peer in range(n_peers):
+        destinations = rng.choice(n_addresses, size=flows_per_peer, p=probabilities)
+        sizes = rng.poisson(background_flow_bytes, size=flows_per_peer) + 1
+        counts: Counter[int] = Counter()
+        for destination, size in zip(destinations.tolist(), sizes.tolist()):
+            counts[int(destination)] += int(size)
+        if attackers[peer]:
+            volume = attack_flows_per_peer * attack_flow_bytes
+            counts[victim_address] += volume
+            attack_total += volume
+        item_sets[peer] = dict(counts)
+    workload = Workload.from_item_sets(
+        partition_to_item_sets(item_sets),
+        n_peers=n_peers,
+        n_items=n_addresses,
+        description=f"dos-flows(addresses={n_addresses})",
+    )
+    scenario = DoSScenario(
+        victim_address=victim_address,
+        attack_bytes_total=attack_total,
+        background_addresses=n_addresses,
+    )
+    return workload, scenario
+
+
+@dataclass(frozen=True)
+class WormScenario:
+    """Metadata of a planted worm signature."""
+
+    signature_id: int
+    infected_peers: tuple[int, ...]
+    flows_with_signature: int
+
+
+def byte_sequence_workload(
+    n_peers: int,
+    n_sequences: int,
+    flows_per_peer: int,
+    rng: np.random.Generator,
+    signature_id: int | None = None,
+    infected_fraction: float = 0.4,
+    signature_flows_per_infected: int = 30,
+    skew: float = 1.0,
+) -> tuple[Workload, WormScenario]:
+    """Frequent byte-sequence identification (Internet worm detection).
+
+    Table I: items are byte sequences appearing in traffic passing through
+    the peer; the local value of sequence ``X`` is the number of flows
+    containing ``X``.  A worm's invariant payload substring shows up in
+    many flows across many vantage points — the planted signature here.
+    """
+    if signature_id is None:
+        signature_id = int(rng.integers(0, n_sequences))
+    probabilities = zipf_probabilities(n_sequences, skew)
+    item_sets: dict[int, dict[int, int]] = {}
+    infected: list[int] = []
+    signature_flows = 0
+    for peer in range(n_peers):
+        sequences = rng.choice(n_sequences, size=flows_per_peer, p=probabilities)
+        counts = Counter(int(s) for s in sequences)
+        if rng.random() < infected_fraction:
+            infected.append(peer)
+            counts[signature_id] += signature_flows_per_infected
+            signature_flows += signature_flows_per_infected
+        item_sets[peer] = dict(counts)
+    workload = Workload.from_item_sets(
+        partition_to_item_sets(item_sets),
+        n_peers=n_peers,
+        n_items=n_sequences,
+        description=f"worm-sequences(S={n_sequences})",
+    )
+    scenario = WormScenario(
+        signature_id=signature_id,
+        infected_peers=tuple(infected),
+        flows_with_signature=signature_flows,
+    )
+    return workload, scenario

@@ -1,0 +1,98 @@
+"""Scattering item instances over peers.
+
+The paper distributes the ``10·n`` generated item instances uniformly at
+random over the ``N`` peers; a peer's local value for an item is the number
+of that item's instances it received.  :func:`scatter_instances` implements
+this at ``10^7``-instance scale without materializing per-instance Python
+objects: instances become one flat array, are keyed by ``(peer, item)``,
+and grouped with a single sort.
+
+:func:`partition_to_item_sets` converts the grouped result into per-peer
+:class:`~repro.items.itemset.LocalItemSet` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.items.itemset import LocalItemSet
+
+
+def scatter_instances(
+    global_values: np.ndarray,
+    n_peers: int,
+    rng: np.random.Generator,
+) -> dict[int, LocalItemSet]:
+    """Uniformly scatter each item's instances over peers.
+
+    Parameters
+    ----------
+    global_values:
+        ``global_values[j]`` instances of item ``j`` will be placed.
+    n_peers:
+        Population size ``N``.
+    rng:
+        Randomness source.
+
+    Returns
+    -------
+    dict[int, LocalItemSet]
+        Local item sets, one per peer that received at least one instance.
+        By construction, summing local values per item over all peers
+        recovers ``global_values`` exactly.
+    """
+    global_values = np.asarray(global_values, dtype=np.int64)
+    if n_peers <= 0:
+        raise WorkloadError(f"n_peers must be positive, got {n_peers}")
+    if np.any(global_values < 0):
+        raise WorkloadError("global values must be non-negative")
+    n_items = global_values.size
+    total = int(global_values.sum())
+    if total == 0:
+        return {}
+
+    # One row per instance: which item it is, and which peer gets it.
+    item_of_instance = np.repeat(
+        np.arange(n_items, dtype=np.int64), global_values
+    )
+    peer_of_instance = rng.integers(0, n_peers, size=total, dtype=np.int64)
+
+    # Group by (peer, item) with a single sort over a combined key.
+    key = peer_of_instance * np.int64(n_items) + item_of_instance
+    unique_keys, counts = np.unique(key, return_counts=True)
+    peers = unique_keys // n_items
+    items = unique_keys % n_items
+
+    # Split the flat (peer, item, count) triples into per-peer sets.
+    boundaries = np.flatnonzero(np.diff(peers)) + 1
+    item_chunks = np.split(items, boundaries)
+    count_chunks = np.split(counts, boundaries)
+    peer_ids = peers[np.concatenate(([0], boundaries))]
+
+    return {
+        int(peer): LocalItemSet(chunk_items, chunk_counts.astype(np.int64))
+        for peer, chunk_items, chunk_counts in zip(peer_ids, item_chunks, count_chunks)
+    }
+
+
+def partition_to_item_sets(
+    assignments: dict[int, dict[int, int]]
+) -> dict[int, LocalItemSet]:
+    """Convert nested ``{peer: {item: value}}`` dictionaries (as produced
+    by the application generators) into :class:`LocalItemSet` objects."""
+    return {
+        peer: LocalItemSet.from_pairs(values) for peer, values in assignments.items()
+    }
+
+
+def recombine_global_values(
+    item_sets: dict[int, LocalItemSet], n_items: int | None = None
+) -> np.ndarray:
+    """Reconstruct global values from per-peer sets (the inverse of
+    :func:`scatter_instances`; used by tests and the oracle)."""
+    merged = LocalItemSet.merge_many(list(item_sets.values()))
+    size = n_items if n_items is not None else (int(merged.ids.max()) + 1 if len(merged) else 0)
+    values = np.zeros(size, dtype=np.int64)
+    values[merged.ids] = merged.values
+    return values

@@ -1,0 +1,156 @@
+"""The :class:`Workload` container.
+
+A workload couples the per-peer local item sets with the generation
+parameters and the (generation-side) ground truth, giving the experiments
+one object to build, install on a network, and check results against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.items.itemset import LocalItemSet
+from repro.workload.distributions import scatter_instances
+from repro.workload.zipf import zipf_global_values
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Per-peer item data plus generation metadata.
+
+    Attributes
+    ----------
+    item_sets:
+        ``{peer_id: LocalItemSet}``.  Peers without data are absent.
+    n_items:
+        The distinct-item universe size ``n``.
+    n_peers:
+        The peer population ``N`` it was generated for.
+    description:
+        Human-readable provenance for reports.
+    """
+
+    item_sets: dict[int, LocalItemSet]
+    n_items: int
+    n_peers: int
+    description: str = "custom"
+    _global_values_cache: list = field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+    @classmethod
+    def zipf(
+        cls,
+        n_items: int,
+        n_peers: int,
+        skew: float,
+        rng: np.random.Generator,
+        instances_per_item: int = 10,
+    ) -> "Workload":
+        """The paper's evaluation workload (Table III).
+
+        ``instances_per_item · n_items`` instances are generated with
+        Zipf(``skew``) frequencies and scattered uniformly over peers, so
+        each peer holds about ``instances_per_item · n_items / n_peers``
+        instances.
+        """
+        total = instances_per_item * n_items
+        global_values = zipf_global_values(n_items, skew, total, rng)
+        item_sets = scatter_instances(global_values, n_peers, rng)
+        return cls(
+            item_sets=item_sets,
+            n_items=n_items,
+            n_peers=n_peers,
+            description=(
+                f"zipf(n={n_items}, N={n_peers}, alpha={skew}, "
+                f"total={total})"
+            ),
+        )
+
+    @classmethod
+    def from_item_sets(
+        cls,
+        item_sets: dict[int, LocalItemSet],
+        n_peers: int,
+        n_items: int | None = None,
+        description: str = "custom",
+    ) -> "Workload":
+        """Wrap explicit per-peer item sets (application generators use
+        this)."""
+        if n_items is None:
+            n_items = 0
+            for item_set in item_sets.values():
+                if len(item_set):
+                    n_items = max(n_items, int(item_set.ids.max()) + 1)
+        return cls(
+            item_sets=dict(item_sets),
+            n_items=n_items,
+            n_peers=n_peers,
+            description=description,
+        )
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+    def global_values(self) -> np.ndarray:
+        """Exact global value per item (length ``n_items``), computed by
+        merging all local sets.  Cached after the first call."""
+        if not self._global_values_cache:
+            merged = LocalItemSet.merge_many(list(self.item_sets.values()))
+            values = np.zeros(self.n_items, dtype=np.int64)
+            if len(merged):
+                if int(merged.ids.max()) >= self.n_items:
+                    raise WorkloadError(
+                        "item id exceeds declared n_items "
+                        f"({int(merged.ids.max())} >= {self.n_items})"
+                    )
+                values[merged.ids] = merged.values
+            self._global_values_cache.append(values)
+        return self._global_values_cache[0]
+
+    @property
+    def total_value(self) -> int:
+        """The grand total ``v = Σ_x v_x``."""
+        return int(self.global_values().sum())
+
+    def threshold(self, threshold_ratio: float) -> int:
+        """``t = ρ · v`` (Section IV expresses thresholds as ratios)."""
+        if not 0 < threshold_ratio <= 1:
+            raise WorkloadError(
+                f"threshold_ratio must be in (0, 1], got {threshold_ratio}"
+            )
+        return int(np.ceil(threshold_ratio * self.total_value))
+
+    def frequent_items(self, threshold: int) -> np.ndarray:
+        """Ground-truth ``IFI(A, t)``: ids of items with global value
+        ≥ ``threshold``, ascending."""
+        return np.flatnonzero(self.global_values() >= threshold)
+
+    def heavy_count(self, threshold: int) -> int:
+        """``r`` — the number of heavy (frequent) items."""
+        return int(self.frequent_items(threshold).size)
+
+    # ------------------------------------------------------------------
+    # Statistics the analysis needs (Section IV)
+    # ------------------------------------------------------------------
+    def mean_value(self) -> float:
+        """``v̄`` — average global value over all n items."""
+        return self.total_value / self.n_items if self.n_items else 0.0
+
+    def mean_light_value(self, threshold: int) -> float:
+        """``v̄_light`` — average global value of the light items."""
+        values = self.global_values()
+        light = values[values < threshold]
+        return float(light.mean()) if light.size else 0.0
+
+    def distinct_items_per_peer(self) -> float:
+        """``o`` — mean number of distinct items in a peer's local set."""
+        if not self.item_sets:
+            return 0.0
+        return sum(len(s) for s in self.item_sets.values()) / self.n_peers

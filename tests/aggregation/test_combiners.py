@@ -1,0 +1,119 @@
+"""Unit and property tests for the combiner algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aggregation.combiners import (
+    KeyedSumCombiner,
+    MaxCombiner,
+    MinCombiner,
+    ScalarSumCombiner,
+    TupleCombiner,
+    VectorSumCombiner,
+)
+from repro.errors import AggregationError
+from repro.items.itemset import LocalItemSet
+from repro.net.wire import SizeModel
+
+MODEL = SizeModel()
+
+
+class TestScalar:
+    def test_identity_and_combine(self):
+        combiner = ScalarSumCombiner()
+        assert combiner.combine(combiner.identity(), 5) == 5
+        assert combiner.combine(2, 3) == 5
+
+    def test_size_is_sa(self):
+        assert ScalarSumCombiner().size_bytes(123, MODEL) == 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=20))
+    def test_combine_many_is_sum(self, values):
+        assert ScalarSumCombiner().combine_many(values) == sum(values)
+
+
+class TestMinMax:
+    def test_min(self):
+        combiner = MinCombiner()
+        assert combiner.combine_many([3, 1, 2]) == 1
+        assert combiner.identity() == float("inf")
+
+    def test_max(self):
+        combiner = MaxCombiner()
+        assert combiner.combine_many([3, 1, 2]) == 3
+
+
+class TestVector:
+    def test_elementwise_sum(self):
+        combiner = VectorSumCombiner(3)
+        result = combiner.combine(np.array([1, 2, 3]), np.array([10, 20, 30]))
+        assert result.tolist() == [11, 22, 33]
+
+    def test_identity_is_zeros(self):
+        assert VectorSumCombiner(4).identity().tolist() == [0, 0, 0, 0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AggregationError):
+            VectorSumCombiner(3).combine(np.zeros(3), np.zeros(4))
+
+    def test_size_is_sa_times_length(self):
+        combiner = VectorSumCombiner(300)
+        assert combiner.size_bytes(combiner.identity(), MODEL) == 1200
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(AggregationError):
+            VectorSumCombiner(0)
+
+
+class TestKeyed:
+    def test_merge(self):
+        combiner = KeyedSumCombiner()
+        merged = combiner.combine(
+            LocalItemSet.from_pairs({1: 2}), LocalItemSet.from_pairs({1: 3, 2: 1})
+        )
+        assert merged.to_dict() == {1: 5, 2: 1}
+
+    def test_size_is_pairs(self):
+        combiner = KeyedSumCombiner()
+        value = LocalItemSet.from_pairs({1: 2, 2: 3, 3: 4})
+        assert combiner.size_bytes(value, MODEL) == 3 * 8  # (sa+si) per pair
+
+    def test_empty_costs_nothing(self):
+        assert KeyedSumCombiner().size_bytes(LocalItemSet.empty(), MODEL) == 0
+
+
+class TestTuple:
+    def test_componentwise(self):
+        combiner = TupleCombiner(ScalarSumCombiner(), MinCombiner())
+        assert combiner.combine((1, 5), (2, 3)) == (3, 3)
+
+    def test_size_is_sum_of_parts(self):
+        combiner = TupleCombiner(ScalarSumCombiner(), VectorSumCombiner(2))
+        assert combiner.size_bytes((1, np.zeros(2)), MODEL) == 4 + 8
+
+    def test_arity_mismatch_rejected(self):
+        combiner = TupleCombiner(ScalarSumCombiner(), ScalarSumCombiner())
+        with pytest.raises(AggregationError):
+            combiner.combine((1,), (2, 3))
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(AggregationError):
+            TupleCombiner()
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=3, max_size=3),
+        max_size=10,
+    )
+)
+def test_vector_combine_many_order_independent(rows):
+    combiner = VectorSumCombiner(3)
+    vectors = [np.array(row) for row in rows]
+    forward = combiner.combine_many(vectors)
+    backward = combiner.combine_many(list(reversed(vectors)))
+    assert np.array_equal(forward, backward)

@@ -1,0 +1,97 @@
+"""Tests for push-sum gossip aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation.gossip import GossipAggregation, GossipConfig
+from repro.errors import AggregationError
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.net.wire import CostCategory
+from repro.sim.engine import Simulation
+
+
+def make_gossip(
+    n_peers: int = 40,
+    length: int = 4,
+    rounds: int = 60,
+    seed: int = 0,
+    contributions: dict[int, np.ndarray] | None = None,
+) -> tuple[Network, GossipAggregation, np.ndarray]:
+    sim = Simulation(seed=seed)
+    rng = np.random.default_rng(seed)
+    topology = Topology.random_connected(n_peers, 5.0, rng)
+    network = Network(sim, topology)
+    if contributions is None:
+        contributions = {
+            peer: rng.integers(0, 100, size=length).astype(np.float64)
+            for peer in range(n_peers)
+        }
+    truth = np.sum(list(contributions.values()), axis=0)
+    gossip = GossipAggregation(
+        network, contributions, length, GossipConfig(rounds=rounds)
+    )
+    return network, gossip, truth
+
+
+def test_estimates_converge_to_true_sums():
+    _, gossip, truth = make_gossip(rounds=80)
+    gossip.run()
+    for estimate in gossip.estimates().values():
+        assert np.allclose(estimate, truth, rtol=0.02)
+
+
+def test_mass_conservation_invariant():
+    _, gossip, truth = make_gossip(rounds=30)
+    gossip.run()
+    assert np.allclose(gossip.total_mass(), truth, rtol=1e-9)
+
+
+def test_more_rounds_reduce_error():
+    def max_error(rounds: int) -> float:
+        _, gossip, truth = make_gossip(rounds=rounds, seed=5)
+        gossip.run()
+        errors = [
+            np.max(np.abs(est - truth) / np.maximum(truth, 1.0))
+            for est in gossip.estimates().values()
+        ]
+        return float(np.max(errors))
+
+    assert max_error(60) < max_error(8)
+
+
+def test_gossip_bytes_charged_to_gossip_category():
+    network, gossip, _ = make_gossip(rounds=10)
+    gossip.run()
+    totals = network.accounting.bytes_by_category()
+    assert totals.get(CostCategory.GOSSIP, 0) > 0
+    # Each push carries (length + 1) aggregate-sized values.
+    per_message = (4 + 1) * 4
+    assert totals[CostCategory.GOSSIP] % per_message == 0
+
+
+def test_missing_contributions_default_to_zero():
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.star(5))
+    gossip = GossipAggregation(
+        network, {0: np.array([10.0])}, length=1, config=GossipConfig(rounds=40)
+    )
+    gossip.run()
+    for estimate in gossip.estimates().values():
+        assert np.allclose(estimate, [10.0], rtol=0.05)
+
+
+def test_wrong_contribution_shape_rejected():
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.star(3))
+    with pytest.raises(AggregationError):
+        GossipAggregation(network, {0: np.zeros(3)}, length=2)
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(AggregationError):
+        GossipConfig(rounds=0)
+    with pytest.raises(AggregationError):
+        GossipConfig(round_period=0.0)

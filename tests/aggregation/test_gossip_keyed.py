@@ -1,0 +1,89 @@
+"""Tests for keyed push-sum gossip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation.gossip import GossipConfig
+from repro.aggregation.gossip_keyed import KeyedGossipAggregation
+from repro.errors import AggregationError
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.net.wire import CostCategory
+from repro.sim.engine import Simulation
+
+
+def make(
+    seed: int = 0, n_peers: int = 30, rounds: int = 60
+) -> tuple[Network, KeyedGossipAggregation, dict[int, float]]:
+    import numpy as np
+
+    sim = Simulation(seed=seed)
+    rng = np.random.default_rng(seed)
+    topology = Topology.random_connected(n_peers, 5.0, rng)
+    network = Network(sim, topology)
+    contributions = {
+        peer: {int(k): float(rng.integers(1, 50)) for k in rng.choice(20, size=5, replace=False)}
+        for peer in range(n_peers)
+    }
+    truth: dict[int, float] = {}
+    for keyed in contributions.values():
+        for key, value in keyed.items():
+            truth[key] = truth.get(key, 0.0) + value
+    gossip = KeyedGossipAggregation(
+        network, contributions, initiator=0, config=GossipConfig(rounds=rounds)
+    )
+    return network, gossip, truth
+
+
+def test_initiator_estimates_converge():
+    _, gossip, truth = make(rounds=80)
+    gossip.run()
+    estimates = gossip.estimate_at(0)
+    assert set(estimates) == set(truth)
+    for key, value in truth.items():
+        assert estimates[key] == pytest.approx(value, rel=0.05)
+
+
+def test_mass_conservation():
+    _, gossip, truth = make(rounds=25)
+    gossip.run()
+    totals = gossip.total_mass()
+    for key, value in truth.items():
+        assert totals[key] == pytest.approx(value, rel=1e-9)
+
+
+def test_zero_weight_peer_estimate_rejected_before_weight_spreads():
+    network, gossip, _ = make(rounds=1)
+    # Before any round, only the initiator holds weight.
+    with pytest.raises(AggregationError):
+        gossip.estimate_at(5)
+
+
+def test_bytes_charged_to_gossip():
+    network, gossip, _ = make(rounds=10)
+    gossip.run()
+    assert network.accounting.total_bytes(CostCategory.GOSSIP) > 0
+
+
+def test_unknown_initiator_rejected():
+    import numpy as np
+
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.star(4))
+    network.fail_peer(2)
+    with pytest.raises(AggregationError):
+        KeyedGossipAggregation(network, {}, initiator=2)
+
+
+def test_empty_contributions_still_converge_weight():
+    import numpy as np
+
+    sim = Simulation(seed=1)
+    network = Network(sim, Topology.star(6))
+    gossip = KeyedGossipAggregation(
+        network, {3: {7: 42.0}}, initiator=0, config=GossipConfig(rounds=60)
+    )
+    gossip.run()
+    estimates = gossip.estimate_at(0)
+    assert estimates[7] == pytest.approx(42.0, rel=0.05)

@@ -1,0 +1,203 @@
+"""Tests for hierarchical aggregation sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation.combiners import (
+    KeyedSumCombiner,
+    ScalarSumCombiner,
+    TupleCombiner,
+    VectorSumCombiner,
+)
+from repro.aggregation.hierarchical import AggregationEngine
+from repro.aggregation.spec import AggregateSpec
+from repro.errors import AggregationError
+from repro.hierarchy.builder import Hierarchy
+from repro.items.itemset import LocalItemSet
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.net.wire import CostCategory, SizeModel
+from repro.sim.engine import Simulation
+
+
+def make_engine(topology: Topology, seed: int = 0) -> AggregationEngine:
+    sim = Simulation(seed=seed)
+    network = Network(sim, topology)
+    hierarchy = Hierarchy.build(network, root=0)
+    return AggregationEngine(hierarchy)
+
+
+def scalar_spec(name: str = "sum") -> AggregateSpec:
+    return AggregateSpec(
+        name=name,
+        combiner=ScalarSumCombiner(),
+        contribute=lambda node, _: node.peer_id,
+        up_category=CostCategory.CONTROL,
+    )
+
+
+def test_scalar_sum_over_star():
+    engine = make_engine(Topology.star(5))
+    assert engine.run(scalar_spec()) == 0 + 1 + 2 + 3 + 4
+
+
+def test_scalar_sum_over_line():
+    engine = make_engine(Topology.line(7))
+    assert engine.run(scalar_spec()) == sum(range(7))
+
+
+def test_scalar_sum_over_random_graph():
+    rng = np.random.default_rng(1)
+    engine = make_engine(Topology.random_connected(90, 4.0, rng))
+    assert engine.run(scalar_spec()) == sum(range(90))
+
+
+def test_vector_sum():
+    engine = make_engine(Topology.line(4))
+    spec = AggregateSpec(
+        name="vec",
+        combiner=VectorSumCombiner(3),
+        contribute=lambda node, _: np.array([1, node.peer_id, 0]),
+        up_category=CostCategory.FILTERING,
+    )
+    assert engine.run(spec).tolist() == [4, 6, 0]
+
+
+def test_keyed_sum_merges_item_sets():
+    engine = make_engine(Topology.star(3))
+    network = engine.network
+    network.node(0).items = LocalItemSet.from_pairs({1: 1})
+    network.node(1).items = LocalItemSet.from_pairs({1: 2, 5: 3})
+    network.node(2).items = LocalItemSet.from_pairs({5: 4})
+    spec = AggregateSpec(
+        name="keyed",
+        combiner=KeyedSumCombiner(),
+        contribute=lambda node, _: node.items,
+        up_category=CostCategory.NAIVE,
+    )
+    assert engine.run(spec).to_dict() == {1: 3, 5: 7}
+
+
+def test_tuple_aggregation_combines_v_and_n():
+    engine = make_engine(Topology.line(5))
+    for peer in range(5):
+        engine.network.node(peer).items = LocalItemSet.from_pairs({peer: 10})
+    spec = AggregateSpec(
+        name="totals",
+        combiner=TupleCombiner(ScalarSumCombiner(), ScalarSumCombiner()),
+        contribute=lambda node, _: (node.items.total_value, 1),
+        up_category=CostCategory.CONTROL,
+    )
+    assert engine.run(spec) == (50, 5)
+
+
+def test_request_data_reaches_every_contribution():
+    engine = make_engine(Topology.line(4))
+    spec = AggregateSpec(
+        name="scaled",
+        combiner=ScalarSumCombiner(),
+        contribute=lambda node, factor: node.peer_id * factor,
+        up_category=CostCategory.CONTROL,
+    )
+    assert engine.run(spec, request_data=10) == 60
+
+
+def test_up_sweep_bytes_charged_to_spec_category():
+    engine = make_engine(Topology.line(4))
+    before = engine.network.accounting.total_bytes(CostCategory.FILTERING)
+    spec = AggregateSpec(
+        name="vec",
+        combiner=VectorSumCombiner(10),
+        contribute=lambda node, _: np.zeros(10, dtype=np.int64),
+        up_category=CostCategory.FILTERING,
+    )
+    engine.run(spec)
+    gained = engine.network.accounting.total_bytes(CostCategory.FILTERING) - before
+    # 3 non-root peers each send a 10-element vector: 3 * 10 * 4 bytes.
+    assert gained == 120
+
+
+def test_request_bytes_charged_to_down_category():
+    engine = make_engine(Topology.line(4))
+    spec = AggregateSpec(
+        name="heavy",
+        combiner=ScalarSumCombiner(),
+        contribute=lambda node, data: 0,
+        up_category=CostCategory.AGGREGATION,
+        down_category=CostCategory.DISSEMINATION,
+        request_bytes=lambda data, model: 100,
+    )
+    engine.run(spec, request_data="payload")
+    # 3 peers receive the request (root does not send to itself).
+    assert engine.network.accounting.total_bytes(CostCategory.DISSEMINATION) == 300
+
+
+def test_concurrent_sessions_do_not_interfere():
+    engine = make_engine(Topology.line(6))
+    handle_a = engine.start(scalar_spec("a"))
+    handle_b = engine.start(
+        AggregateSpec(
+            name="b",
+            combiner=ScalarSumCombiner(),
+            contribute=lambda node, _: 1,
+            up_category=CostCategory.CONTROL,
+        )
+    )
+    engine.sim.run()
+    assert handle_a.done and handle_b.done
+    assert handle_a.value == sum(range(6))
+    assert handle_b.value == 6
+
+
+def test_callback_invoked_on_completion():
+    engine = make_engine(Topology.star(4))
+    seen = []
+    engine.start(scalar_spec(), callback=seen.append)
+    engine.sim.run()
+    assert seen == [6]
+
+
+def test_child_timeout_yields_partial_aggregate():
+    engine = make_engine(Topology.line(5))
+    engine.child_timeout = 50.0
+    handle = engine.start(scalar_spec())
+    # Fail peer 2 after it has received and forwarded the request but
+    # before its subtree's replies return: peer 1 must time out and
+    # forward what it has.
+    engine.sim.schedule(3.5, engine.network.fail_peer, 2)
+    engine.sim.run()
+    assert handle.done
+    assert handle.value == 0 + 1
+    assert engine.sim.trace.counters["aggregation.child_timeout"] >= 1
+
+
+def test_dead_children_at_session_start_are_skipped_without_timeout():
+    engine = make_engine(Topology.line(5))
+    engine.network.fail_peer(2)
+    value = engine.run(scalar_spec())
+    assert value == 0 + 1
+    assert engine.sim.trace.counters["aggregation.child_timeout"] == 0
+
+
+def test_start_with_dead_root_raises():
+    engine = make_engine(Topology.line(3))
+    engine.network.fail_peer(0)
+    with pytest.raises(AggregationError):
+        engine.start(scalar_spec())
+
+
+def test_revived_peer_gets_service_and_participates():
+    engine = make_engine(Topology.star(4))
+    network = engine.network
+    network.fail_peer(2)
+    network.revive_peer(2)
+    # Manually reattach (no maintenance service in this test).
+    from repro.hierarchy.builder import HierarchyService
+
+    service = HierarchyService(network.node(2))
+    engine.hierarchy.services[2] = service
+    service.attach_under(0, 1)
+    engine.sim.run(until=engine.sim.now + 10)
+    assert engine.run(scalar_spec()) == 0 + 1 + 2 + 3

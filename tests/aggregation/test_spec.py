@@ -1,0 +1,64 @@
+"""Tests for aggregate specifications and session payloads."""
+
+from __future__ import annotations
+
+from repro.aggregation.combiners import ScalarSumCombiner, VectorSumCombiner
+from repro.aggregation.hierarchical import AggReplyPayload, AggRequestPayload
+from repro.aggregation.spec import AggregateSpec
+from repro.net.wire import CostCategory, SizeModel
+
+MODEL = SizeModel()
+
+
+def make_spec(**overrides) -> AggregateSpec:
+    defaults = dict(
+        name="test",
+        combiner=ScalarSumCombiner(),
+        contribute=lambda node, data: 1,
+        up_category=CostCategory.FILTERING,
+    )
+    defaults.update(overrides)
+    return AggregateSpec(**defaults)
+
+
+def test_default_request_is_one_control_integer():
+    spec = make_spec()
+    assert spec.down_category == CostCategory.CONTROL
+    assert spec.request_bytes(None, MODEL) == MODEL.aggregate_bytes
+
+
+def test_request_payload_priced_by_spec():
+    spec = make_spec(
+        down_category=CostCategory.DISSEMINATION,
+        request_bytes=lambda data, model: len(data) * model.group_id_bytes,
+    )
+    payload = AggRequestPayload(session_id=1, spec=spec, request_data=[1, 2, 3])
+    assert payload.category == CostCategory.DISSEMINATION
+    assert payload.body_bytes(MODEL) == 12
+
+
+def test_reply_payload_priced_by_combiner():
+    import numpy as np
+
+    spec = make_spec(combiner=VectorSumCombiner(5))
+    payload = AggReplyPayload(session_id=1, spec=spec, value=np.zeros(5))
+    assert payload.category == CostCategory.FILTERING
+    assert payload.body_bytes(MODEL) == 20
+
+
+def test_header_bytes_added_on_top_of_body():
+    model = SizeModel(header_bytes=16)
+    spec = make_spec()
+    payload = AggReplyPayload(session_id=1, spec=spec, value=7)
+    assert payload.size_bytes(model) == model.aggregate_bytes + 16
+
+
+def test_message_kind_is_payload_class_name():
+    from repro.net.message import Message
+
+    spec = make_spec()
+    payload = AggReplyPayload(session_id=1, spec=spec, value=0)
+    message = Message(
+        sender=1, recipient=2, payload=payload, sent_at=0.0, delivered_at=1.0
+    )
+    assert message.kind == "AggReplyPayload"

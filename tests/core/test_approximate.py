@@ -1,0 +1,98 @@
+"""Tests for the approximate (ε-tolerant) IFI comparator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import ApproximateConfig, ApproximateIFIProtocol
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter
+from repro.core.oracle import oracle_frequent_items
+
+from tests.conftest import build_small_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_small_system(seed=20, n_peers=80, n_items=4000)
+
+
+@pytest.fixture(scope="module")
+def result(system):
+    config = ApproximateConfig(epsilon=0.002, delta=0.05, threshold_ratio=0.01)
+    return ApproximateIFIProtocol(config).run(system.engine)
+
+
+def test_no_false_negatives(system, result):
+    """Every exactly-frequent item must be reported (pigeonhole nomination
+    + over-estimating sketch)."""
+    truth = oracle_frequent_items(system.network, result.threshold)
+    assert np.isin(truth.ids, result.reported.ids).all()
+
+
+def test_estimates_upper_bound_truth(system, result):
+    from repro.core.oracle import oracle_global_values
+
+    truth = oracle_global_values(system.network)
+    for item_id, estimate in result.reported:
+        assert estimate >= truth.value_of(item_id)
+
+
+def test_estimates_within_epsilon_mostly(system, result):
+    from repro.core.oracle import oracle_global_values
+
+    truth = oracle_global_values(system.network)
+    bound = result.config.epsilon * result.grand_total
+    overshoots = [
+        estimate - truth.value_of(item_id) for item_id, estimate in result.reported
+    ]
+    violations = sum(1 for over in overshoots if over > bound)
+    assert violations <= max(1, 0.2 * len(overshoots))
+
+
+def test_cost_charged_to_sketch_category(result):
+    assert result.breakdown.sketch > 0
+    assert result.breakdown.filtering == 0
+    assert result.total_cost == result.breakdown.sketch
+
+
+def test_tighter_epsilon_costs_more(system):
+    loose = ApproximateIFIProtocol(
+        ApproximateConfig(epsilon=0.01, threshold_ratio=0.01)
+    ).run(system.engine)
+    tight = ApproximateIFIProtocol(
+        ApproximateConfig(epsilon=0.0005, threshold_ratio=0.01)
+    ).run(system.engine)
+    assert tight.total_cost > loose.total_cost
+    # Both still contain the exact answer.
+    truth = oracle_frequent_items(system.network, loose.threshold)
+    assert np.isin(truth.ids, loose.reported.ids).all()
+    assert np.isin(truth.ids, tight.reported.ids).all()
+
+
+def test_exact_netfilter_vs_approximate_tradeoff(system):
+    """The paper's positioning: netFilter pays for exactness; the
+    ε-approach may report false positives.  Verify both directions of the
+    trade are observable."""
+    net_result = NetFilter(
+        NetFilterConfig(filter_size=60, num_filters=3, threshold_ratio=0.01)
+    ).run(system.engine)
+    approx_result = ApproximateIFIProtocol(
+        ApproximateConfig(epsilon=0.002, threshold_ratio=0.01)
+    ).run(system.engine)
+    truth = oracle_frequent_items(system.network, net_result.threshold)
+    # netFilter: exact.
+    assert net_result.frequent == truth
+    # approximate: superset with approximate values.
+    assert np.isin(truth.ids, approx_result.reported.ids).all()
+    assert len(approx_result.reported) >= len(truth)
+
+
+def test_invalid_config():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ApproximateConfig(threshold_ratio=0.0)
+    with pytest.raises(ConfigurationError):
+        ApproximateIFIProtocol(ApproximateConfig(epsilon=2.0))

@@ -1,0 +1,60 @@
+"""Unit tests for netFilter configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NetFilterConfig
+from repro.errors import ConfigurationError
+
+
+def test_valid_ratio_config():
+    config = NetFilterConfig(filter_size=100, num_filters=3, threshold_ratio=0.01)
+    assert config.resolve_threshold(1_000_000) == 10_000
+
+
+def test_threshold_ceil_rounding():
+    config = NetFilterConfig(filter_size=10, threshold_ratio=0.01)
+    assert config.resolve_threshold(101) == 2  # ceil(1.01)
+
+
+def test_threshold_never_below_one():
+    config = NetFilterConfig(filter_size=10, threshold_ratio=0.001)
+    assert config.resolve_threshold(5) == 1
+
+
+def test_absolute_threshold_passthrough():
+    config = NetFilterConfig(filter_size=10, threshold=42)
+    assert config.resolve_threshold(999_999) == 42
+
+
+def test_both_thresholds_rejected():
+    with pytest.raises(ConfigurationError):
+        NetFilterConfig(filter_size=10, threshold_ratio=0.1, threshold=5)
+
+
+def test_neither_threshold_rejected():
+    with pytest.raises(ConfigurationError):
+        NetFilterConfig(filter_size=10)
+
+
+def test_invalid_filter_size_rejected():
+    with pytest.raises(ConfigurationError):
+        NetFilterConfig(filter_size=0, threshold_ratio=0.1)
+
+
+def test_invalid_num_filters_rejected():
+    with pytest.raises(ConfigurationError):
+        NetFilterConfig(filter_size=10, num_filters=0, threshold_ratio=0.1)
+
+
+def test_ratio_out_of_range_rejected():
+    with pytest.raises(ConfigurationError):
+        NetFilterConfig(filter_size=10, threshold_ratio=0.0)
+    with pytest.raises(ConfigurationError):
+        NetFilterConfig(filter_size=10, threshold_ratio=1.5)
+
+
+def test_negative_threshold_rejected():
+    with pytest.raises(ConfigurationError):
+        NetFilterConfig(filter_size=10, threshold=0)

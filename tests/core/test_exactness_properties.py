@@ -1,0 +1,100 @@
+"""Property-based exactness tests: netFilter ≡ oracle, always.
+
+The paper's central claim (Section I): the reported set has no false
+positives, no false negatives, and exact global values — *regardless* of
+(g, f), skew, threshold, or how items are spread over peers.  Hypothesis
+searches for a counterexample over randomly generated systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.hierarchical import AggregationEngine
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter
+from repro.core.oracle import oracle_frequent_items
+from repro.hierarchy.builder import Hierarchy
+from repro.items.itemset import LocalItemSet
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.sim.engine import Simulation
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_system(draw):
+    """A random small network with random per-peer item data."""
+    n_peers = draw(st.integers(min_value=2, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    sim = Simulation(seed=seed)
+    if n_peers == 2:
+        topology = Topology.line(2)
+    else:
+        topology = Topology.random_connected(
+            n_peers, min(3.0, n_peers - 1), sim.rng.stream("topology")
+        )
+    network = Network(sim, topology)
+    n_items = draw(st.integers(min_value=1, max_value=200))
+    for peer in range(n_peers):
+        pairs = draw(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=n_items - 1),
+                st.integers(min_value=1, max_value=500),
+                max_size=30,
+            )
+        )
+        network.node(peer).items = LocalItemSet.from_pairs(pairs)
+    hierarchy = Hierarchy.build(network, root=0)
+    return network, AggregationEngine(hierarchy)
+
+
+@given(
+    system=random_system(),
+    filter_size=st.integers(min_value=1, max_value=64),
+    num_filters=st.integers(min_value=1, max_value=4),
+    ratio=st.sampled_from([0.001, 0.01, 0.05, 0.2, 0.9]),
+)
+@SLOW
+def test_netfilter_equals_oracle(system, filter_size, num_filters, ratio):
+    network, engine = system
+    config = NetFilterConfig(
+        filter_size=filter_size, num_filters=num_filters, threshold_ratio=ratio
+    )
+    result = NetFilter(config).run(engine)
+    assert result.frequent == oracle_frequent_items(network, result.threshold)
+
+
+@given(
+    system=random_system(),
+    threshold=st.integers(min_value=1, max_value=5000),
+)
+@SLOW
+def test_candidate_set_never_misses_a_frequent_item(system, threshold):
+    """The filtering phase alone must have no false negatives: every
+    oracle-frequent item survives into the candidate set."""
+    network, engine = system
+    config = NetFilterConfig(filter_size=16, num_filters=3, threshold=threshold)
+    result = NetFilter(config).run(engine)
+    truth = oracle_frequent_items(network, threshold)
+    assert np.isin(truth.ids, result.candidates.ids).all()
+
+
+@given(system=random_system())
+@SLOW
+def test_netfilter_and_naive_agree(system):
+    from repro.core.naive import NaiveProtocol
+
+    network, engine = system
+    config = NetFilterConfig(filter_size=20, num_filters=2, threshold_ratio=0.05)
+    net_result = NetFilter(config).run(engine)
+    naive_result = NaiveProtocol(config).run(engine)
+    assert net_result.frequent == naive_result.frequent

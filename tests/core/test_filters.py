@@ -1,0 +1,144 @@
+"""Unit and property tests for the hash filter bank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters import FilterBank, HashFilter, splitmix64
+from repro.errors import ConfigurationError
+from repro.items.itemset import LocalItemSet
+
+
+class TestSplitmix:
+    def test_bijective_on_sample(self):
+        values = np.arange(10_000, dtype=np.uint64)
+        mixed = splitmix64(values)
+        assert np.unique(mixed).size == values.size
+
+    def test_deterministic(self):
+        values = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(values), splitmix64(values))
+
+
+class TestHashFilter:
+    def test_groups_in_range(self):
+        hash_filter = HashFilter(n_groups=16, salt=7)
+        groups = hash_filter.group_of(np.arange(1000))
+        assert groups.min() >= 0
+        assert groups.max() < 16
+
+    def test_consecutive_ids_spread_uniformly(self):
+        # The regression that motivated splitmix64: consecutive ids must
+        # not concentrate in a strided subset of groups.
+        hash_filter = HashFilter(n_groups=100, salt=123)
+        groups = hash_filter.group_of(np.arange(100_000))
+        counts = np.bincount(groups, minlength=100)
+        assert counts.min() > 0.8 * counts.mean()
+        assert counts.max() < 1.2 * counts.mean()
+
+    def test_different_salts_give_different_functions(self):
+        ids = np.arange(1000)
+        a = HashFilter(50, salt=1).group_of(ids)
+        b = HashFilter(50, salt=2).group_of(ids)
+        assert not np.array_equal(a, b)
+
+    def test_local_group_values_conserve_mass(self):
+        hash_filter = HashFilter(n_groups=8, salt=0)
+        items = LocalItemSet.from_pairs({i: i + 1 for i in range(50)})
+        vector = hash_filter.local_group_values(items)
+        assert vector.sum() == items.total_value
+
+    def test_empty_item_set_gives_zero_vector(self):
+        hash_filter = HashFilter(n_groups=8, salt=0)
+        assert hash_filter.local_group_values(LocalItemSet.empty()).tolist() == [0] * 8
+
+    def test_invalid_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashFilter(0, salt=1)
+
+
+class TestFilterBank:
+    def test_aggregate_shape(self):
+        bank = FilterBank(num_filters=3, filter_size=10)
+        items = LocalItemSet.from_pairs({1: 5})
+        assert bank.local_group_aggregates(items).shape == (30,)
+
+    def test_each_filter_conserves_mass(self):
+        bank = FilterBank(num_filters=4, filter_size=7, hash_seed=2)
+        items = LocalItemSet.from_pairs({i: 2 * i + 1 for i in range(30)})
+        for vector in bank.split_aggregate(bank.local_group_aggregates(items)):
+            assert vector.sum() == items.total_value
+
+    def test_split_roundtrip(self):
+        bank = FilterBank(num_filters=2, filter_size=3)
+        flat = np.arange(6)
+        parts = bank.split_aggregate(flat)
+        assert np.array_equal(np.concatenate(parts), flat)
+
+    def test_split_wrong_shape_rejected(self):
+        bank = FilterBank(num_filters=2, filter_size=3)
+        with pytest.raises(ConfigurationError):
+            bank.split_aggregate(np.zeros(5))
+
+    def test_heavy_groups_thresholding(self):
+        bank = FilterBank(num_filters=1, filter_size=4)
+        heavy = bank.heavy_groups_per_filter(np.array([5, 10, 9, 0]), threshold=9)
+        assert heavy[0].tolist() == [1, 2]
+
+    def test_same_seed_same_bank(self):
+        ids = np.arange(100)
+        a = FilterBank(3, 10, hash_seed=5)
+        b = FilterBank(3, 10, hash_seed=5)
+        for fa, fb in zip(a.filters, b.filters):
+            assert np.array_equal(fa.group_of(ids), fb.group_of(ids))
+
+    def test_candidate_mask_requires_all_filters_heavy(self):
+        bank = FilterBank(num_filters=2, filter_size=4, hash_seed=1)
+        ids = np.array([11, 22, 33])
+        groups0 = bank.filters[0].group_of(ids)
+        groups1 = bank.filters[1].group_of(ids)
+        # Only item 22's groups are heavy under both filters.
+        heavy = [np.array([groups0[1]]), np.array([groups1[1]])]
+        mask = bank.candidate_mask(ids, heavy)
+        expected = [
+            groups0[k] == groups0[1] and groups1[k] == groups1[1] for k in range(3)
+        ]
+        assert mask.tolist() == expected
+        assert mask[1]
+
+    def test_candidate_mask_wrong_filter_count_rejected(self):
+        bank = FilterBank(num_filters=2, filter_size=4)
+        with pytest.raises(ConfigurationError):
+            bank.candidate_mask(np.array([1]), [np.array([0])])
+
+    def test_invalid_bank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FilterBank(num_filters=0, filter_size=4)
+
+
+class TestProperties:
+    @given(
+        st.sets(st.integers(min_value=0, max_value=10**9), max_size=100),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50)
+    def test_group_assignment_total_and_range(self, ids, n_groups, salt):
+        hash_filter = HashFilter(n_groups=n_groups, salt=salt)
+        id_array = np.fromiter(ids, dtype=np.int64, count=len(ids))
+        groups = hash_filter.group_of(id_array)
+        assert groups.shape == id_array.shape
+        if groups.size:
+            assert 0 <= groups.min() and groups.max() < n_groups
+
+    @given(st.dictionaries(st.integers(0, 10**6), st.integers(0, 10**6), max_size=50))
+    @settings(max_examples=50)
+    def test_bank_mass_conservation(self, pairs):
+        bank = FilterBank(num_filters=2, filter_size=9, hash_seed=4)
+        items = LocalItemSet.from_pairs(pairs)
+        flat = bank.local_group_aggregates(items)
+        for vector in bank.split_aggregate(flat):
+            assert vector.sum() == items.total_value

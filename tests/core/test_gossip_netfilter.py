@@ -1,0 +1,133 @@
+"""Tests for the gossip-based netFilter (the paper's future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gossip_netfilter import (
+    GossipNetFilter,
+    GossipNetFilterConfig,
+    GossipNetFilterResult,
+)
+from repro.core.oracle import oracle_frequent_items, oracle_global_values
+from repro.errors import ConfigurationError
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.sim.engine import Simulation
+from repro.workload.workload import Workload
+
+
+def build_network(seed: int = 0, n_peers: int = 50, n_items: int = 2000) -> Network:
+    sim = Simulation(seed=seed)
+    topology = Topology.random_connected(n_peers, 5.0, sim.rng.stream("topology"))
+    network = Network(sim, topology)
+    workload = Workload.zipf(n_items, n_peers, 1.0, sim.rng.stream("workload"))
+    network.assign_items(workload.item_sets)
+    return network
+
+
+@pytest.fixture(scope="module")
+def run():
+    network = build_network(seed=1)
+    config = GossipNetFilterConfig(
+        filter_size=60, num_filters=2, threshold_ratio=0.01,
+        rounds=80, safety_margin=0.1,
+    )
+    result = GossipNetFilter(config).run(network, requester=0)
+    return network, result
+
+
+def test_no_false_negatives_with_margin(run):
+    network, result = run
+    truth = oracle_frequent_items(network, result.threshold)
+    assert np.isin(truth.ids, result.reported.ids).all()
+
+
+def test_reported_values_near_truth(run):
+    network, result = run
+    truth = oracle_global_values(network)
+    for item_id, estimate in result.reported:
+        exact = truth.value_of(item_id)
+        assert abs(estimate - exact) <= max(0.1 * exact, 5)
+
+
+def test_grand_total_estimate_close(run):
+    network, result = run
+    exact = sum(network.node(p).items.total_value for p in network.live_peers())
+    assert result.grand_total_estimate == pytest.approx(exact, rel=0.05)
+
+
+def test_cost_charged_to_gossip_and_dissemination(run):
+    _, result = run
+    assert result.breakdown.gossip > 0
+    assert result.breakdown.dissemination > 0
+    assert result.total_cost == result.breakdown.gossip + result.breakdown.dissemination
+
+
+def test_no_hierarchy_needed(run):
+    network, _ = run
+    # The run above never built a hierarchy: no CONTROL bytes at all.
+    from repro.net.wire import CostCategory
+
+    assert network.accounting.total_bytes(CostCategory.CONTROL) == 0
+
+
+def test_costlier_but_root_free_vs_hierarchical():
+    """The trade the paper anticipates: gossip survives any single peer
+    (no root), but pays a large byte premium."""
+    from repro.aggregation.hierarchical import AggregationEngine
+    from repro.core.config import NetFilterConfig
+    from repro.core.netfilter import NetFilter
+    from repro.hierarchy.builder import Hierarchy
+
+    network = build_network(seed=2)
+    hierarchy = Hierarchy.build(network, root=0)
+    engine = AggregationEngine(hierarchy)
+    hier_result = NetFilter(
+        NetFilterConfig(filter_size=60, num_filters=2, threshold_ratio=0.01)
+    ).run(engine)
+
+    gossip_network = build_network(seed=2)
+    gossip_result = GossipNetFilter(
+        GossipNetFilterConfig(
+            filter_size=60, num_filters=2, threshold_ratio=0.01, rounds=60
+        )
+    ).run(gossip_network, requester=0)
+
+    assert gossip_result.total_cost > 3 * hier_result.breakdown.total
+    truth = oracle_frequent_items(gossip_network, gossip_result.threshold)
+    assert np.isin(truth.ids, gossip_result.reported.ids).all()
+
+
+def test_flood_reaches_every_peer():
+    from repro.core.gossip_netfilter import _Flood
+    from repro.core.verification import HeavyGroups
+
+    network = build_network(seed=3, n_peers=40)
+    flood = _Flood(network)
+    heavy = HeavyGroups(per_filter=(np.array([1, 2, 3]),))
+    flood.start(0, heavy, settle_time=100.0)
+    assert set(flood.received) == set(network.live_peers())
+    flood.teardown()
+
+
+def test_margin_zero_may_lose_items_but_still_runs():
+    network = build_network(seed=4)
+    config = GossipNetFilterConfig(
+        filter_size=60, num_filters=2, threshold_ratio=0.01,
+        rounds=40, safety_margin=0.0,
+    )
+    result = GossipNetFilter(config).run(network, requester=0)
+    assert isinstance(result, GossipNetFilterResult)
+
+
+def test_invalid_config():
+    with pytest.raises(ConfigurationError):
+        GossipNetFilterConfig(filter_size=0)
+    with pytest.raises(ConfigurationError):
+        GossipNetFilterConfig(filter_size=10, rounds=0)
+    with pytest.raises(ConfigurationError):
+        GossipNetFilterConfig(filter_size=10, safety_margin=1.0)
+    with pytest.raises(ConfigurationError):
+        GossipNetFilterConfig(filter_size=10, threshold_ratio=2.0)

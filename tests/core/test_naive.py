@@ -1,0 +1,73 @@
+"""Tests for the naive full-collection baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NetFilterConfig
+from repro.core.cost_model import naive_cost_bounds
+from repro.core.naive import NaiveProtocol
+from repro.core.oracle import oracle_frequent_items, oracle_global_values
+from repro.net.wire import CostCategory
+
+from tests.conftest import build_small_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_small_system(seed=2)
+
+
+@pytest.fixture(scope="module")
+def result(system):
+    config = NetFilterConfig(filter_size=1, threshold_ratio=0.01)
+    return NaiveProtocol(config).run(system.engine)
+
+
+def test_collects_every_item_exactly(system, result):
+    assert result.all_items == oracle_global_values(system.network)
+
+
+def test_frequent_matches_oracle(system, result):
+    assert result.frequent == oracle_frequent_items(system.network, result.threshold)
+
+
+def test_cost_charged_to_naive_category(system, result):
+    assert result.breakdown.naive > 0
+    assert result.breakdown.filtering == 0
+    assert result.breakdown.aggregation == 0
+
+
+def test_cost_within_formula2_bounds(system, result):
+    # (s_a+s_i)·o ≤ C_naive ≤ (s_a+s_i)·o·(h-1) — Formula 2.
+    o = system.workload.distinct_items_per_peer()
+    h = system.hierarchy.height()
+    low, high = naive_cost_bounds(o, h, system.network.size_model)
+    # The lower bound holds up to the root's missing contribution.
+    assert result.breakdown.naive >= low * 0.9
+    assert result.breakdown.naive <= high
+
+
+def test_avg_items_per_peer_consistent(system, result):
+    model = system.network.size_model
+    assert result.avg_items_per_peer == pytest.approx(
+        result.breakdown.naive / model.pair_bytes
+    )
+
+
+def test_cost_far_below_n_times_N(system, result):
+    # The Section IV-B observation: the naive cost is O(o·h), not O(n·N).
+    model = system.network.size_model
+    absurd = model.pair_bytes * system.workload.n_items
+    assert result.breakdown.naive < absurd
+
+
+def test_runs_are_cost_isolated(system):
+    config = NetFilterConfig(filter_size=1, threshold_ratio=0.01)
+    first = NaiveProtocol(config).run(system.engine)
+    second = NaiveProtocol(config).run(system.engine)
+    assert first.breakdown.naive == pytest.approx(second.breakdown.naive)
+
+
+def test_str(result):
+    assert "frequent items" in str(result)

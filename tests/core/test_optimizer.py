@@ -1,0 +1,100 @@
+"""Tests for the optimal-setting formulas (Formulae 3, 4, 6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.optimizer import (
+    ParameterEstimates,
+    derive_optimal_settings,
+    expected_heterogeneous_false_positives,
+    heterogeneous_collision_probability,
+    optimal_filter_count,
+    optimal_filter_size,
+)
+from repro.errors import ConfigurationError
+from repro.net.wire import SizeModel
+
+
+class TestFormula3:
+    def test_paper_example(self):
+        # Section V-A: ρ=0.01, v̄_light/v̄ ≈ 0.8 gives g_opt = c + 80.
+        g = optimal_filter_size(0.01, mean_value=10.0, mean_light_value=8.0)
+        assert g == 100  # c=20 + 80
+
+    def test_scales_inversely_with_ratio(self):
+        g_small = optimal_filter_size(0.1, 10.0, 8.0)
+        g_large = optimal_filter_size(0.001, 10.0, 8.0)
+        # Figure 8's tuned settings: ~10x per decade of ρ.
+        assert g_large > 50 * g_small / 10
+
+    def test_custom_slack(self):
+        assert optimal_filter_size(0.01, 10.0, 8.0, slack=5) == 85
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            optimal_filter_size(0.0, 10.0, 8.0)
+        with pytest.raises(ConfigurationError):
+            optimal_filter_size(0.01, 0.0, 8.0)
+        with pytest.raises(ConfigurationError):
+            optimal_filter_size(0.01, 10.0, -1.0)
+
+
+class TestFormula4:
+    def test_matches_closed_form(self):
+        n, r, g, f = 1000, 10, 50, 2
+        expected = (n - r) * (1 - (1 - 1 / g) ** r) ** f
+        assert expected_heterogeneous_false_positives(n, r, g, f) == pytest.approx(
+            expected
+        )
+
+    def test_zero_heavy_items_gives_zero(self):
+        assert expected_heterogeneous_false_positives(1000, 0, 50, 3) == 0.0
+
+    def test_decreases_with_filters(self):
+        values = [
+            expected_heterogeneous_false_positives(10**5, 8, 100, f)
+            for f in range(1, 6)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_collision_probability_bounds(self):
+        p = heterogeneous_collision_probability(100, 8)
+        assert 0 < p < 1
+        assert heterogeneous_collision_probability(100, 0) == 0.0
+
+
+class TestFormula6:
+    def test_paper_example(self):
+        # Section V-B: n=1e5, r≈8, g=100 gives f_opt = 3.
+        assert optimal_filter_count(100, heavy_count=8, n_items=10**5) == 3
+
+    def test_no_heavy_items_needs_one_filter(self):
+        assert optimal_filter_count(100, heavy_count=0, n_items=10**5) == 1
+
+    def test_saturated_collisions_need_one_filter(self):
+        # g=1: every light item collides with certainty; filters useless.
+        assert optimal_filter_count(1, heavy_count=5, n_items=1000) == 1
+
+    def test_matches_closed_form(self):
+        g, r, n = 100, 8, 10**5
+        model = SizeModel()
+        collision = 1 - (1 - 1 / g) ** r
+        target = model.pair_bytes * (n - r) / (g * model.aggregate_bytes)
+        expected = math.ceil(math.log(target) / math.log(1 / collision))
+        assert optimal_filter_count(g, r, n, model) == expected
+
+    def test_tiny_universe_needs_one_filter(self):
+        assert optimal_filter_count(1000, heavy_count=2, n_items=10) == 1
+
+
+class TestDerive:
+    def test_combined_derivation(self):
+        estimates = ParameterEstimates(
+            n_items=10**5, heavy_count=8, mean_value=10.0, mean_light_value=8.0
+        )
+        settings = derive_optimal_settings(estimates, 0.01)
+        assert settings.filter_size == 100
+        assert settings.num_filters == 3

@@ -1,0 +1,81 @@
+"""Tests for concurrent-request sharing (Section III-A.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NetFilterConfig
+from repro.core.oracle import oracle_frequent_items
+from repro.core.requests import IfiRequest, MultiRequestCoordinator
+from repro.errors import ProtocolError
+
+from tests.conftest import build_small_system
+
+
+@pytest.fixture(scope="module")
+def setup():
+    system = build_small_system(seed=6)
+    coordinator = MultiRequestCoordinator(
+        system.engine,
+        NetFilterConfig(filter_size=60, num_filters=3, threshold_ratio=0.01),
+    )
+    return system, coordinator
+
+
+def test_single_remote_request(setup):
+    system, coordinator = setup
+    requester = system.hierarchy.leaves()[0]
+    answers, shared = coordinator.run([IfiRequest(requester, 0.01)])
+    truth = oracle_frequent_items(system.network, shared.threshold)
+    assert answers[requester] == truth
+
+
+def test_multiple_thresholds_share_one_run(setup):
+    system, coordinator = setup
+    leaves = system.hierarchy.leaves()
+    requests = [
+        IfiRequest(leaves[0], 0.05),
+        IfiRequest(leaves[1], 0.01),
+        IfiRequest(leaves[2], 0.02),
+    ]
+    answers, shared = coordinator.run(requests)
+    # The shared run used the minimum ratio.
+    assert shared.config.threshold_ratio == 0.01
+    for request in requests:
+        threshold = max(
+            int(-(-request.threshold_ratio * shared.grand_total // 1)), 1
+        )
+        expected = oracle_frequent_items(system.network, threshold)
+        assert answers[request.requester] == expected
+
+
+def test_larger_ratio_gets_subset(setup):
+    system, coordinator = setup
+    leaves = system.hierarchy.leaves()
+    answers, _ = coordinator.run(
+        [IfiRequest(leaves[0], 0.01), IfiRequest(leaves[1], 0.05)]
+    )
+    import numpy as np
+
+    strict = answers[leaves[1]]
+    loose = answers[leaves[0]]
+    assert np.isin(strict.ids, loose.ids).all()
+    assert len(strict) <= len(loose)
+
+
+def test_root_as_requester(setup):
+    system, coordinator = setup
+    answers, shared = coordinator.run([IfiRequest(system.hierarchy.root, 0.01)])
+    truth = oracle_frequent_items(system.network, shared.threshold)
+    assert answers[system.hierarchy.root] == truth
+
+
+def test_empty_request_list_rejected(setup):
+    _, coordinator = setup
+    with pytest.raises(ProtocolError):
+        coordinator.run([])
+
+
+def test_invalid_ratio_rejected():
+    with pytest.raises(ProtocolError):
+        IfiRequest(requester=1, threshold_ratio=0.0)

@@ -1,0 +1,97 @@
+"""Tests for the Section IV-E parameter estimation protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import derive_optimal_settings
+from repro.core.sampling import ParameterEstimator, SamplingConfig
+from repro.errors import ProtocolError
+from repro.net.wire import CostCategory
+
+from tests.conftest import build_small_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_small_system(seed=5, n_peers=80, n_items=4000)
+
+
+@pytest.fixture(scope="module")
+def estimates(system):
+    estimator = ParameterEstimator(
+        system.engine, SamplingConfig(n_branches=6, items_per_peer=40)
+    )
+    return estimator.run(threshold_ratio=0.01)
+
+
+def test_branches_are_root_to_leaf_paths(system):
+    estimator = ParameterEstimator(system.engine, SamplingConfig(n_branches=3))
+    sampled = estimator.select_sampled_peers()
+    assert system.hierarchy.root in sampled
+    # Every sampled peer's parent is sampled too (paths are closed upward).
+    for peer in sampled:
+        parent = system.hierarchy.parent_of(peer)
+        assert parent is None or parent in sampled
+
+
+def test_mean_value_estimate_in_range(system, estimates):
+    truth = system.workload.mean_value()
+    # Size-biased sampling overestimates the mean; accept a wide band but
+    # demand the right order of magnitude.
+    assert truth / 3 <= estimates.mean_value <= truth * 30
+
+
+def test_light_mean_below_overall_mean(estimates):
+    assert estimates.mean_light_value <= estimates.mean_value
+
+
+def test_heavy_count_estimate_close(system, estimates):
+    threshold = system.workload.threshold(0.01)
+    truth = system.workload.heavy_count(threshold)
+    assert abs(estimates.heavy_count - truth) <= max(3, truth)
+
+
+def test_universe_estimate_order_of_magnitude(system, estimates):
+    truth = system.workload.n_items
+    assert truth / 10 <= estimates.n_items <= truth * 10
+
+
+def test_estimates_drive_reasonable_settings(system, estimates):
+    settings = derive_optimal_settings(estimates, 0.01, system.network.size_model)
+    assert 20 <= settings.filter_size <= 2000
+    assert 1 <= settings.num_filters <= 10
+
+
+def test_sampling_traffic_charged_to_sampling(system):
+    before = system.network.accounting.total_bytes(CostCategory.SAMPLING)
+    ParameterEstimator(system.engine, SamplingConfig(n_branches=2)).run(0.01)
+    after = system.network.accounting.total_bytes(CostCategory.SAMPLING)
+    assert after > before
+
+
+def test_sampling_cheaper_than_naive(system):
+    from repro.core.config import NetFilterConfig
+    from repro.core.naive import NaiveProtocol
+
+    before = system.network.accounting.total_bytes(CostCategory.SAMPLING)
+    ParameterEstimator(system.engine, SamplingConfig()).run(0.01)
+    sampling_bytes = (
+        system.network.accounting.total_bytes(CostCategory.SAMPLING) - before
+    )
+    naive = NaiveProtocol(
+        NetFilterConfig(filter_size=1, threshold_ratio=0.01)
+    ).run(system.engine)
+    naive_bytes = naive.breakdown.naive * system.network.n_peers
+    assert sampling_bytes < naive_bytes / 5
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ProtocolError):
+        SamplingConfig(n_branches=0)
+    with pytest.raises(ProtocolError):
+        SamplingConfig(items_per_peer=0)
+
+
+def test_source_label_mentions_sampling(estimates):
+    assert "sampling" in estimates.source

@@ -1,0 +1,61 @@
+"""Tests for the experiment harness and scales."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentScale, PaperDefaults, build_trial
+
+
+def test_paper_defaults_match_table_iii():
+    defaults = PaperDefaults()
+    assert defaults.n_peers == 1000
+    assert defaults.n_items == 100_000
+    assert defaults.threshold_ratio == 0.01
+    assert defaults.skew == 1.0
+    assert defaults.branching == 3
+    assert defaults.instances_per_item == 10
+    assert defaults.size_model.aggregate_bytes == 4
+    assert defaults.size_model.group_id_bytes == 4
+    assert defaults.size_model.item_id_bytes == 4
+
+
+def test_scale_presets():
+    assert ExperimentScale.paper().n_items == 100_000
+    assert ExperimentScale.large().n_items == 1_000_000
+    assert ExperimentScale.by_name("small").name == "small"
+    with pytest.raises(ValueError):
+        ExperimentScale.by_name("gigantic")
+
+
+def test_build_trial_assembles_consistent_system():
+    trial = build_trial(ExperimentScale.small(), seed=3)
+    assert trial.network.n_peers == 100
+    assert trial.workload.n_items == 5000
+    assert trial.workload.total_value == 50_000
+    assert trial.hierarchy_height >= 2
+    # o = 10·n/N instances per peer on average.
+    per_peer = [s.total_value for s in trial.workload.item_sets.values()]
+    assert sum(per_peer) / len(per_peer) == pytest.approx(500, rel=0.02)
+
+
+def test_build_trial_fanout_near_b():
+    trial = build_trial(ExperimentScale.small(), seed=0)
+    assert 1.5 <= trial.mean_fanout <= 4.5
+
+
+def test_build_trial_skew_override():
+    trial = build_trial(ExperimentScale.small(), seed=0, skew=2.0)
+    values = trial.workload.global_values()
+    assert values[0] > 0.3 * values.sum()
+
+
+def test_trials_deterministic_under_seed():
+    import numpy as np
+
+    first = build_trial(ExperimentScale.small(), seed=9)
+    second = build_trial(ExperimentScale.small(), seed=9)
+    assert np.array_equal(
+        first.workload.global_values(), second.workload.global_values()
+    )
+    assert first.network.topology.adjacency == second.network.topology.adjacency

@@ -1,0 +1,52 @@
+"""Tests for the Formula-1 model-validation experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.model_validation import run_model_validation
+
+SMALL = ExperimentScale.small()
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_model_validation(SMALL, seed=0, g_values=(50, 100, 200))
+
+
+def test_filtering_prediction_is_exact(rows):
+    for row in rows:
+        assert row.filtering_error < 1e-9
+
+
+def test_dissemination_prediction_is_exact(rows):
+    for row in rows:
+        assert row.measured_dissemination == pytest.approx(
+            row.predicted_dissemination
+        )
+
+
+def test_aggregation_bound_holds(rows):
+    for row in rows:
+        assert row.measured_aggregation <= row.aggregation_bound
+        assert row.measured_aggregation > 0
+
+
+def test_bound_tightens_as_filtering_improves(rows):
+    # Larger g -> surviving candidates are the globally-popular items held
+    # at nearly every peer -> the every-candidate-at-every-peer bound gets
+    # closer to reality.
+    slack = [
+        row.measured_aggregation / row.aggregation_bound for row in rows
+    ]
+    assert slack[-1] > slack[0]
+
+
+def test_cli_model_command(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["model", "--scale", "small"]) == 0
+    output = capsys.readouterr().out
+    assert "Formula 1" in output
+    assert "prediction error" in output

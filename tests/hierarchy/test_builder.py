@@ -1,0 +1,122 @@
+"""Unit tests for BFS hierarchy construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import HierarchyError
+from repro.hierarchy.builder import Hierarchy
+from repro.hierarchy.monitor import bfs_depths, check_invariants
+from repro.hierarchy.roles import NodeRole
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.sim.engine import Simulation
+
+
+def build(topology: Topology, seed: int = 0, root: int = 0) -> tuple[Network, Hierarchy]:
+    sim = Simulation(seed=seed)
+    network = Network(sim, topology)
+    return network, Hierarchy.build(network, root=root)
+
+
+def test_depths_are_exact_bfs_distances_on_random_graph():
+    rng = np.random.default_rng(4)
+    topology = Topology.random_connected(150, 4.0, rng)
+    _, hierarchy = build(topology)
+    truth = bfs_depths(hierarchy)
+    for peer in hierarchy.participants():
+        assert hierarchy.depth_of(peer) == truth[peer]
+
+
+def test_invariants_hold_after_build():
+    rng = np.random.default_rng(5)
+    topology = Topology.random_connected(120, 4.0, rng)
+    _, hierarchy = build(topology)
+    assert check_invariants(hierarchy) == []
+
+
+def test_root_role_and_depth():
+    _, hierarchy = build(Topology.star(5))
+    assert hierarchy.role_of(0) == NodeRole.ROOT
+    assert hierarchy.depth_of(0) == 0
+    assert hierarchy.parent_of(0) is None
+
+
+def test_star_leaves():
+    _, hierarchy = build(Topology.star(5))
+    for peer in range(1, 5):
+        assert hierarchy.role_of(peer) == NodeRole.LEAF
+        assert hierarchy.parent_of(peer) == 0
+    assert hierarchy.children_of(0) == {1, 2, 3, 4}
+    assert hierarchy.height() == 1
+
+
+def test_line_heights():
+    _, hierarchy = build(Topology.line(6))
+    assert hierarchy.height() == 5
+    assert hierarchy.role_of(3) == NodeRole.INTERNAL
+    assert hierarchy.role_of(5) == NodeRole.LEAF
+
+
+def test_non_default_root():
+    _, hierarchy = build(Topology.line(5), root=2)
+    assert hierarchy.depth_of(2) == 0
+    assert hierarchy.depth_of(0) == 2
+    assert hierarchy.depth_of(4) == 2
+
+
+def test_dead_root_rejected():
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.line(3))
+    network.fail_peer(0)
+    with pytest.raises(HierarchyError):
+        Hierarchy.build(network, root=0)
+
+
+def test_strict_build_detects_disconnection():
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.from_edges(4, [(0, 1), (2, 3)]))
+    with pytest.raises(HierarchyError):
+        Hierarchy.build(network, root=0)
+
+
+def test_non_strict_build_tolerates_disconnection():
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.from_edges(4, [(0, 1), (2, 3)]))
+    hierarchy = Hierarchy.build(network, root=0, strict=False)
+    assert sorted(hierarchy.participants()) == [0, 1]
+
+
+def test_dead_peers_excluded_from_build():
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.star(5))
+    network.fail_peer(3)
+    hierarchy = Hierarchy.build(network, root=0)
+    assert 3 not in hierarchy.participants()
+    assert 3 not in hierarchy.children_of(0)
+
+
+def test_state_of_unknown_peer_raises():
+    _, hierarchy = build(Topology.star(3))
+    with pytest.raises(HierarchyError):
+        hierarchy.state_of(99)
+
+
+def test_balanced_tree_fanout_matches_b():
+    from repro.hierarchy.monitor import tree_stats
+
+    _, hierarchy = build(Topology.balanced_tree(40, 3))
+    stats = tree_stats(hierarchy)
+    assert 2.5 <= stats.mean_fanout <= 3.0
+
+
+def test_build_cost_charged_to_control_only():
+    from repro.net.wire import CostCategory
+
+    rng = np.random.default_rng(6)
+    network, _ = build(Topology.random_connected(50, 4.0, rng))
+    assert network.accounting.total_bytes() == network.accounting.total_bytes(
+        CostCategory.CONTROL
+    )
+    assert network.accounting.total_bytes() > 0

@@ -1,0 +1,109 @@
+"""Tests for hierarchy repair under churn (Section III-A.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hierarchy.builder import Hierarchy
+from repro.hierarchy.maintenance import enable_maintenance
+from repro.hierarchy.monitor import check_invariants
+from repro.net.heartbeat import HeartbeatConfig
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.sim.engine import Simulation
+
+FAST_BEATS = HeartbeatConfig(interval=2.0, timeout=7.0, jitter=0.2)
+
+
+def build_maintained(
+    topology: Topology, seed: int = 0
+) -> tuple[Network, Hierarchy]:
+    sim = Simulation(seed=seed)
+    network = Network(sim, topology)
+    hierarchy = Hierarchy.build(network, root=0)
+    enable_maintenance(hierarchy, FAST_BEATS)
+    return network, hierarchy
+
+
+def assert_consistent_over_live(hierarchy: Hierarchy) -> None:
+    problems = check_invariants(hierarchy)
+    assert problems == [], problems
+
+
+def test_subtree_reattaches_after_internal_failure():
+    # Line 0-1-2-3: failing 1 orphans {2, 3}; 2 must reattach... but its
+    # only live neighbour towards the root is gone, so the line splits.
+    # Use a cycle so an alternate path exists.
+    topology = Topology.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+    network, hierarchy = build_maintained(topology)
+    victim = 1
+    orphan = 2
+    assert hierarchy.parent_of(orphan) == victim
+    network.fail_peer(victim)
+    network.sim.run(until=network.sim.now + 200.0)
+    assert hierarchy.state_of(orphan).attached
+    assert hierarchy.parent_of(orphan) != victim
+    assert_consistent_over_live(hierarchy)
+
+
+def test_random_graph_survives_multiple_failures():
+    rng = np.random.default_rng(11)
+    topology = Topology.random_connected(80, 5.0, rng)
+    network, hierarchy = build_maintained(topology, seed=11)
+    victims = [7, 19, 33]
+    for victim in victims:
+        network.fail_peer(victim)
+    network.sim.run(until=network.sim.now + 400.0)
+    live = set(network.live_peers())
+    # Every live peer reachable in the residual overlay must be attached.
+    attached = {p for p in hierarchy.participants()}
+    from repro.hierarchy.monitor import bfs_depths
+
+    reachable = set(bfs_depths(hierarchy))
+    assert attached == reachable
+    assert_consistent_over_live(hierarchy)
+    assert all(victim not in attached for victim in victims)
+    assert len(attached) >= len(live) - 5  # at most a few peers got cut off
+
+
+def test_leaf_failure_removes_child_entry():
+    topology = Topology.star(5)
+    network, hierarchy = build_maintained(topology)
+    network.fail_peer(3)
+    network.sim.run(until=network.sim.now + 50.0)
+    assert 3 not in hierarchy.children_of(0)
+    assert_consistent_over_live(hierarchy)
+
+
+def test_revived_peer_rejoins_hierarchy():
+    topology = Topology.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    network, hierarchy = build_maintained(topology)
+    network.fail_peer(2)
+    network.sim.run(until=network.sim.now + 100.0)
+    assert 2 not in hierarchy.participants()
+    network.revive_peer(2)
+    network.sim.run(until=network.sim.now + 100.0)
+    assert 2 in hierarchy.participants()
+    assert_consistent_over_live(hierarchy)
+
+
+def test_depth_infinity_cascades_through_subtree():
+    # Chain 0-1-2-3 with no alternate path: failing 1 leaves 2 and 3
+    # permanently detached (they cascade to depth infinity and stay there).
+    topology = Topology.line(4)
+    network, hierarchy = build_maintained(topology)
+    network.fail_peer(1)
+    network.sim.run(until=network.sim.now + 200.0)
+    assert not hierarchy.state_of(2).attached
+    assert not hierarchy.state_of(3).attached
+
+
+def test_repair_traffic_is_control_only():
+    from repro.net.wire import CostCategory
+
+    topology = Topology.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    network, hierarchy = build_maintained(topology)
+    network.fail_peer(1)
+    network.sim.run(until=network.sim.now + 100.0)
+    totals = network.accounting.bytes_by_category()
+    assert set(totals) == {CostCategory.CONTROL}

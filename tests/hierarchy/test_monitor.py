@@ -1,0 +1,89 @@
+"""Unit tests for hierarchy invariant checking and statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hierarchy.builder import Hierarchy
+from repro.hierarchy.monitor import bfs_depths, check_invariants, tree_stats
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.sim.engine import Simulation
+
+
+def build(topology: Topology) -> tuple[Network, Hierarchy]:
+    sim = Simulation(seed=0)
+    network = Network(sim, topology)
+    return network, Hierarchy.build(network, root=0)
+
+
+def test_clean_hierarchy_has_no_problems():
+    _, hierarchy = build(Topology.star(6))
+    assert check_invariants(hierarchy) == []
+
+
+def test_corrupted_depth_detected():
+    _, hierarchy = build(Topology.star(6))
+    hierarchy.state_of(3).depth = 5  # parent is root at depth 0
+    problems = check_invariants(hierarchy)
+    assert any("depth" in problem for problem in problems)
+
+
+def test_missing_downstream_entry_detected():
+    _, hierarchy = build(Topology.star(6))
+    hierarchy.state_of(0).downstream.discard(2)
+    problems = check_invariants(hierarchy)
+    assert any("downstream" in problem for problem in problems)
+
+
+def test_stale_child_detected():
+    network, hierarchy = build(Topology.star(6))
+    network.fail_peer(4)
+    # Without maintenance the root still lists 4 as a child.
+    problems = check_invariants(hierarchy)
+    assert any("stale" in problem or "4" in problem for problem in problems)
+
+
+def test_orphan_upstream_detected():
+    _, hierarchy = build(Topology.line(4))
+    hierarchy.state_of(2).upstream = None
+    problems = check_invariants(hierarchy)
+    assert any("no upstream" in problem for problem in problems)
+
+
+def test_tree_stats_star():
+    _, hierarchy = build(Topology.star(7))
+    stats = tree_stats(hierarchy)
+    assert stats.n_participants == 7
+    assert stats.height == 1
+    assert stats.n_leaves == 6
+    assert stats.mean_fanout == 6.0
+    assert stats.depth_histogram == {0: 1, 1: 6}
+
+
+def test_tree_stats_line():
+    _, hierarchy = build(Topology.line(5))
+    stats = tree_stats(hierarchy)
+    assert stats.height == 4
+    assert stats.mean_fanout == 1.0
+    assert stats.n_leaves == 1
+
+
+def test_bfs_depths_match_networkx():
+    import networkx as nx
+
+    rng = np.random.default_rng(2)
+    topology = Topology.random_connected(60, 4.0, rng)
+    _, hierarchy = build(topology)
+    graph = nx.Graph()
+    for peer, neighbors in enumerate(topology.adjacency):
+        for other in neighbors:
+            graph.add_edge(peer, other)
+    expected = nx.single_source_shortest_path_length(graph, 0)
+    assert bfs_depths(hierarchy) == dict(expected)
+
+
+def test_stats_str_is_informative():
+    _, hierarchy = build(Topology.star(4))
+    text = str(tree_stats(hierarchy))
+    assert "participants=4" in text

@@ -1,0 +1,162 @@
+"""Tests for multiple redundant hierarchies and root selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter
+from repro.core.oracle import oracle_frequent_items
+from repro.errors import HierarchyError
+from repro.hierarchy.monitor import check_invariants
+from repro.hierarchy.multi import MultiHierarchy
+from repro.hierarchy.root_selection import central_root, most_stable_root, random_root
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.sim.engine import Simulation
+from repro.workload.workload import Workload
+
+
+def build_network(seed: int = 0, n_peers: int = 50) -> Network:
+    sim = Simulation(seed=seed)
+    topology = Topology.random_connected(n_peers, 4.0, sim.rng.stream("topology"))
+    network = Network(sim, topology)
+    workload = Workload.zipf(1500, n_peers, 1.0, sim.rng.stream("workload"))
+    network.assign_items(workload.item_sets)
+    return network
+
+
+class TestMultiHierarchy:
+    def test_each_hierarchy_is_consistent(self):
+        network = build_network()
+        multi = MultiHierarchy.build(network, roots=[0, 17, 33])
+        for hierarchy in multi.hierarchies:
+            assert check_invariants(hierarchy) == []
+            assert hierarchy.height() >= 1
+
+    def test_hierarchies_have_their_own_roots(self):
+        network = build_network()
+        multi = MultiHierarchy.build(network, roots=[0, 17])
+        assert multi.hierarchies[0].depth_of(0) == 0
+        assert multi.hierarchies[1].depth_of(17) == 0
+        # The same peer has different depths in different hierarchies.
+        assert multi.hierarchies[0].depth_of(17) > 0
+
+    def test_all_engines_give_identical_exact_answers(self):
+        network = build_network(seed=1)
+        multi = MultiHierarchy.build(network, roots=[0, 11, 22])
+        config = NetFilterConfig(filter_size=50, num_filters=2, threshold_ratio=0.01)
+        results = [NetFilter(config).run(engine) for engine in multi.engines]
+        truth = oracle_frequent_items(network, results[0].threshold)
+        for result in results:
+            assert result.frequent == truth
+
+    def test_failover_after_primary_root_dies(self):
+        from repro.items.itemset import LocalItemSet
+
+        network = build_network(seed=2)
+        multi = MultiHierarchy.build(network, roots=[0, 25])
+        network.fail_peer(0)
+        config = NetFilterConfig(filter_size=50, num_filters=2, threshold_ratio=0.01)
+        result = multi.run_with_failover(lambda engine: NetFilter(config).run(engine))
+        assert multi.primary() is multi.engines[1]
+        # Exact over the peers the backup tree can still reach (the dead
+        # peer may have been internal in the backup too).
+        contributors = multi.hierarchies[1].reachable_participants()
+        truth = LocalItemSet.merge_many(
+            [network.node(p).items for p in contributors]
+        ).filter_values(result.threshold)
+        assert result.frequent == truth
+        assert result.n_participants == len(contributors)
+
+    def test_reachable_participants_excludes_cut_subtrees(self):
+        network = build_network(seed=5)
+        multi = MultiHierarchy.build(network, roots=[0, 25])
+        backup = multi.hierarchies[1]
+        # Kill a peer that is internal in the backup hierarchy.
+        internal = next(
+            p for p in backup.participants() if backup.children_of(p) and p != 25
+        )
+        subtree_size = len(backup.reachable_participants())
+        network.fail_peer(internal)
+        reachable = backup.reachable_participants()
+        assert internal not in reachable
+        assert len(reachable) < subtree_size
+        # All reachable peers really do have live paths to the root.
+        for peer in reachable:
+            current = peer
+            while current != backup.root:
+                parent = backup.parent_of(current)
+                assert parent is not None and network.node(parent).alive
+                current = parent
+
+    def test_all_roots_down_raises(self):
+        network = build_network(seed=3)
+        multi = MultiHierarchy.build(network, roots=[0, 25])
+        network.fail_peer(0)
+        network.fail_peer(25)
+        with pytest.raises(HierarchyError):
+            multi.primary()
+        with pytest.raises(HierarchyError):
+            multi.run_with_failover(lambda engine: None)
+
+    def test_duplicate_roots_rejected(self):
+        network = build_network()
+        with pytest.raises(HierarchyError):
+            MultiHierarchy.build(network, roots=[0, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(HierarchyError):
+            MultiHierarchy([], [])
+
+
+class TestRootSelection:
+    def test_random_root_is_live(self):
+        network = build_network()
+        network.fail_peer(3)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            root = random_root(network, rng)
+            assert network.node(root).alive
+
+    def test_most_stable_picks_max_uptime(self):
+        network = build_network()
+        uptimes = {peer: float(peer % 7) for peer in network.live_peers()}
+        uptimes[13] = 1e9
+        assert most_stable_root(network, uptimes) == 13
+
+    def test_most_stable_ignores_dead_peers(self):
+        network = build_network()
+        uptimes = {5: 100.0, 6: 50.0}
+        network.fail_peer(5)
+        assert most_stable_root(network, uptimes) == 6
+
+    def test_central_root_minimizes_height(self):
+        # On a line, the center peer is the exact middle.
+        sim = Simulation(seed=0)
+        network = Network(sim, Topology.line(9))
+        assert central_root(network) == 4
+
+    def test_central_root_shortens_hierarchy(self):
+        from repro.hierarchy.builder import Hierarchy
+
+        network = build_network(seed=4)
+        center = central_root(network)
+        sim2 = Simulation(seed=4)
+        # Rebuild identical network for an independent construction.
+        network2 = Network(sim2, network.topology)
+        peripheral = Hierarchy.build(network2, root=0)
+        central = Hierarchy.build(network, root=center, tag="central")
+        assert central.height() <= peripheral.height()
+
+    def test_no_live_peers_raises(self):
+        network = build_network()
+        for peer in list(network.live_peers()):
+            network.fail_peer(peer)
+        with pytest.raises(HierarchyError):
+            central_root(network)
+        with pytest.raises(HierarchyError):
+            random_root(network, np.random.default_rng(0))
+        with pytest.raises(HierarchyError):
+            most_stable_root(network, {1: 5.0})

@@ -1,0 +1,156 @@
+"""Unit and property tests for :class:`LocalItemSet`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.items.itemset import LocalItemSet
+
+
+def pairs_strategy(max_items: int = 40):
+    """Random {item_id: value} dictionaries."""
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=1_000_000),
+        max_size=max_items,
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        empty = LocalItemSet.empty()
+        assert len(empty) == 0
+        assert empty.total_value == 0
+
+    def test_from_mapping_sorts_ids(self):
+        item_set = LocalItemSet.from_pairs({5: 1, 2: 3, 9: 7})
+        assert item_set.ids.tolist() == [2, 5, 9]
+        assert item_set.values.tolist() == [3, 1, 7]
+
+    def test_from_iterable_sums_duplicates(self):
+        item_set = LocalItemSet.from_pairs([(1, 2), (1, 3), (2, 4)])
+        assert item_set.to_dict() == {1: 5, 2: 4}
+
+    def test_from_instances_counts_occurrences(self):
+        item_set = LocalItemSet.from_instances(np.array([3, 1, 3, 3, 1]))
+        assert item_set.to_dict() == {1: 2, 3: 3}
+
+    def test_duplicate_ids_rejected_in_constructor(self):
+        with pytest.raises(WorkloadError):
+            LocalItemSet(np.array([1, 1]), np.array([2, 3]))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(WorkloadError):
+            LocalItemSet(np.array([1, 2]), np.array([3]))
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(WorkloadError):
+            LocalItemSet(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestQueries:
+    def test_contains(self):
+        item_set = LocalItemSet.from_pairs({4: 1, 8: 2})
+        assert 4 in item_set
+        assert 5 not in item_set
+
+    def test_value_of_absent_is_zero(self):
+        item_set = LocalItemSet.from_pairs({4: 9})
+        assert item_set.value_of(4) == 9
+        assert item_set.value_of(5) == 0
+
+    def test_iteration_yields_sorted_pairs(self):
+        item_set = LocalItemSet.from_pairs({3: 1, 1: 2})
+        assert list(item_set) == [(1, 2), (3, 1)]
+
+    def test_total_value(self):
+        assert LocalItemSet.from_pairs({1: 2, 2: 3}).total_value == 5
+
+    def test_equality(self):
+        a = LocalItemSet.from_pairs({1: 2})
+        b = LocalItemSet.from_pairs({1: 2})
+        c = LocalItemSet.from_pairs({1: 3})
+        assert a == b
+        assert a != c
+        assert a != "not an item set"
+
+    def test_repr_mentions_size(self):
+        assert "2 items" in repr(LocalItemSet.from_pairs({1: 2, 3: 4}))
+
+
+class TestAlgebra:
+    def test_merge_is_keyed_sum(self):
+        a = LocalItemSet.from_pairs({1: 2, 2: 3})
+        b = LocalItemSet.from_pairs({2: 4, 3: 5})
+        assert a.merge(b).to_dict() == {1: 2, 2: 7, 3: 5}
+
+    def test_merge_with_empty_is_identity(self):
+        a = LocalItemSet.from_pairs({1: 2})
+        assert a.merge(LocalItemSet.empty()) == a
+
+    def test_merge_many_empty_list(self):
+        assert LocalItemSet.merge_many([]) == LocalItemSet.empty()
+
+    def test_restrict_to(self):
+        a = LocalItemSet.from_pairs({1: 2, 2: 3, 3: 4})
+        restricted = a.restrict_to(np.array([2, 3, 99]))
+        assert restricted.to_dict() == {2: 3, 3: 4}
+
+    def test_select_mask(self):
+        a = LocalItemSet.from_pairs({1: 2, 2: 3})
+        assert a.select(np.array([True, False])).to_dict() == {1: 2}
+
+    def test_select_bad_mask_rejected(self):
+        a = LocalItemSet.from_pairs({1: 2, 2: 3})
+        with pytest.raises(WorkloadError):
+            a.select(np.array([True]))
+
+    def test_filter_values(self):
+        a = LocalItemSet.from_pairs({1: 10, 2: 3, 3: 10})
+        assert a.filter_values(10).to_dict() == {1: 10, 3: 10}
+
+
+class TestProperties:
+    @given(pairs_strategy(), pairs_strategy())
+    def test_merge_commutative(self, left, right):
+        a = LocalItemSet.from_pairs(left)
+        b = LocalItemSet.from_pairs(right)
+        assert a.merge(b) == b.merge(a)
+
+    @given(pairs_strategy(), pairs_strategy(), pairs_strategy())
+    @settings(max_examples=50)
+    def test_merge_associative(self, one, two, three):
+        a, b, c = (LocalItemSet.from_pairs(p) for p in (one, two, three))
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(pairs_strategy(), pairs_strategy())
+    def test_merge_preserves_total_value(self, left, right):
+        a = LocalItemSet.from_pairs(left)
+        b = LocalItemSet.from_pairs(right)
+        assert a.merge(b).total_value == a.total_value + b.total_value
+
+    @given(pairs_strategy())
+    def test_merge_with_self_doubles_values(self, pairs):
+        a = LocalItemSet.from_pairs(pairs)
+        doubled = a.merge(a)
+        assert doubled.to_dict() == {k: 2 * v for k, v in pairs.items()}
+
+    @given(st.lists(pairs_strategy(max_items=10), max_size=6))
+    @settings(max_examples=50)
+    def test_merge_many_equals_dict_sum(self, many):
+        sets = [LocalItemSet.from_pairs(p) for p in many]
+        expected: dict[int, int] = {}
+        for pairs in many:
+            for key, value in pairs.items():
+                expected[key] = expected.get(key, 0) + value
+        assert LocalItemSet.merge_many(sets).to_dict() == expected
+
+    @given(pairs_strategy())
+    def test_ids_sorted_and_unique(self, pairs):
+        item_set = LocalItemSet.from_pairs(pairs)
+        ids = item_set.ids
+        assert np.all(ids[1:] > ids[:-1]) if ids.size > 1 else True

@@ -1,0 +1,71 @@
+"""Tests for byte accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.accounting import CostAccounting
+from repro.net.wire import CostCategory
+
+
+@pytest.fixture
+def accounting() -> CostAccounting:
+    acc = CostAccounting()
+    acc.record(0, CostCategory.FILTERING, 100)
+    acc.record(1, CostCategory.FILTERING, 200)
+    acc.record(1, CostCategory.AGGREGATION, 50)
+    acc.record(2, CostCategory.NAIVE, 400)
+    return acc
+
+
+def test_total_bytes_all(accounting):
+    assert accounting.total_bytes() == 750
+
+
+def test_total_bytes_filtered(accounting):
+    assert accounting.total_bytes(CostCategory.FILTERING) == 300
+    assert accounting.total_bytes(CostCategory.FILTERING, CostCategory.AGGREGATION) == 350
+
+
+def test_per_peer(accounting):
+    assert accounting.per_peer_bytes(CostCategory.FILTERING) == {0: 100, 1: 200}
+    assert accounting.peer_bytes(1) == 250
+    assert accounting.peer_bytes(1, CostCategory.AGGREGATION) == 50
+
+
+def test_average_divides_by_population(accounting):
+    assert accounting.average_bytes_per_peer(10) == 75.0
+    assert accounting.average_bytes_per_peer(
+        10, [CostCategory.FILTERING]
+    ) == 30.0
+
+
+def test_average_rejects_bad_population(accounting):
+    with pytest.raises(ValueError):
+        accounting.average_bytes_per_peer(0)
+
+
+def test_netfilter_average(accounting):
+    assert accounting.netfilter_average(10) == 35.0  # filtering + aggregation
+
+
+def test_message_counts(accounting):
+    assert accounting.message_count() == 4
+    assert accounting.message_count(CostCategory.FILTERING) == 2
+
+
+def test_bytes_by_category(accounting):
+    totals = accounting.bytes_by_category()
+    assert totals[CostCategory.NAIVE] == 400
+
+
+def test_max_peer_bytes(accounting):
+    assert accounting.max_peer_bytes() == 400
+    assert accounting.max_peer_bytes(CostCategory.FILTERING) == 200
+    assert CostAccounting().max_peer_bytes() == 0
+
+
+def test_reset(accounting):
+    accounting.reset()
+    assert accounting.total_bytes() == 0
+    assert accounting.message_count() == 0

@@ -1,0 +1,75 @@
+"""Tests for per-depth cost analysis and the no-bottleneck claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter
+from repro.metrics.by_depth import bottleneck_ratio, bytes_by_depth
+from repro.net.wire import CostCategory
+
+from tests.conftest import build_small_system
+
+
+@pytest.fixture(scope="module")
+def measured():
+    system = build_small_system(seed=15, n_peers=100, n_items=8000)
+    system.network.accounting.reset()
+    config = NetFilterConfig(filter_size=100, num_filters=3, threshold_ratio=0.01)
+    result = NetFilter(config).run(system.engine)
+    return system, result
+
+
+def test_every_depth_represented(measured):
+    system, _ = measured
+    by_depth = bytes_by_depth(system.network.accounting, system.hierarchy)
+    assert set(by_depth) == {
+        system.hierarchy.depth_of(p) for p in system.hierarchy.participants()
+    }
+
+
+def test_section_iv_a_claim_no_root_bottleneck(measured):
+    """'the communication cost incurred at the peers located at the higher
+    levels of the hierarchy is not significantly higher than that incurred
+    at the peers located at the lower levels' — Section IV-A."""
+    system, _ = measured
+    by_depth = bytes_by_depth(system.network.accounting, system.hierarchy)
+    depths = sorted(by_depth)
+    shallow = by_depth[depths[1]]  # depth 1 (the root itself sends nothing up)
+    deepest = by_depth[depths[-1]]
+    assert shallow < 5 * deepest
+
+
+def test_filtering_cost_flat_across_depths(measured):
+    system, _ = measured
+    by_depth = bytes_by_depth(
+        system.network.accounting, system.hierarchy, (CostCategory.FILTERING,)
+    )
+    non_root = {d: v for d, v in by_depth.items() if d > 0}
+    values = list(non_root.values())
+    # s_a · f · g at every non-root peer: identical by construction.
+    assert max(values) == pytest.approx(min(values))
+
+
+def test_bottleneck_ratio_is_moderate(measured):
+    system, _ = measured
+    ratio = bottleneck_ratio(system.network.accounting, system.hierarchy)
+    # A star-collection protocol would put N× the mean on one peer; the
+    # hierarchical scheme stays within a small constant.
+    assert 1.0 <= ratio < 6.0
+
+
+def test_bottleneck_ratio_empty_accounting():
+    system = build_small_system(seed=16, n_peers=20, n_items=100)
+    system.network.accounting.reset()
+    assert bottleneck_ratio(system.network.accounting, system.hierarchy) == 0.0
+
+
+def test_elapsed_time_scales_with_height(measured):
+    system, result = measured
+    # Three convergecasts + request sweeps: elapsed is a few times the
+    # height (unit latency), far below a gossip protocol's O(rounds).
+    height = system.hierarchy.height()
+    assert result.elapsed_time >= 2 * height
+    assert result.elapsed_time <= 12 * (height + 1)

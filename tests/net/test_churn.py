@@ -1,0 +1,82 @@
+"""Unit tests for the Poisson churn process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.churn import ChurnConfig, ChurnProcess
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.sim.engine import Simulation
+
+
+def make(seed: int = 0, **kwargs) -> tuple[Network, ChurnProcess]:
+    sim = Simulation(seed=seed)
+    network = Network(sim, Topology.star(20))
+    process = ChurnProcess(sim, network, ChurnConfig(**kwargs))
+    return network, process
+
+
+def test_failures_happen_at_roughly_the_configured_rate():
+    network, process = make(failure_rate=0.1, mean_downtime=None)
+    process.start()
+    network.sim.run(until=1000.0)
+    # Expect ~100 failures but only 19 non-protected peers exist... all can
+    # fail permanently, so failures are capped by the population.
+    assert process.failures >= 15
+
+
+def test_protected_peers_never_fail():
+    network, process = make(
+        failure_rate=0.5, mean_downtime=None, protected_peers=frozenset({0})
+    )
+    process.start()
+    network.sim.run(until=500.0)
+    assert network.node(0).alive
+
+
+def test_revival_restores_population():
+    network, process = make(seed=3, failure_rate=0.2, mean_downtime=5.0)
+    process.start()
+    network.sim.run(until=400.0)
+    process.stop()
+    network.sim.run(until=1000.0)
+    assert process.failures > 0
+    assert process.revivals == process.failures
+    assert network.n_live_peers == 20
+
+
+def test_stop_halts_failures():
+    network, process = make(failure_rate=1.0, mean_downtime=None)
+    process.start()
+    network.sim.run(until=5.0)
+    count = process.failures
+    process.stop()
+    network.sim.run(until=100.0)
+    assert process.failures == count
+
+
+def test_start_is_idempotent():
+    network, process = make(failure_rate=0.5, mean_downtime=None)
+    process.start()
+    process.start()
+    network.sim.run(until=10.0)
+    assert process.active
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(NetworkError):
+        ChurnConfig(failure_rate=0.0)
+    with pytest.raises(NetworkError):
+        ChurnConfig(mean_downtime=-1.0)
+
+
+def test_deterministic_under_seed():
+    _, first = make(seed=7, failure_rate=0.3, mean_downtime=None)
+    first.start()
+    first._sim.run(until=100.0)
+    _, second = make(seed=7, failure_rate=0.3, mean_downtime=None)
+    second.start()
+    second._sim.run(until=100.0)
+    assert first.failures == second.failures

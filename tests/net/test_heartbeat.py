@@ -1,0 +1,104 @@
+"""Unit tests for heartbeats and failure detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.heartbeat import HeartbeatConfig, HeartbeatService
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.sim.engine import Simulation
+from repro.types import INFINITE_DEPTH
+
+FAST = HeartbeatConfig(interval=1.0, timeout=3.5, jitter=0.1)
+
+
+def wire_up(network: Network, config: HeartbeatConfig = FAST, depths: dict[int, int] | None = None):
+    """Attach heartbeat services to all peers; collect events."""
+    events: list[tuple[str, int, int]] = []
+    services = {}
+    for peer in network.live_peers():
+        node = network.node(peer)
+        services[peer] = HeartbeatService(
+            node,
+            config,
+            depth_provider=(lambda p=peer: (depths or {}).get(p, INFINITE_DEPTH)),
+            on_heartbeat=lambda n, d, p=peer: events.append(("beat", p, n)),
+            on_neighbor_down=lambda n, p=peer: events.append(("down", p, n)),
+        )
+    return services, events
+
+
+def test_heartbeats_flow_between_neighbors():
+    network = Network(Simulation(seed=0), Topology.line(3))
+    _, events = wire_up(network)
+    network.sim.run(until=5.0)
+    beats = [event for event in events if event[0] == "beat"]
+    # Peer 1 hears from both neighbours; ends hear from peer 1.
+    assert ("beat", 1, 0) in beats
+    assert ("beat", 1, 2) in beats
+    assert ("beat", 0, 1) in beats
+
+
+def test_depth_carried_in_heartbeat():
+    network = Network(Simulation(seed=0), Topology.line(2))
+    services, _ = wire_up(network, depths={0: 3})
+    network.sim.run(until=3.0)
+    assert services[1].last_known_depth[0] == 3
+    assert services[0].last_known_depth[1] == INFINITE_DEPTH
+
+
+def test_silent_neighbor_detected_down():
+    network = Network(Simulation(seed=0), Topology.line(3))
+    _, events = wire_up(network)
+    network.sim.run(until=2.0)
+    network.fail_peer(2)
+    network.sim.run(until=10.0)
+    assert ("down", 1, 2) in events
+    # Peer 0 is not a neighbour of 2, so it detects nothing about 2.
+    assert ("down", 0, 2) not in events
+
+
+def test_live_neighbor_not_falsely_suspected():
+    network = Network(Simulation(seed=1), Topology.line(2))
+    _, events = wire_up(network)
+    network.sim.run(until=50.0)
+    assert not [event for event in events if event[0] == "down"]
+
+
+def test_neighbor_dead_before_first_beat_detected():
+    network = Network(Simulation(seed=0), Topology.line(2))
+    network.fail_peer(1)
+    _, events = wire_up(network)
+    network.sim.run(until=10.0)
+    assert ("down", 0, 1) in events
+
+
+def test_failed_node_stops_beating():
+    network = Network(Simulation(seed=0), Topology.line(2))
+    wire_up(network)
+    network.sim.run(until=2.0)
+    sent_before = network.sim.trace.counters["msg.sent"]
+    network.fail_peer(0)
+    network.fail_peer(1)
+    network.sim.run(until=20.0)
+    assert network.sim.trace.counters["msg.sent"] == sent_before
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        HeartbeatConfig(interval=0.0)
+    with pytest.raises(ValueError):
+        HeartbeatConfig(interval=5.0, timeout=5.0)
+
+
+def test_heartbeat_bytes_charged_to_control():
+    from repro.net.wire import CostCategory
+
+    network = Network(Simulation(seed=0), Topology.line(2))
+    wire_up(network)
+    network.sim.run(until=5.0)
+    assert network.accounting.total_bytes(CostCategory.CONTROL) > 0
+    assert network.accounting.total_bytes() == network.accounting.total_bytes(
+        CostCategory.CONTROL
+    )

@@ -1,0 +1,96 @@
+"""Unit tests for overlay topology builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.overlay import Topology
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology.from_edges(2, [(0, 0)])
+
+    def test_unknown_peer_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology(adjacency=((1,), (0, 5)))
+
+    def test_asymmetric_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology(adjacency=((1,), ()))
+
+
+class TestRandomConnected:
+    def test_is_connected(self, rng):
+        topology = Topology.random_connected(300, 4.0, rng)
+        assert topology.is_connected()
+
+    def test_mean_degree_near_target(self, rng):
+        topology = Topology.random_connected(500, 6.0, rng)
+        assert 5.0 <= topology.mean_degree <= 6.5
+
+    def test_peer_count(self, rng):
+        assert Topology.random_connected(64, 3.0, rng).n_peers == 64
+
+    def test_too_sparse_rejected(self, rng):
+        with pytest.raises(TopologyError):
+            Topology.random_connected(10, 0.5, rng)
+
+    def test_deterministic_under_seed(self):
+        a = Topology.random_connected(100, 4.0, np.random.default_rng(9))
+        b = Topology.random_connected(100, 4.0, np.random.default_rng(9))
+        assert a.adjacency == b.adjacency
+
+
+class TestFamilies:
+    def test_random_regular_has_uniform_degree(self, rng):
+        topology = Topology.random_regular(60, 4, rng)
+        assert all(topology.degree(p) == 4 for p in range(60))
+        assert topology.is_connected()
+
+    def test_small_world_connected(self, rng):
+        assert Topology.small_world(80, 4, 0.3, rng).is_connected()
+
+    def test_scale_free_connected_with_hubs(self, rng):
+        topology = Topology.scale_free(200, 2, rng)
+        assert topology.is_connected()
+        degrees = sorted(topology.degree(p) for p in range(200))
+        assert degrees[-1] >= 4 * degrees[len(degrees) // 2]  # heavy tail
+
+    def test_balanced_tree_structure(self):
+        topology = Topology.balanced_tree(13, 3)
+        assert topology.n_edges == 12
+        assert topology.is_connected()
+        # Node k's parent is (k-1)//3.
+        assert 0 in topology.adjacency[1]
+        assert 1 in topology.adjacency[4]
+
+    def test_balanced_tree_invalid_args(self):
+        with pytest.raises(TopologyError):
+            Topology.balanced_tree(5, 0)
+        with pytest.raises(TopologyError):
+            Topology.balanced_tree(0, 3)
+
+    def test_line_and_star(self):
+        line = Topology.line(5)
+        star = Topology.star(5)
+        assert line.n_edges == 4
+        assert star.degree(0) == 4
+        assert all(star.degree(p) == 1 for p in range(1, 5))
+
+
+class TestIntrospection:
+    def test_disconnected_detected(self):
+        topology = Topology.from_edges(4, [(0, 1), (2, 3)])
+        assert not topology.is_connected()
+
+    def test_mean_degree_empty(self):
+        assert Topology(adjacency=()).mean_degree == 0.0

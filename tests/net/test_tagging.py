@@ -1,0 +1,38 @@
+"""Tests for per-instance payload tagging."""
+
+from __future__ import annotations
+
+from repro.hierarchy.builder import BuildPayload, ChildRegisterPayload
+from repro.net.tagging import tagged
+from repro.net.wire import SizeModel
+
+
+def test_empty_tag_returns_base():
+    assert tagged(BuildPayload, "") is BuildPayload
+
+
+def test_same_tag_is_cached():
+    assert tagged(BuildPayload, "h1") is tagged(BuildPayload, "h1")
+
+
+def test_different_tags_differ():
+    assert tagged(BuildPayload, "h1") is not tagged(BuildPayload, "h2")
+
+
+def test_different_bases_differ():
+    assert tagged(BuildPayload, "h1") is not tagged(ChildRegisterPayload, "h1")
+
+
+def test_tagged_is_subclass_with_same_wire_size():
+    base = BuildPayload(depth=3)
+    derived_cls = tagged(BuildPayload, "h9")
+    derived = derived_cls(depth=3)
+    assert isinstance(derived, BuildPayload)
+    model = SizeModel()
+    assert derived.size_bytes(model) == base.size_bytes(model)
+    assert derived.category == base.category
+    assert derived.depth == 3
+
+
+def test_tagged_name_mentions_tag():
+    assert "h7" in tagged(BuildPayload, "h7").__name__

@@ -1,0 +1,41 @@
+"""Unit tests for the size model and cost categories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.wire import NETFILTER_CATEGORIES, CostCategory, SizeModel
+
+
+def test_paper_defaults_are_4_bytes():
+    model = SizeModel()
+    assert model.aggregate_bytes == 4
+    assert model.group_id_bytes == 4
+    assert model.item_id_bytes == 4
+    assert model.header_bytes == 0
+
+
+def test_pair_bytes_is_sa_plus_si():
+    model = SizeModel(aggregate_bytes=4, item_id_bytes=8)
+    assert model.pair_bytes == 12
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ValueError):
+        SizeModel(aggregate_bytes=0)
+    with pytest.raises(ValueError):
+        SizeModel(item_id_bytes=-1)
+    with pytest.raises(ValueError):
+        SizeModel(header_bytes=-1)
+
+
+def test_netfilter_categories_are_the_reported_three():
+    assert NETFILTER_CATEGORIES == (
+        CostCategory.FILTERING,
+        CostCategory.DISSEMINATION,
+        CostCategory.AGGREGATION,
+    )
+
+
+def test_category_string_value():
+    assert str(CostCategory.FILTERING) == "filtering"

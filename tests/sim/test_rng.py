@@ -1,0 +1,55 @@
+"""Unit tests for the named random-stream registry."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_seed_same_name_same_stream():
+    first = RngRegistry(42).stream("workload")
+    second = RngRegistry(42).stream("workload")
+    assert np.array_equal(first.integers(0, 1 << 30, 100), second.integers(0, 1 << 30, 100))
+
+
+def test_different_names_give_independent_streams():
+    registry = RngRegistry(42)
+    a = registry.stream("alpha").integers(0, 1 << 30, 100)
+    b = registry.stream("beta").integers(0, 1 << 30, 100)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(1).stream("x").integers(0, 1 << 30, 100)
+    b = RngRegistry(2).stream("x").integers(0, 1 << 30, 100)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached_not_restarted():
+    registry = RngRegistry(7)
+    first_draw = registry.stream("s").integers(0, 1 << 30)
+    second_draw = registry.stream("s").integers(0, 1 << 30)
+    # Same underlying generator: consecutive draws, not a restart.
+    fresh = RngRegistry(7).stream("s")
+    assert first_draw == fresh.integers(0, 1 << 30)
+    assert second_draw == fresh.integers(0, 1 << 30)
+
+
+def test_none_seed_is_deterministic_default():
+    a = RngRegistry(None).stream("x").integers(0, 1 << 30)
+    b = RngRegistry(0).stream("x").integers(0, 1 << 30)
+    assert a == b
+
+
+def test_fork_is_deterministic_and_distinct():
+    base = RngRegistry(5)
+    fork_a = base.fork("trial-1").stream("workload").integers(0, 1 << 30, 50)
+    fork_a_again = RngRegistry(5).fork("trial-1").stream("workload").integers(0, 1 << 30, 50)
+    fork_b = RngRegistry(5).fork("trial-2").stream("workload").integers(0, 1 << 30, 50)
+    assert np.array_equal(fork_a, fork_a_again)
+    assert not np.array_equal(fork_a, fork_b)
+
+
+def test_seed_property():
+    assert RngRegistry(13).seed == 13

@@ -1,0 +1,126 @@
+"""Unit tests for periodic timers and re-armable timeouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulation
+from repro.sim.timers import PeriodicTimer, Timeout
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self):
+        sim = Simulation()
+        ticks = []
+        PeriodicTimer(sim, 2.0, lambda: ticks.append(sim.now))
+        sim.run(until=7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_stop_halts_ticks(self):
+        sim = Simulation()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.0)
+        timer.stop()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert not timer.running
+
+    def test_callback_can_stop_timer(self):
+        sim = Simulation()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: (ticks.append(sim.now), timer.stop()))
+        sim.run(until=5.0)
+        assert ticks == [1.0]
+
+    def test_start_is_idempotent(self):
+        sim = Simulation()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        timer.start()
+        sim.run(until=2.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_deferred_start(self):
+        sim = Simulation()
+        ticks = []
+        timer = PeriodicTimer(
+            sim, 1.0, lambda: ticks.append(sim.now), start_immediately=False
+        )
+        sim.run(until=3.0)
+        assert ticks == []
+        timer.start()
+        sim.run(until=5.0)
+        assert ticks == [4.0, 5.0]
+
+    def test_jitter_stays_near_interval(self):
+        sim = Simulation(seed=3)
+        ticks = []
+        PeriodicTimer(sim, 10.0, lambda: ticks.append(sim.now), jitter=1.0)
+        sim.run(until=100.0)
+        gaps = [b - a for a, b in zip([0.0] + ticks, ticks)]
+        assert all(9.0 <= gap <= 11.0 for gap in gaps)
+        assert any(abs(gap - 10.0) > 1e-9 for gap in gaps)  # jitter actually applied
+
+    def test_invalid_interval_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_jitter_must_be_smaller_than_interval(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 1.0, lambda: None, jitter=1.0)
+
+
+class TestTimeout:
+    def test_fires_after_duration(self):
+        sim = Simulation()
+        fired = []
+        timeout = Timeout(sim, 5.0, lambda: fired.append(sim.now))
+        timeout.reset()
+        sim.run()
+        assert fired == [5.0]
+        assert not timeout.armed
+
+    def test_reset_pushes_deadline(self):
+        sim = Simulation()
+        fired = []
+        timeout = Timeout(sim, 5.0, lambda: fired.append(sim.now))
+        timeout.reset()
+        sim.schedule(3.0, timeout.reset)  # keepalive at t=3
+        sim.run()
+        assert fired == [8.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulation()
+        fired = []
+        timeout = Timeout(sim, 5.0, lambda: fired.append(sim.now))
+        timeout.reset()
+        sim.schedule(1.0, timeout.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_unarmed_timeout_never_fires(self):
+        sim = Simulation()
+        fired = []
+        Timeout(sim, 5.0, lambda: fired.append(sim.now))
+        sim.run(until=20.0)
+        assert fired == []
+
+    def test_rearm_after_fire(self):
+        sim = Simulation()
+        fired = []
+        timeout = Timeout(sim, 2.0, lambda: fired.append(sim.now))
+        timeout.reset()
+        sim.run()
+        timeout.reset()
+        sim.run()
+        assert fired == [2.0, 4.0]
+
+    def test_invalid_duration_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            Timeout(sim, -1.0, lambda: None)

@@ -1,0 +1,59 @@
+"""Unit tests for the structured tracer."""
+
+from __future__ import annotations
+
+from repro.sim.trace import Tracer
+
+
+def test_counters_accumulate():
+    tracer = Tracer()
+    tracer.emit(0.0, "msg.sent")
+    tracer.emit(1.0, "msg.sent")
+    tracer.emit(1.0, "msg.lost")
+    assert tracer.counters["msg.sent"] == 2
+    assert tracer.counters["msg.lost"] == 1
+
+
+def test_records_not_kept_by_default():
+    tracer = Tracer()
+    tracer.emit(0.0, "x", value=1)
+    assert tracer.records == []
+
+
+def test_recording_captures_fields():
+    tracer = Tracer()
+    tracer.start_recording()
+    tracer.emit(2.5, "node.failed", peer=7)
+    records = tracer.stop_recording()
+    assert len(records) == 1
+    assert records[0].time == 2.5
+    assert records[0].kind == "node.failed"
+    assert records[0].fields == {"peer": 7}
+
+
+def test_stop_recording_stops_capture():
+    tracer = Tracer()
+    tracer.start_recording()
+    tracer.emit(0.0, "a")
+    tracer.stop_recording()
+    tracer.emit(1.0, "b")
+    assert tracer.records == []
+    assert tracer.counters["b"] == 1
+
+
+def test_subscribe_by_kind():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("hierarchy.repair", seen.append)
+    tracer.emit(0.0, "hierarchy.repair", peer=1)
+    tracer.emit(0.0, "other")
+    assert [record.fields["peer"] for record in seen] == [1]
+
+
+def test_wildcard_subscription_sees_everything():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("", seen.append)
+    tracer.emit(0.0, "a")
+    tracer.emit(0.0, "b")
+    assert [record.kind for record in seen] == ["a", "b"]

@@ -1,0 +1,101 @@
+"""Tests for the Table I application workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.applications import (
+    byte_sequence_workload,
+    decode_keyword_pair,
+    document_replica_workload,
+    flow_destination_workload,
+    keyword_pair_workload,
+    popular_peer_workload,
+    query_keyword_workload,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_query_keywords_bounded_by_query_count(rng):
+    workload = query_keyword_workload(
+        n_peers=10, vocabulary_size=100, queries_per_peer=20, rng=rng
+    )
+    for item_set in workload.item_sets.values():
+        # A keyword appears in at most all 20 of a peer's queries.
+        assert (item_set.values <= 20).all()
+    assert workload.n_items == 100
+
+
+def test_query_keywords_popular_head(rng):
+    workload = query_keyword_workload(
+        n_peers=20, vocabulary_size=200, queries_per_peer=50, rng=rng, skew=1.2
+    )
+    values = workload.global_values()
+    assert values[:5].sum() > values[100:].sum()
+
+
+def test_keyword_pairs_encode_decode(rng):
+    workload = keyword_pair_workload(
+        n_peers=5, vocabulary_size=50, queries_per_peer=30, rng=rng
+    )
+    for item_set in workload.item_sets.values():
+        for pair_id in item_set.ids.tolist():
+            a, b = decode_keyword_pair(pair_id, 50)
+            assert 0 <= a < b < 50  # unordered, canonical encoding
+
+
+def test_document_replicas_count(rng):
+    workload = document_replica_workload(
+        n_peers=8, n_documents=40, replicas_per_peer=10, rng=rng
+    )
+    for item_set in workload.item_sets.values():
+        assert item_set.total_value == 10
+    assert workload.total_value == 80
+
+
+def test_popular_peers_excludes_self(rng):
+    workload = popular_peer_workload(n_peers=15, interactions_per_peer=40, rng=rng)
+    for peer, item_set in workload.item_sets.items():
+        assert peer not in item_set
+
+
+def test_dos_scenario_victim_is_heaviest(rng):
+    workload, scenario = flow_destination_workload(
+        n_peers=30, n_addresses=500, flows_per_peer=40, rng=rng
+    )
+    values = workload.global_values()
+    assert values.argmax() == scenario.victim_address
+    assert scenario.attack_bytes_total > 0
+
+
+def test_dos_fixed_victim(rng):
+    _, scenario = flow_destination_workload(
+        n_peers=10, n_addresses=100, flows_per_peer=20, rng=rng, victim_address=42
+    )
+    assert scenario.victim_address == 42
+
+
+def test_worm_signature_is_globally_frequent(rng):
+    workload, scenario = byte_sequence_workload(
+        n_peers=30, n_sequences=1000, flows_per_peer=50, rng=rng
+    )
+    values = workload.global_values()
+    assert values[scenario.signature_id] >= scenario.flows_with_signature
+    assert len(scenario.infected_peers) > 0
+    # Each infected peer saw the signature locally.
+    for peer in scenario.infected_peers:
+        assert scenario.signature_id in workload.item_sets[peer]
+
+
+def test_attacker_fraction_validated(rng):
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError):
+        flow_destination_workload(
+            n_peers=5, n_addresses=10, flows_per_peer=5, rng=rng, attacker_fraction=0.0
+        )

@@ -1,0 +1,75 @@
+"""Tests for instance scattering over peers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.items.itemset import LocalItemSet
+from repro.workload.distributions import (
+    partition_to_item_sets,
+    recombine_global_values,
+    scatter_instances,
+)
+
+
+def test_scatter_conserves_global_values():
+    rng = np.random.default_rng(0)
+    global_values = np.array([5, 0, 3, 12])
+    item_sets = scatter_instances(global_values, n_peers=4, rng=rng)
+    recovered = recombine_global_values(item_sets, n_items=4)
+    assert recovered.tolist() == [5, 0, 3, 12]
+
+
+def test_every_peer_id_valid():
+    rng = np.random.default_rng(1)
+    item_sets = scatter_instances(np.full(100, 10), n_peers=7, rng=rng)
+    assert set(item_sets) <= set(range(7))
+
+
+def test_instances_spread_roughly_evenly():
+    rng = np.random.default_rng(2)
+    item_sets = scatter_instances(np.full(1000, 10), n_peers=10, rng=rng)
+    loads = [s.total_value for s in item_sets.values()]
+    assert len(loads) == 10
+    assert max(loads) < 1.3 * min(loads)
+
+
+def test_zero_values_give_empty_result():
+    rng = np.random.default_rng(3)
+    assert scatter_instances(np.zeros(5, dtype=np.int64), 3, rng) == {}
+
+
+def test_negative_values_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(WorkloadError):
+        scatter_instances(np.array([-1, 2]), 3, rng)
+
+
+def test_invalid_peer_count_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(WorkloadError):
+        scatter_instances(np.array([1]), 0, rng)
+
+
+def test_partition_to_item_sets():
+    sets = partition_to_item_sets({0: {1: 2}, 3: {4: 5}})
+    assert sets[0] == LocalItemSet.from_pairs({1: 2})
+    assert sets[3] == LocalItemSet.from_pairs({4: 5})
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=60),
+    n_peers=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_scatter_conservation_property(values, n_peers, seed):
+    rng = np.random.default_rng(seed)
+    global_values = np.array(values, dtype=np.int64)
+    item_sets = scatter_instances(global_values, n_peers, rng)
+    recovered = recombine_global_values(item_sets, n_items=len(values))
+    assert np.array_equal(recovered, global_values)

@@ -1,0 +1,87 @@
+"""Tests for streaming workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.sim.engine import Simulation
+from repro.workload.streams import ZipfStream
+
+
+def test_epoch_batch_totals():
+    stream = ZipfStream(100, 10, 1.0, 500, np.random.default_rng(0))
+    batch = stream.next_epoch()
+    assert sum(s.total_value for s in batch.values()) == 500
+    assert stream.epoch == 1
+
+
+def test_apply_accumulates_on_network():
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.star(10))
+    stream = ZipfStream(100, 10, 1.0, 500, sim.rng.stream("stream"))
+    for _ in range(3):
+        stream.apply_to(network)
+    total = sum(network.node(p).items.total_value for p in range(10))
+    assert total == 1500
+
+
+def test_apply_skips_dead_peers():
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.star(10))
+    network.fail_peer(3)
+    stream = ZipfStream(100, 10, 1.0, 1000, sim.rng.stream("stream"))
+    stream.apply_to(network)
+    assert network.node(3).items.total_value == 0
+    live_total = sum(
+        network.node(p).items.total_value for p in network.live_peers()
+    )
+    assert 0 < live_total <= 1000
+
+
+def test_stationary_stream_keeps_head_stable():
+    stream = ZipfStream(1000, 5, 1.5, 20_000, np.random.default_rng(1))
+    first = stream.next_epoch()
+    second = stream.next_epoch()
+
+    def head(batch):
+        from repro.items.itemset import LocalItemSet
+
+        merged = LocalItemSet.merge_many(list(batch.values()))
+        order = np.argsort(-merged.values)
+        return set(merged.ids[order][:3].tolist())
+
+    assert head(first) & head(second)  # overlapping hot items
+
+
+def test_drift_rotates_the_head():
+    stream = ZipfStream(1000, 5, 1.5, 20_000, np.random.default_rng(2), drift_per_epoch=100)
+    first = stream.next_epoch()
+    for _ in range(4):
+        stream.next_epoch()
+    sixth = stream.next_epoch()
+
+    def hottest(batch):
+        from repro.items.itemset import LocalItemSet
+
+        merged = LocalItemSet.merge_many(list(batch.values()))
+        return int(merged.ids[np.argmax(merged.values)])
+
+    assert hottest(first) != hottest(sixth)
+
+
+def test_drift_wraps_around_universe():
+    stream = ZipfStream(10, 3, 1.0, 100, np.random.default_rng(3), drift_per_epoch=7)
+    for _ in range(5):
+        stream.next_epoch()  # offsets exceed n_items; must not raise
+
+
+def test_invalid_params():
+    rng = np.random.default_rng(0)
+    with pytest.raises(WorkloadError):
+        ZipfStream(10, 3, 1.0, 0, rng)
+    with pytest.raises(WorkloadError):
+        ZipfStream(10, 3, 1.0, 10, rng, drift_per_epoch=-1)

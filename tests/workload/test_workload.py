@@ -1,0 +1,90 @@
+"""Tests for the Workload container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.items.itemset import LocalItemSet
+from repro.workload.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def workload() -> Workload:
+    rng = np.random.default_rng(0)
+    return Workload.zipf(n_items=2000, n_peers=50, skew=1.0, rng=rng)
+
+
+def test_total_value_is_ten_n(workload):
+    assert workload.total_value == 10 * 2000
+
+
+def test_instances_per_peer_near_target(workload):
+    per_peer = [s.total_value for s in workload.item_sets.values()]
+    assert np.mean(per_peer) == pytest.approx(10 * 2000 / 50, rel=0.01)
+
+
+def test_global_values_match_merged_sets(workload):
+    merged = LocalItemSet.merge_many(list(workload.item_sets.values()))
+    values = workload.global_values()
+    for item_id, value in merged:
+        assert values[item_id] == value
+
+
+def test_threshold_resolution(workload):
+    assert workload.threshold(0.01) == int(np.ceil(0.01 * workload.total_value))
+    with pytest.raises(WorkloadError):
+        workload.threshold(0.0)
+
+
+def test_frequent_items_are_truly_frequent(workload):
+    threshold = workload.threshold(0.01)
+    frequent = workload.frequent_items(threshold)
+    values = workload.global_values()
+    assert (values[frequent] >= threshold).all()
+    light_mask = np.ones(workload.n_items, dtype=bool)
+    light_mask[frequent] = False
+    assert (values[light_mask] < threshold).all()
+
+
+def test_heavy_count_consistent(workload):
+    threshold = workload.threshold(0.01)
+    assert workload.heavy_count(threshold) == workload.frequent_items(threshold).size
+
+
+def test_mean_values(workload):
+    threshold = workload.threshold(0.01)
+    assert workload.mean_value() == pytest.approx(10.0)
+    assert 0 < workload.mean_light_value(threshold) < workload.mean_value() * 1.5
+
+
+def test_light_ratio_near_paper_value(workload):
+    # Section V-A: v̄_light / v̄ ≈ 0.8 for the default alpha=1 workload.
+    threshold = workload.threshold(0.01)
+    ratio = workload.mean_light_value(threshold) / workload.mean_value()
+    assert 0.6 <= ratio <= 0.95
+
+
+def test_distinct_items_per_peer(workload):
+    o = workload.distinct_items_per_peer()
+    assert 0 < o <= 10 * 2000 / 50
+
+
+def test_from_item_sets_infers_n_items():
+    sets = {0: LocalItemSet.from_pairs({7: 1})}
+    workload = Workload.from_item_sets(sets, n_peers=2)
+    assert workload.n_items == 8
+
+
+def test_item_id_beyond_declared_universe_rejected():
+    sets = {0: LocalItemSet.from_pairs({100: 1})}
+    workload = Workload.from_item_sets(sets, n_peers=1, n_items=5)
+    with pytest.raises(WorkloadError):
+        workload.global_values()
+
+
+def test_zipf_deterministic_under_seed():
+    a = Workload.zipf(500, 10, 1.0, np.random.default_rng(7))
+    b = Workload.zipf(500, 10, 1.0, np.random.default_rng(7))
+    assert np.array_equal(a.global_values(), b.global_values())

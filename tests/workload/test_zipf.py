@@ -1,0 +1,69 @@
+"""Tests for Zipf value generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.zipf import zipf_global_values, zipf_probabilities
+
+
+class TestProbabilities:
+    def test_sums_to_one(self):
+        assert zipf_probabilities(1000, 1.2).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probabilities = zipf_probabilities(100, 0.8)
+        assert np.all(np.diff(probabilities) <= 0)
+
+    def test_zero_skew_is_uniform(self):
+        probabilities = zipf_probabilities(50, 0.0)
+        assert np.allclose(probabilities, 1 / 50)
+
+    def test_zipf_ratio_property(self):
+        # p_1 / p_2 = 2^alpha for a Zipf law.
+        probabilities = zipf_probabilities(10, 2.0)
+        assert probabilities[0] / probabilities[1] == pytest.approx(4.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(10, -0.5)
+
+
+class TestGlobalValues:
+    def test_total_is_exact(self):
+        rng = np.random.default_rng(0)
+        values = zipf_global_values(1000, 1.0, 10_000, rng)
+        assert values.sum() == 10_000
+
+    def test_head_dominates_under_skew(self):
+        rng = np.random.default_rng(1)
+        values = zipf_global_values(10_000, 1.5, 100_000, rng)
+        assert values[:10].sum() > values[1000:].sum()
+
+    def test_uniform_under_zero_skew(self):
+        rng = np.random.default_rng(2)
+        values = zipf_global_values(100, 0.0, 100_000, rng)
+        assert values.std() < 0.1 * values.mean()
+
+    def test_invalid_total(self):
+        with pytest.raises(WorkloadError):
+            zipf_global_values(10, 1.0, 0, np.random.default_rng(0))
+
+    @given(
+        n_items=st.integers(min_value=1, max_value=500),
+        skew=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        multiplier=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_totals_and_nonnegativity(self, n_items, skew, multiplier):
+        rng = np.random.default_rng(0)
+        total = n_items * multiplier
+        values = zipf_global_values(n_items, skew, total, rng)
+        assert values.sum() == total
+        assert (values >= 0).all()
