@@ -54,7 +54,7 @@ from repro.core import (
 )
 from repro.hierarchy import Hierarchy, check_invariants, tree_stats
 from repro.items import LocalItemSet
-from repro.metrics import CostAccounting, CostBreakdown
+from repro.metrics import CostAccounting, CostBreakdown, MetricsRegistry
 from repro.net import (
     CostCategory,
     HeartbeatConfig,
@@ -90,6 +90,7 @@ __all__ = [
     "Hierarchy",
     "IfiRequest",
     "LocalItemSet",
+    "MetricsRegistry",
     "MultiRequestCoordinator",
     "NaiveProtocol",
     "NaiveResult",

@@ -74,6 +74,7 @@ class SessionHandle:
         self.spec = spec
         self.done = False
         self.value: Any = None
+        self.started_at: float = 0.0
 
     def _complete(self, value: Any) -> None:
         self.done = True
@@ -267,6 +268,10 @@ class AggregationEngine:
             raise AggregationError("cannot start a session: the root is down")
         session_id = next(self._session_ids)
         handle = SessionHandle(session_id, spec)
+        handle.started_at = self.sim.now
+        self.sim.trace.emit(
+            self.sim.now, "aggregation.start", session=session_id, spec=spec.name
+        )
         self._handles[session_id] = handle
         if callback is not None:
             self._callbacks[session_id] = callback
@@ -312,8 +317,16 @@ class AggregationEngine:
         if handle is None or handle.done:
             return
         handle._complete(value)
+        sim_elapsed = self.sim.now - handle.started_at
+        self.sim.telemetry.registry.timer("aggregation.session_time").observe(
+            sim_elapsed
+        )
         self.sim.trace.emit(
-            self.sim.now, "aggregation.complete", session=session_id
+            self.sim.now,
+            "aggregation.complete",
+            session=session_id,
+            spec=handle.spec.name,
+            sim_elapsed=sim_elapsed,
         )
         callback = self._callbacks.pop(session_id, None)
         if callback is not None:

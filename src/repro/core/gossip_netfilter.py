@@ -160,65 +160,75 @@ class GossipNetFilter:
     def run(self, network: Network, requester: int = 0) -> GossipNetFilterResult:
         """Run both phases by gossip, reporting at ``requester``."""
         accounting = network.accounting
+        telemetry = network.sim.telemetry
         before = accounting.bytes_by_category()
         config = self.config
         bank = FilterBank(config.num_filters, config.filter_size, config.hash_seed)
         gossip_config = GossipConfig(rounds=config.rounds)
 
         # Phase 1: grand total + group aggregates in one vector.
-        length = 1 + bank.total_groups
-        contributions = {
-            peer: np.concatenate(
-                (
-                    [float(network.node(peer).items.total_value)],
-                    bank.local_group_aggregates(network.node(peer).items),
+        with telemetry.span(
+            "gossip.filter.phase", rounds=config.rounds
+        ) as span:
+            length = 1 + bank.total_groups
+            contributions = {
+                peer: np.concatenate(
+                    (
+                        [float(network.node(peer).items.total_value)],
+                        bank.local_group_aggregates(network.node(peer).items),
+                    )
+                )
+                for peer in network.live_peers()
+            }
+            phase1 = GossipAggregation(
+                network, contributions, length, gossip_config, initiator=requester
+            )
+            phase1.run()
+            estimates = phase1.estimate_at(requester)
+            grand_total = float(estimates[0])
+            threshold = max(int(math.ceil(config.threshold_ratio * grand_total)), 1)
+            relaxed = threshold * (1.0 - config.safety_margin)
+            group_estimates = estimates[1:]
+            heavy = HeavyGroups(
+                per_filter=tuple(
+                    np.flatnonzero(vector >= relaxed)
+                    for vector in [
+                        group_estimates[i * config.filter_size : (i + 1) * config.filter_size]
+                        for i in range(config.num_filters)
+                    ]
                 )
             )
-            for peer in network.live_peers()
-        }
-        phase1 = GossipAggregation(
-            network, contributions, length, gossip_config, initiator=requester
-        )
-        phase1.run()
-        estimates = phase1.estimate_at(requester)
-        grand_total = float(estimates[0])
-        threshold = max(int(math.ceil(config.threshold_ratio * grand_total)), 1)
-        relaxed = threshold * (1.0 - config.safety_margin)
-        group_estimates = estimates[1:]
-        heavy = HeavyGroups(
-            per_filter=tuple(
-                np.flatnonzero(vector >= relaxed)
-                for vector in [
-                    group_estimates[i * config.filter_size : (i + 1) * config.filter_size]
-                    for i in range(config.num_filters)
-                ]
-            )
-        )
+            span["heavy_groups"] = heavy.total_count
 
         # Dissemination: flood the heavy groups.
-        flood = _Flood(network)
-        flood.start(requester, heavy, settle_time=4.0 * network.n_peers**0.5 + 50.0)
-        flood.teardown()
+        with telemetry.span("gossip.flood.phase"):
+            flood = _Flood(network)
+            flood.start(
+                requester, heavy, settle_time=4.0 * network.n_peers**0.5 + 50.0
+            )
+            flood.teardown()
 
         # Phase 2: keyed gossip over partial candidate sets (Algorithm 2's
         # materialization, unchanged).
-        keyed_contributions: dict[int, dict[int, float]] = {}
-        for peer in network.live_peers():
-            partial = materialize_candidates(network.node(peer).items, bank, heavy)
-            keyed_contributions[peer] = {
-                int(item_id): float(value) for item_id, value in partial
+        with telemetry.span("gossip.verify.phase") as span:
+            keyed_contributions: dict[int, dict[int, float]] = {}
+            for peer in network.live_peers():
+                partial = materialize_candidates(network.node(peer).items, bank, heavy)
+                keyed_contributions[peer] = {
+                    int(item_id): float(value) for item_id, value in partial
+                }
+            phase2 = KeyedGossipAggregation(
+                network, keyed_contributions, initiator=requester, config=gossip_config
+            )
+            phase2.run()
+            candidate_estimates = phase2.estimate_at(requester)
+            reported_pairs = {
+                item_id: int(round(value))
+                for item_id, value in candidate_estimates.items()
+                if value >= relaxed
             }
-        phase2 = KeyedGossipAggregation(
-            network, keyed_contributions, initiator=requester, config=gossip_config
-        )
-        phase2.run()
-        candidate_estimates = phase2.estimate_at(requester)
-        reported_pairs = {
-            item_id: int(round(value))
-            for item_id, value in candidate_estimates.items()
-            if value >= relaxed
-        }
-        reported = LocalItemSet.from_pairs(reported_pairs)
+            reported = LocalItemSet.from_pairs(reported_pairs)
+            span["reported"] = len(reported_pairs)
 
         after = accounting.bytes_by_category()
         population = network.n_peers

@@ -137,7 +137,18 @@ def verification_spec(bank: FilterBank) -> AggregateSpec:
     partial candidate sets merge upward (Algorithm 2)."""
 
     def contribute(node: Node, heavy: HeavyGroups) -> LocalItemSet:
-        return materialize_candidates(node.items, bank, heavy)
+        partial = materialize_candidates(node.items, bank, heavy)
+        sim = node.network.sim
+        sim.telemetry.registry.histogram(
+            "netfilter.candidates_per_peer", buckets=(0, 1, 4, 16, 64, 256, 1024)
+        ).observe(len(partial))
+        sim.trace.emit(
+            sim.now,
+            "verify.materialized",
+            peer=node.peer_id,
+            candidates=len(partial),
+        )
+        return partial
 
     def request_bytes(heavy: HeavyGroups, model: SizeModel) -> int:
         return heavy.wire_bytes(model)
@@ -177,27 +188,51 @@ class NetFilter:
         """Execute Algorithm 1 over the engine's hierarchy and return the
         exact frequent-item set with measured costs."""
         network = engine.network
+        telemetry = engine.sim.telemetry
         accounting = network.accounting
         before = accounting.bytes_by_category()
         started_at = engine.sim.now
 
-        # Step 0: grand total v and participant count N.
-        grand_total, n_participants = engine.run(totals_spec())
-        threshold = self.config.resolve_threshold(int(grand_total))
+        with telemetry.span("netfilter.run") as run_span:
+            # Step 0: grand total v and participant count N.
+            with telemetry.span("totals.phase") as span:
+                grand_total, n_participants = engine.run(totals_spec())
+                threshold = self.config.resolve_threshold(int(grand_total))
+                span["participants"] = int(n_participants)
 
-        bank = FilterBank(
-            self.config.num_filters, self.config.filter_size, self.config.hash_seed
-        )
+            bank = FilterBank(
+                self.config.num_filters, self.config.filter_size, self.config.hash_seed
+            )
 
-        # Phase 1: candidate filtering (Algorithm 1, lines 1-3).
-        flat_aggregate = engine.run(filtering_spec(bank))
-        heavy = HeavyGroups.from_aggregate(bank, flat_aggregate, threshold)
+            # Phase 1: candidate filtering (Algorithm 1, lines 1-3).
+            with telemetry.span(
+                "filter.phase",
+                num_filters=self.config.num_filters,
+                filter_size=self.config.filter_size,
+            ) as span:
+                flat_aggregate = engine.run(filtering_spec(bank))
+                heavy = HeavyGroups.from_aggregate(bank, flat_aggregate, threshold)
+                span["heavy_groups"] = heavy.total_count
+                telemetry.registry.histogram(
+                    "netfilter.heavy_groups", buckets=(0, 1, 4, 16, 64, 256, 1024)
+                ).observe(heavy.total_count)
+                telemetry.emit(
+                    "filter.heavy_groups",
+                    total=heavy.total_count,
+                    per_filter=list(heavy.counts),
+                    threshold=threshold,
+                )
 
-        # Phase 2: candidate verification (Algorithm 1, line 4; Algorithm 2).
-        candidates: LocalItemSet = engine.run(
-            verification_spec(bank), request_data=heavy
-        )
-        frequent = candidates.filter_values(threshold)
+            # Phase 2: candidate verification (Algorithm 1, line 4;
+            # Algorithm 2).
+            with telemetry.span("verify.phase") as span:
+                candidates: LocalItemSet = engine.run(
+                    verification_spec(bank), request_data=heavy
+                )
+                frequent = candidates.filter_values(threshold)
+                span["candidates"] = len(candidates)
+                span["frequent"] = len(frequent)
+            run_span["frequent"] = len(frequent)
 
         after = accounting.bytes_by_category()
         population = network.n_peers

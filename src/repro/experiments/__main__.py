@@ -24,7 +24,7 @@ from repro.experiments.fig5 import predicted_optimal_g, run_figure5
 from repro.experiments.fig6 import predicted_optimal_f, run_figure6
 from repro.experiments.fig7 import run_figure7
 from repro.experiments.fig8 import run_figure8
-from repro.experiments.harness import ExperimentScale
+from repro.experiments.harness import ExperimentScale, flush_traces, set_trace_dir
 from repro.experiments.report import render_rows, render_table
 
 RowsByTable = dict[str, list[dict[str, Any]]]
@@ -137,10 +137,26 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write all generated rows to this JSON file",
     )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="stream one JSONL telemetry trace per trial into this "
+        "directory and print a run report for each",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        metavar="K",
+        type=int,
+        default=1,
+        help="keep 1 in K high-frequency trace events (msg.*, heartbeat.*)",
+    )
     args = parser.parse_args(argv)
 
     scale = ExperimentScale.by_name(args.scale)
     selected = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    if args.trace_dir:
+        set_trace_dir(args.trace_dir, sample_every=args.trace_sample)
     exported: dict[str, Any] = {
         "scale": scale.name,
         "n_peers": scale.n_peers,
@@ -148,15 +164,37 @@ def main(argv: list[str] | None = None) -> int:
         "seed": args.seed,
         "tables": {},
     }
-    for name in selected:
-        started = time.perf_counter()
-        exported["tables"].update(COMMANDS[name](scale, args.seed))
-        print(f"\n[{name} completed in {time.perf_counter() - started:.1f}s]\n")
+    try:
+        for name in selected:
+            started = time.perf_counter()
+            exported["tables"].update(COMMANDS[name](scale, args.seed))
+            print(f"\n[{name} completed in {time.perf_counter() - started:.1f}s]\n")
+            if args.trace_dir:
+                _report_traces(flush_traces())
+    finally:
+        if args.trace_dir:
+            flush_traces()
+            set_trace_dir(None)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(exported, handle, indent=2, default=float)
         print(f"Rows exported to {args.json}")
     return 0
+
+
+def _report_traces(paths: list[str]) -> None:
+    """Print a run report for every freshly closed trace."""
+    from repro.telemetry.report import build_report, render_report
+    from repro.telemetry.sink import iter_trace
+
+    for path in paths:
+        print(render_report(build_report(iter_trace(path), path=path)))
+        print()
+    if paths:
+        print(
+            f"{len(paths)} trace(s) written; re-inspect any of them with "
+            f"`python -m repro.telemetry report <trace>`"
+        )
 
 
 if __name__ == "__main__":

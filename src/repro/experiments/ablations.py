@@ -16,7 +16,7 @@ Four studies, each isolating one design decision that DESIGN.md calls out:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -8,7 +8,9 @@ seed, so every figure module is a parameter sweep over ready-made trials.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import itertools
+import os
+from dataclasses import dataclass, field, replace
 
 from repro.aggregation.hierarchical import AggregationEngine
 from repro.hierarchy.builder import Hierarchy
@@ -90,6 +92,8 @@ class TrialSetup:
     engine: AggregationEngine
     workload: Workload
     defaults: PaperDefaults
+    #: JSONL trace file this trial streams to (None when tracing is off).
+    trace_path: str | None = field(default=None)
 
     @property
     def hierarchy_height(self) -> int:
@@ -101,12 +105,50 @@ class TrialSetup:
         """Measured mean downstream fan-out ``b``."""
         return tree_stats(self.hierarchy).mean_fanout
 
+    def finish_trace(self) -> str | None:
+        """Flush and close this trial's trace sink(s); returns the path."""
+        self.sim.telemetry.close()
+        return self.trace_path
+
+
+# ----------------------------------------------------------------------
+# Per-run trace export.  ``set_trace_dir`` makes every subsequently built
+# trial stream its telemetry to an auto-named JSONL file in that directory
+# (the CLI's ``--trace-dir``); sweeps get one trace per run for free.
+# ----------------------------------------------------------------------
+_trace_dir: str | None = None
+_trace_sample_every = 1
+_trace_seq = itertools.count()
+_open_trials: list[TrialSetup] = []
+
+
+def set_trace_dir(path: str | None, sample_every: int = 1) -> None:
+    """Enable (or, with None, disable) automatic per-trial JSONL tracing."""
+    global _trace_dir, _trace_sample_every
+    if path is not None:
+        os.makedirs(path, exist_ok=True)
+    _trace_dir = path
+    _trace_sample_every = sample_every
+
+
+def flush_traces() -> list[str]:
+    """Close every trace opened by :func:`build_trial` since the last
+    flush; returns the trace paths, in creation order."""
+    paths = []
+    for trial in _open_trials:
+        if trial.finish_trace() is not None:
+            paths.append(trial.trace_path)
+    _open_trials.clear()
+    return paths
+
 
 def build_trial(
     scale: ExperimentScale,
     seed: int = 0,
     skew: float | None = None,
     defaults: PaperDefaults | None = None,
+    trace_path: str | None = None,
+    trace_sample_every: int = 1,
 ) -> TrialSetup:
     """Assemble a trial: overlay, network, Zipf workload, hierarchy, engine.
 
@@ -115,6 +157,10 @@ def build_trial(
     near the paper's ``b`` (each non-root peer consumes one edge for its
     parent).  The root is peer 0 — the paper selects a root at random, and
     under a seeded random topology peer 0 *is* a random peer.
+
+    ``trace_path`` streams the trial's telemetry to that JSONL file (close
+    it via :meth:`TrialSetup.finish_trace`); when a trace directory is set
+    with :func:`set_trace_dir`, a file is auto-named per trial instead.
     """
     base = defaults or PaperDefaults()
     base = replace(base, n_peers=scale.n_peers, n_items=scale.n_items)
@@ -122,6 +168,14 @@ def build_trial(
         base = replace(base, skew=skew)
 
     sim = Simulation(seed=seed)
+    if trace_path is None and _trace_dir is not None:
+        trace_path = os.path.join(
+            _trace_dir,
+            f"trial-{scale.name}-seed{seed}-{next(_trace_seq):03d}.jsonl",
+        )
+        trace_sample_every = max(trace_sample_every, _trace_sample_every)
+    if trace_path is not None:
+        sim.telemetry.attach_jsonl(trace_path, sample_every=trace_sample_every)
     topology = Topology.random_connected(
         base.n_peers, float(base.branching + 1), sim.rng.stream("topology")
     )
@@ -136,11 +190,15 @@ def build_trial(
     network.assign_items(workload.item_sets)
     hierarchy = Hierarchy.build(network, root=0)
     engine = AggregationEngine(hierarchy)
-    return TrialSetup(
+    trial = TrialSetup(
         sim=sim,
         network=network,
         hierarchy=hierarchy,
         engine=engine,
         workload=workload,
         defaults=base,
+        trace_path=trace_path,
     )
+    if trace_path is not None:
+        _open_trials.append(trial)
+    return trial

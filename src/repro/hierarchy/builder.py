@@ -109,6 +109,18 @@ class HierarchyService:
 
     def attach_under(self, parent: int, depth: int) -> None:
         """Adopt ``parent`` as upstream neighbour at the given depth."""
+        sim = self.node.network.sim
+        trace = sim.trace
+        if trace.active:
+            trace.emit(
+                sim.now,
+                "hierarchy.attached",
+                peer=self.node.peer_id,
+                parent=parent,
+                depth=depth,
+            )
+        else:
+            trace.counters["hierarchy.attached"] += 1
         old_upstream = self.state.upstream
         if old_upstream is not None and old_upstream != parent:
             self.node.send(old_upstream, self._unregister_cls())
@@ -200,24 +212,29 @@ class Hierarchy:
         """
         if not network.node(root).alive:
             raise HierarchyError(f"designated root {root} is not alive")
-        services = {
-            peer: HierarchyService(network.node(peer), tag=tag)
-            for peer in network.live_peers()
-        }
-        services[root].become_root()
-        network.sim.run(until=network.sim.now + settle_time)
-        hierarchy = cls(network, root, services, tag=tag)
-        if strict:
-            detached = [
-                peer
-                for peer, service in services.items()
-                if network.node(peer).alive and not service.state.attached
-            ]
-            if detached:
-                raise HierarchyError(
-                    f"{len(detached)} live peers failed to attach "
-                    f"(first few: {detached[:5]}); is the overlay connected?"
-                )
+        with network.sim.telemetry.span(
+            "hierarchy.build", root=root, tag=tag
+        ) as span:
+            services = {
+                peer: HierarchyService(network.node(peer), tag=tag)
+                for peer in network.live_peers()
+            }
+            services[root].become_root()
+            network.sim.run(until=network.sim.now + settle_time)
+            hierarchy = cls(network, root, services, tag=tag)
+            if strict:
+                detached = [
+                    peer
+                    for peer, service in services.items()
+                    if network.node(peer).alive and not service.state.attached
+                ]
+                if detached:
+                    raise HierarchyError(
+                        f"{len(detached)} live peers failed to attach "
+                        f"(first few: {detached[:5]}); is the overlay connected?"
+                    )
+            span["height"] = hierarchy.height()
+            span["participants"] = len(hierarchy.participants())
         return hierarchy
 
     # ------------------------------------------------------------------

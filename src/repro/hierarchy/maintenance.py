@@ -88,8 +88,15 @@ class MaintenanceService:
     # ------------------------------------------------------------------
     def _on_neighbor_down(self, neighbor: int) -> None:
         state = self._hier.state
+        node = self._hier.node
         if neighbor in state.downstream:
             self._hier.drop_child(neighbor)
+            node.network.sim.trace.emit(
+                node.network.sim.now,
+                "hierarchy.child_dropped",
+                peer=node.peer_id,
+                child=neighbor,
+            )
         if state.upstream == neighbor:
             self._start_invalidation()
 
@@ -97,10 +104,10 @@ class MaintenanceService:
         """Detach and cascade ∞-depth into the subtree (paper III-A.3)."""
         state = self._hier.state
         node = self._hier.node
+        sim = node.network.sim
         state.detach()
-        node.network.sim.trace.emit(
-            node.network.sim.now, "hierarchy.invalidated", peer=node.peer_id
-        )
+        sim.telemetry.registry.counter("hierarchy.invalidations").inc()
+        sim.trace.emit(sim.now, "hierarchy.invalidated", peer=node.peer_id)
         payload = InvalidatePayload()
         for child in list(state.downstream):
             node.send(child, payload)
@@ -156,8 +163,10 @@ class MaintenanceService:
         if depth + 1 > node.network.n_peers:
             return  # an absurd depth is itself evidence of a loop
         self._hier.attach_under(neighbor, depth + 1)
-        node.network.sim.trace.emit(
-            node.network.sim.now,
+        sim = node.network.sim
+        sim.telemetry.registry.counter("hierarchy.reattachments").inc()
+        sim.trace.emit(
+            sim.now,
             "hierarchy.reattached",
             peer=node.peer_id,
             parent=neighbor,

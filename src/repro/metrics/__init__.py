@@ -11,5 +11,22 @@ measures that metric directly from transport activity
 from repro.metrics.accounting import CostAccounting
 from repro.metrics.breakdown import CostBreakdown
 from repro.metrics.by_depth import bottleneck_ratio, bytes_by_depth
+from repro.metrics.registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    TimerMetric,
+)
 
-__all__ = ["CostAccounting", "CostBreakdown", "bottleneck_ratio", "bytes_by_depth"]
+__all__ = [
+    "CostAccounting",
+    "CostBreakdown",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "TimerMetric",
+    "bottleneck_ratio",
+    "bytes_by_depth",
+]

@@ -9,6 +9,7 @@ attributed to the *sender*, matching the paper's definition of
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from typing import Iterable
 
 from repro.net.wire import NETFILTER_CATEGORIES, CostCategory
 
@@ -49,16 +50,34 @@ class CostAccounting:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def total_bytes(self, *categories: CostCategory) -> int:
+    # Every query takes the categories to select over either as varargs
+    # (``total_bytes(CostCategory.FILTERING, ...)``) or as one explicit
+    # iterable (``total_bytes([])``).  No arguments means *all* categories;
+    # an explicit empty iterable means an empty selection — zero bytes, zero
+    # messages — never silently "all".
+    def _select(
+        self, categories: tuple, default: Iterable[CostCategory]
+    ) -> tuple[CostCategory, ...]:
+        if len(categories) == 1 and not isinstance(categories[0], CostCategory):
+            return tuple(categories[0])
+        if categories:
+            return categories
+        return tuple(default)
+
+    def total_bytes(
+        self, *categories: CostCategory | Iterable[CostCategory]
+    ) -> int:
         """Total bytes over the given categories (all categories if none)."""
-        selected = categories or tuple(self._bytes)
+        selected = self._select(categories, self._bytes)
         return sum(
             sum(self._bytes.get(category, {}).values()) for category in selected
         )
 
-    def message_count(self, *categories: CostCategory) -> int:
+    def message_count(
+        self, *categories: CostCategory | Iterable[CostCategory]
+    ) -> int:
         """Total messages over the given categories (all if none given)."""
-        selected = categories or tuple(self._messages)
+        selected = self._select(categories, self._messages)
         return sum(self._messages.get(cat, 0) for cat in selected)
 
     def bytes_by_category(self) -> dict[CostCategory, int]:
@@ -66,19 +85,21 @@ class CostAccounting:
         return {cat: sum(per_peer.values()) for cat, per_peer in self._bytes.items()}
 
     def per_peer_bytes(
-        self, *categories: CostCategory
+        self, *categories: CostCategory | Iterable[CostCategory]
     ) -> dict[int, int]:
         """Bytes sent by each peer over the given categories."""
-        selected = categories or tuple(self._bytes)
+        selected = self._select(categories, self._bytes)
         out: dict[int, int] = defaultdict(int)
         for cat in selected:
             for peer, size in self._bytes.get(cat, {}).items():
                 out[peer] += size
         return dict(out)
 
-    def peer_bytes(self, peer: int, *categories: CostCategory) -> int:
+    def peer_bytes(
+        self, peer: int, *categories: CostCategory | Iterable[CostCategory]
+    ) -> int:
         """Bytes sent by one peer over the given categories."""
-        selected = categories or tuple(self._bytes)
+        selected = self._select(categories, self._bytes)
         return sum(self._bytes.get(cat, {}).get(peer, 0) for cat in selected)
 
     def average_bytes_per_peer(
@@ -91,11 +112,13 @@ class CostAccounting:
         Note the divisor is the full population ``n_peers``, not only the
         peers that happened to transmit — a peer that sent nothing still
         counts in the average, exactly as in the paper's formulation.
+        An explicit empty ``categories`` selects nothing and yields 0.0.
         """
         if n_peers <= 0:
             raise ValueError(f"n_peers must be positive, got {n_peers}")
-        selected = tuple(categories) if categories is not None else tuple(self._bytes)
-        return self.total_bytes(*selected) / n_peers
+        if categories is None:
+            return self.total_bytes() / n_peers
+        return self.total_bytes(tuple(categories)) / n_peers
 
     def netfilter_average(self, n_peers: int) -> float:
         """Average per-peer bytes over the three netFilter categories."""

@@ -1,0 +1,309 @@
+"""In-process metric primitives: counters, gauges, timers, histograms.
+
+The registry complements the event-level :class:`~repro.sim.trace.Tracer`:
+where the tracer answers "what happened, when", the registry answers "how
+much, how often, how long" without keeping one record per occurrence.  All
+primitives are pure stdlib and O(1) per update (a histogram observation is
+one ``bisect`` over a short bucket list), so protocols can update them on
+hot paths even when no trace sink is attached.
+
+Bucket convention follows Prometheus: a bucket is an inclusive upper bound
+(``value <= bound``), the last bucket is always ``+inf``, and
+``cumulative_counts`` are monotone.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from time import perf_counter
+from typing import Iterator, Sequence
+
+#: Default histogram buckets, in simulated time units (link latency is 1.0
+#: by default, so these resolve one-hop through deep-tree round trips).
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+#: Default buckets for size-like quantities (bytes, counts).
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+)
+
+
+class CounterMetric:
+    """A monotonically increasing count.
+
+    Examples
+    --------
+    >>> c = CounterMetric("msgs")
+    >>> c.inc(); c.inc(2)
+    >>> c.value
+    3
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class GaugeMetric:
+    """A value that goes up and down (queue depth, live peers, ...)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+
+class HistogramMetric:
+    """Fixed-bucket histogram with inclusive upper bounds.
+
+    The bucket list is closed with ``+inf`` automatically; an observation
+    lands in the first bucket whose bound it does not exceed, so a value
+    exactly on a boundary counts toward that boundary's bucket.
+
+    Examples
+    --------
+    >>> h = HistogramMetric("lat", buckets=(1.0, 10.0))
+    >>> for v in (0.5, 1.0, 3.0, 99.0):
+    ...     h.observe(v)
+    >>> h.bucket_counts
+    [2, 1, 1]
+    >>> h.count, h.total
+    (4, 103.5)
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        if math.isinf(bounds[-1]):
+            bounds = bounds[:-1]
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative_counts(self) -> list[int]:
+        """Prometheus-style ``le`` counts (last entry equals ``count``)."""
+        out, running = [], 0
+        for bucket in self.bucket_counts:
+            running += bucket
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket containing
+        the ``q``-th observation (``inf`` if it falls in the overflow
+        bucket, ``nan`` when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            if running >= rank:
+                return bound
+        return math.inf
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+
+class TimerMetric:
+    """A histogram of durations with a context-manager front end.
+
+    ``time()`` measures wall-clock seconds via ``perf_counter``; simulated
+    durations are recorded with :meth:`observe` (the caller owns the
+    simulated clock).
+
+    Examples
+    --------
+    >>> t = TimerMetric("step", buckets=(0.1, 1.0))
+    >>> with t.time():
+    ...     pass
+    >>> t.histogram.count
+    1
+    """
+
+    __slots__ = ("name", "histogram")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> None:
+        self.name = name
+        self.histogram = HistogramMetric(name, buckets)
+
+    def observe(self, duration: float) -> None:
+        self.histogram.observe(duration)
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+    def reset(self) -> None:
+        self.histogram.reset()
+
+    def as_dict(self) -> dict[str, object]:
+        out = self.histogram.as_dict()
+        out["type"] = "timer"
+        return out
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_started", "elapsed")
+
+    def __init__(self, timer: TimerMetric) -> None:
+        self._timer = timer
+        self._started = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = perf_counter() - self._started
+        self._timer.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    ``registry.counter("net.msgs").inc()`` either creates the counter or
+    returns the existing one; asking for an existing name as a different
+    metric type raises, because two components silently sharing a name is
+    how metrics get corrupted.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[
+            str, CounterMetric | GaugeMetric | HistogramMetric | TimerMetric
+        ] = {}
+
+    def _get_or_create(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> CounterMetric:
+        return self._get_or_create(name, CounterMetric)
+
+    def gauge(self, name: str) -> GaugeMetric:
+        return self._get_or_create(name, GaugeMetric)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> HistogramMetric:
+        return self._get_or_create(name, HistogramMetric, buckets)
+
+    def timer(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> TimerMetric:
+        return self._get_or_create(name, TimerMetric, buckets)
+
+    def get(
+        self, name: str
+    ) -> CounterMetric | GaugeMetric | HistogramMetric | TimerMetric | None:
+        """The metric registered under ``name`` (None if absent)."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._metrics))
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        """Snapshot of every metric, JSON-ready, keyed by name."""
+        return {name: self._metrics[name].as_dict() for name in sorted(self._metrics)}
+
+    def reset(self) -> None:
+        """Zero every metric (the metric objects stay registered, so held
+        references remain valid across experiment sweeps)."""
+        for metric in self._metrics.values():
+            metric.reset()

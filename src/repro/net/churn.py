@@ -96,6 +96,12 @@ class ChurnProcess:
             victim = int(candidates[int(rng.integers(0, len(candidates)))])
             self._network.fail_peer(victim)
             self.failures += 1
+            self._sim.trace.emit(
+                self._sim.now,
+                "churn.failure",
+                peer=victim,
+                live=self._network.n_live_peers,
+            )
             if self._config.mean_downtime is not None:
                 downtime = float(rng.exponential(self._config.mean_downtime))
                 self._sim.schedule(downtime, self._revive_one, victim)
@@ -104,3 +110,9 @@ class ChurnProcess:
     def _revive_one(self, peer: int) -> None:
         self._network.revive_peer(peer)
         self.revivals += 1
+        self._sim.trace.emit(
+            self._sim.now,
+            "churn.revival",
+            peer=peer,
+            live=self._network.n_live_peers,
+        )

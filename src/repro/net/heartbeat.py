@@ -149,11 +149,23 @@ class HeartbeatService:
         if not self._node.alive:
             return
         self.last_known_depth.pop(neighbor, None)
-        self._node.network.sim.trace.emit(
-            self._node.network.sim.now,
+        network = self._node.network
+        sim = network.sim
+        # Detection latency: how long after the actual crash the watchdog
+        # fired.  Only known when the failure went through the network's
+        # bookkeeping (a false suspicion has no crash time).
+        failed_at = network.failed_at.get(neighbor)
+        detect_latency = None if failed_at is None else sim.now - failed_at
+        if detect_latency is not None:
+            sim.telemetry.registry.histogram("net.failure_detect_latency").observe(
+                detect_latency
+            )
+        sim.trace.emit(
+            sim.now,
             "heartbeat.neighbor_down",
             peer=self._node.peer_id,
             neighbor=neighbor,
+            detect_latency=detect_latency,
         )
         if self._on_neighbor_down is not None:
             self._on_neighbor_down(neighbor)

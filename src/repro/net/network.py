@@ -55,6 +55,10 @@ class Network:
         self.sim = sim
         self.topology = topology
         self.accounting = CostAccounting()
+        sim.telemetry.attach_accounting(self.accounting)
+        #: When each currently-failed peer went down — lets the failure
+        #: detector report its detection latency.
+        self.failed_at: dict[int, float] = {}
         self.size_model = size_model or SizeModel()
         self.transport = Transport(
             sim,
@@ -139,13 +143,20 @@ class Network:
 
     def fail_peer(self, peer_id: int) -> None:
         """Crash a peer (it stops sending, receiving, and timing)."""
-        self.node(peer_id).fail()
+        node = self.node(peer_id)
+        if node.alive:
+            self.failed_at[peer_id] = self.sim.now
+            self.sim.telemetry.registry.counter("net.peer_failures").inc()
+        node.fail()
 
     def revive_peer(self, peer_id: int) -> None:
         """Bring a failed peer back and notify join listeners."""
         node = self.node(peer_id)
         if node.alive:
             return
+        downtime = self.sim.now - self.failed_at.pop(peer_id, self.sim.now)
         node.revive()
+        self.sim.telemetry.registry.counter("net.peer_revivals").inc()
+        self.sim.telemetry.registry.histogram("net.peer_downtime").observe(downtime)
         for listener in self._join_listeners:
             listener(peer_id)

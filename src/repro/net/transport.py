@@ -82,6 +82,12 @@ class Transport:
         self.config = config
         self.size_model = size_model
         self.accounting = accounting
+        # Metric handles are resolved once: the send/deliver path updates
+        # them with plain attribute math, no registry lookups.
+        registry = sim.telemetry.registry
+        self._bytes_sent = registry.counter("net.bytes_sent")
+        self._msgs_in_flight = registry.gauge("net.msgs_in_flight")
+        self._latency_hist = registry.histogram("net.msg_latency")
 
     def send(self, sender: int, recipient: int, payload: Payload) -> None:
         """Charge the sender and schedule delivery.
@@ -90,15 +96,22 @@ class Transport:
         a sender pays for what it puts on the wire.
         """
         size = payload.size_bytes(self.size_model)
-        self.accounting.record(sender, payload.category, size)
-        self._sim.trace.emit(
-            self._sim.now,
-            "msg.sent",
-            sender=sender,
-            recipient=recipient,
-            payload_kind=type(payload).__name__,
-            size=size,
-        )
+        category = payload.category
+        self.accounting.record(sender, category, size)
+        self._bytes_sent.value += size
+        trace = self._sim.trace
+        if trace.active:
+            trace.emit(
+                self._sim.now,
+                "msg.sent",
+                sender=sender,
+                recipient=recipient,
+                payload_kind=type(payload).__name__,
+                category=category.value,
+                size=size,
+            )
+        else:
+            trace.counters["msg.sent"] += 1
         if self.config.loss_probability > 0.0:
             rng = self._sim.rng.stream("transport.loss")
             if rng.random() < self.config.loss_probability:
@@ -109,17 +122,36 @@ class Transport:
             rng = self._sim.rng.stream("transport.latency")
             delay += float(rng.uniform(0.0, self.config.latency_jitter))
         sent_at = self._sim.now
+        # Inlined gauge update: this runs once per message.
+        inflight = self._msgs_in_flight
+        inflight.value += 1.0
+        if inflight.value > inflight.max_value:
+            inflight.max_value = inflight.value
         self._sim.schedule(delay, self._deliver, sender, recipient, payload, sent_at)
 
     def _deliver(
         self, sender: int, recipient: int, payload: Payload, sent_at: float
     ) -> None:
+        self._msgs_in_flight.value -= 1.0
         node = self._resolve(recipient)
         if node is None or not node.alive:
             self._sim.trace.emit(
                 self._sim.now, "msg.dropped_dead_recipient", recipient=recipient
             )
             return
+        latency = self._sim.now - sent_at
+        self._latency_hist.observe(latency)
+        trace = self._sim.trace
+        if trace.active:
+            trace.emit(
+                self._sim.now,
+                "msg.delivered",
+                sender=sender,
+                recipient=recipient,
+                latency=latency,
+            )
+        else:
+            trace.counters["msg.delivered"] += 1
         message = Message(
             sender=sender,
             recipient=recipient,

@@ -1,22 +1,26 @@
 """The discrete-event loop.
 
 A :class:`Simulation` owns the clock, the event heap, the master random
-seed (see :mod:`repro.sim.rng`) and a :class:`~repro.sim.trace.Tracer`.
-Every other component of the library receives the simulation object and
-schedules its work through it; nothing in the library keeps its own notion
-of time.
+seed (see :mod:`repro.sim.rng`) and a per-run
+:class:`~repro.telemetry.core.Telemetry` object (tracer + metrics registry
++ cost accounting + optional JSONL sink).  Every other component of the
+library receives the simulation object and schedules its work through it;
+nothing in the library keeps its own notion of time.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventHandle
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.trace import Tracer
+    from repro.telemetry.core import Telemetry
 
 
 class Simulation:
@@ -44,13 +48,21 @@ class Simulation:
     """
 
     def __init__(self, seed: int | None = 0) -> None:
+        # Deferred import: telemetry pulls in the metrics package, whose
+        # accounting module reaches back into repro.net while this module
+        # is still mid-import — at construction time the cycle is gone.
+        from repro.telemetry.core import Telemetry
+
         self._now: float = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self.rng = RngRegistry(seed)
-        self.trace = Tracer()
+        self.telemetry: Telemetry = Telemetry(self)
+        #: The telemetry tracer, aliased here because every protocol emits
+        #: through ``sim.trace``.
+        self.trace: Tracer = self.telemetry.tracer
 
     # ------------------------------------------------------------------
     # Clock

@@ -37,15 +37,24 @@ class Tracer:
         self.counters: Counter[str] = Counter()
         self._subscribers: dict[str, list[Callable[[TraceRecord], None]]] = {}
         self._records: list[TraceRecord] | None = None
+        #: True while anything (recording or a subscriber) consumes full
+        #: records.  Hot paths may check this before building expensive
+        #: per-event detail; when False, an emit is one counter increment.
+        self.active: bool = False
+
+    def _update_active(self) -> None:
+        self.active = self._records is not None or bool(self._subscribers)
 
     def start_recording(self) -> None:
         """Keep every subsequent record in memory (for tests)."""
         self._records = []
+        self._update_active()
 
     def stop_recording(self) -> list[TraceRecord]:
         """Stop keeping records and return those captured so far."""
         records = self._records or []
         self._records = None
+        self._update_active()
         return records
 
     @property
@@ -60,16 +69,46 @@ class Tracer:
         Subscribing to the empty string receives every record.
         """
         self._subscribers.setdefault(kind, []).append(handler)
+        self._update_active()
+
+    def unsubscribe(self, kind: str, handler: Callable[[TraceRecord], None]) -> None:
+        """Remove a handler previously registered with :meth:`subscribe`.
+
+        Unknown ``(kind, handler)`` pairs are ignored so teardown code can
+        call this unconditionally.
+        """
+        handlers = self._subscribers.get(kind)
+        if handlers is None:
+            return
+        try:
+            handlers.remove(handler)
+        except ValueError:
+            return
+        if not handlers:
+            del self._subscribers[kind]
+        self._update_active()
+
+    def reset(self) -> None:
+        """Forget all counters, captured records, and subscribers.
+
+        Lets experiment sweeps reuse one simulation factory without
+        telemetry state leaking between runs.
+        """
+        self.counters.clear()
+        self._subscribers.clear()
+        self._records = None
+        self._update_active()
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record one trace event."""
         self.counters[kind] += 1
-        needs_record = (
-            self._records is not None
-            or kind in self._subscribers
-            or "" in self._subscribers
-        )
-        if not needs_record:
+        if not self.active:
+            return
+        if (
+            self._records is None
+            and kind not in self._subscribers
+            and "" not in self._subscribers
+        ):
             return
         record = TraceRecord(time=time, kind=kind, fields=fields)
         if self._records is not None:

@@ -1,0 +1,60 @@
+"""Command-line run-report tool for JSONL traces.
+
+Usage::
+
+    python -m repro.telemetry report trace.jsonl [--top 5]
+    python -m repro.telemetry kinds trace.jsonl
+
+``report`` prints the full run report: per-phase simulated/wall time,
+bytes and messages by cost category (the paper's Figure 5-style cost
+split), a message-latency histogram, and the heaviest senders.  ``kinds``
+lists every event kind in the trace with its count — a quick way to see
+what a run actually did.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.telemetry.report import build_report, render_report
+from repro.telemetry.sink import iter_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect JSONL telemetry traces produced by repro runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report_parser = sub.add_parser("report", help="print the full run report")
+    report_parser.add_argument("trace", nargs="+", help="JSONL trace file(s)")
+    report_parser.add_argument(
+        "--top", type=int, default=5, help="how many heaviest peers to list"
+    )
+
+    kinds_parser = sub.add_parser("kinds", help="list event kinds with counts")
+    kinds_parser.add_argument("trace", nargs="+", help="JSONL trace file(s)")
+
+    args = parser.parse_args(argv)
+    for i, path in enumerate(args.trace):
+        if i:
+            print()
+        try:
+            report = build_report(iter_trace(path), path=path)
+        except (OSError, ValueError) as error:
+            print(f"cannot read {path}: {error}", file=sys.stderr)
+            return 1
+        if args.command == "report":
+            print(render_report(report, top_k=args.top))
+        else:
+            print(f"Trace: {path} ({report.events} events)")
+            width = max((len(k) for k in report.kinds), default=0)
+            for kind in sorted(report.kinds):
+                print(f"  {kind.ljust(width)}  {report.kinds[kind]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""The per-simulation :class:`Telemetry` facade.
+
+One ``Telemetry`` hangs off every :class:`~repro.sim.engine.Simulation` and
+unifies the three observability primitives behind a single handle:
+
+* the event-level :class:`~repro.sim.trace.Tracer` (what happened, when),
+* a :class:`~repro.metrics.registry.MetricsRegistry` of counters, gauges,
+  timers and histograms (how much, how often, how long),
+* the network's :class:`~repro.metrics.accounting.CostAccounting` (bytes
+  per peer per category — the paper's metric), attached by the network
+  when it is constructed.
+
+Protocols instrument themselves through :meth:`emit` and :meth:`span`;
+with no JSONL sink attached and nobody recording, an emit is one counter
+increment and a span adds two of them — cheap enough for hot paths.
+Attach a :class:`~repro.telemetry.sink.JsonlTraceSink` via
+:meth:`attach_jsonl` to stream every event to disk for the
+``python -m repro.telemetry`` run-report CLI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+from contextlib import contextmanager
+from time import perf_counter
+
+from repro.metrics.registry import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.metrics.accounting import CostAccounting
+    from repro.sim.engine import Simulation
+    from repro.telemetry.sink import JsonlTraceSink
+
+
+class Telemetry:
+    """Unified observability for one simulation.
+
+    Examples
+    --------
+    >>> from repro.sim.engine import Simulation
+    >>> sim = Simulation(seed=0)
+    >>> with sim.telemetry.span("filter.phase"):
+    ...     pass
+    >>> sim.telemetry.tracer.counters["filter.phase"]
+    2
+    """
+
+    def __init__(self, sim: "Simulation") -> None:
+        self._sim = sim
+        self.tracer = Tracer()
+        self.registry = MetricsRegistry()
+        self.accounting: "CostAccounting | None" = None
+        self._sinks: list["JsonlTraceSink"] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_accounting(self, accounting: "CostAccounting") -> None:
+        """Register the network's byte accounting (kept by reference, so
+        reports always see current totals)."""
+        self.accounting = accounting
+
+    def attach_jsonl(
+        self,
+        path: str,
+        sample_every: int = 1,
+        sampled_prefixes: tuple[str, ...] = ("msg.", "heartbeat."),
+    ) -> "JsonlTraceSink":
+        """Stream every trace event to a JSONL file.
+
+        ``sample_every=k`` keeps one in ``k`` events of the high-frequency
+        kinds (those matching ``sampled_prefixes``); structural events are
+        always kept.  The returned sink must be closed (or use
+        :meth:`close`) to flush the trailing summary record.
+        """
+        from repro.telemetry.sink import JsonlTraceSink
+
+        sink = JsonlTraceSink(
+            path,
+            self.tracer,
+            sample_every=sample_every,
+            sampled_prefixes=sampled_prefixes,
+        )
+        self._sinks.append(sink)
+        return sink
+
+    @property
+    def sinks(self) -> tuple["JsonlTraceSink", ...]:
+        """Currently attached trace sinks."""
+        return tuple(self._sinks)
+
+    def close(self) -> list[str]:
+        """Close every attached sink; returns the paths written."""
+        paths = []
+        for sink in self._sinks:
+            sink.close()
+            paths.append(sink.path)
+        self._sinks.clear()
+        return paths
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Emit one trace event stamped with the current simulated time."""
+        self.tracer.emit(self._sim.now, kind, **fields)
+
+    @contextmanager
+    def span(self, kind: str, **fields: Any) -> Iterator[dict[str, Any]]:
+        """Bracket a protocol phase with begin/end events.
+
+        Emits ``kind`` with ``ev="begin"`` on entry and ``ev="end"`` on
+        exit, the end event carrying the simulated (``sim_elapsed``) and
+        wall-clock (``wall_elapsed``, seconds) durations plus anything the
+        body stores into the yielded dict.  The simulated duration also
+        feeds the ``span.<kind>`` timer in the registry.
+        """
+        self.tracer.emit(self._sim.now, kind, ev="begin", **fields)
+        extra: dict[str, Any] = {}
+        sim_started = self._sim.now
+        wall_started = perf_counter()
+        try:
+            yield extra
+        finally:
+            sim_elapsed = self._sim.now - sim_started
+            self.tracer.emit(
+                self._sim.now,
+                kind,
+                ev="end",
+                sim_elapsed=sim_elapsed,
+                wall_elapsed=perf_counter() - wall_started,
+                **{**fields, **extra},
+            )
+            self.registry.timer(f"span.{kind}", DEFAULT_TIME_BUCKETS).observe(
+                sim_elapsed
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero the tracer, registry, and (if attached) the accounting —
+        for experiment sweeps that reuse one simulation factory."""
+        self.tracer.reset()
+        self.registry.reset()
+        if self.accounting is not None:
+            self.accounting.reset()

@@ -1,0 +1,253 @@
+"""Run reports from JSONL traces.
+
+:func:`build_report` folds a trace into a :class:`RunReport`: per-phase
+simulated/wall time (from span begin/end events), bytes and messages by
+cost category (by replaying ``msg.sent`` events through the same
+:class:`~repro.metrics.accounting.CostAccounting` the live system uses),
+a message-latency histogram (from ``msg.delivered`` events), and the
+top-k heaviest senders.  :func:`render_report` turns it into the aligned
+plain-text report the ``python -m repro.telemetry`` CLI prints.
+
+When the trace was written with sampling, byte/message totals are scaled
+back up using the exact per-kind counters in the trailing
+``trace.summary`` record, and the report says so.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.experiments.report import format_value, render_table
+from repro.metrics.accounting import CostAccounting
+from repro.metrics.registry import DEFAULT_TIME_BUCKETS, HistogramMetric
+from repro.net.wire import CostCategory
+
+
+@dataclass
+class PhaseStat:
+    """Aggregated span timings for one event kind."""
+
+    kind: str
+    count: int = 0
+    sim_time: float = 0.0
+    wall_time: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "phase": self.kind,
+            "runs": self.count,
+            "sim time": self.sim_time,
+            "wall s": self.wall_time,
+        }
+
+
+@dataclass
+class RunReport:
+    """Everything :func:`build_report` extracts from one trace."""
+
+    path: str
+    events: int
+    first_time: float
+    last_time: float
+    kinds: dict[str, int]
+    phases: list[PhaseStat]
+    accounting: CostAccounting
+    n_peers_seen: int
+    latency: HistogramMetric
+    sample_scale: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Simulated time covered by the trace."""
+        return max(self.last_time - self.first_time, 0.0)
+
+    def top_peers(self, k: int = 5) -> list[tuple[int, int]]:
+        """The ``k`` heaviest senders as ``(peer, bytes)``, descending."""
+        per_peer = self.accounting.per_peer_bytes()
+        return sorted(per_peer.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+def build_report(
+    records: Iterable[dict[str, Any]],
+    path: str = "<trace>",
+    latency_buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+) -> RunReport:
+    """Fold trace records (as loaded by ``read_trace``) into a report."""
+    accounting = CostAccounting()
+    latency = HistogramMetric("msg.latency", latency_buckets)
+    phases: dict[str, PhaseStat] = {}
+    kinds: dict[str, int] = {}
+    peers: set[int] = set()
+    events = 0
+    first_time = math.inf
+    last_time = -math.inf
+    summary: dict[str, Any] | None = None
+
+    for record in records:
+        kind = record.get("kind", "?")
+        if kind == "trace.meta":
+            continue
+        if kind == "trace.summary":
+            summary = record
+            continue
+        events += 1
+        kinds[kind] = kinds.get(kind, 0) + 1
+        time = record.get("t")
+        if isinstance(time, (int, float)):
+            first_time = min(first_time, time)
+            last_time = max(last_time, time)
+        if kind == "msg.sent":
+            sender = record.get("sender")
+            if sender is not None:
+                peers.add(sender)
+            recipient = record.get("recipient")
+            if recipient is not None:
+                peers.add(recipient)
+            size = record.get("size")
+            category = _parse_category(record.get("category"))
+            if sender is not None and size is not None and category is not None:
+                accounting.record(peer=sender, category=category, size=size)
+        elif kind == "msg.delivered":
+            value = record.get("latency")
+            if isinstance(value, (int, float)):
+                latency.observe(value)
+        elif record.get("ev") == "end":
+            stat = phases.get(kind)
+            if stat is None:
+                stat = phases[kind] = PhaseStat(kind)
+            stat.count += 1
+            stat.sim_time += float(record.get("sim_elapsed", 0.0))
+            stat.wall_time += float(record.get("wall_elapsed", 0.0))
+
+    sample_scale: dict[str, float] = {}
+    if summary is not None:
+        emitted = summary.get("counters", {})
+        for kind, written in kinds.items():
+            total = emitted.get(kind, written)
+            if written and total > written:
+                sample_scale[kind] = total / written
+
+    if events == 0:
+        first_time = last_time = 0.0
+    return RunReport(
+        path=path,
+        events=events,
+        first_time=first_time,
+        last_time=last_time,
+        kinds=kinds,
+        phases=sorted(phases.values(), key=lambda s: s.kind),
+        accounting=accounting,
+        n_peers_seen=len(peers),
+        latency=latency,
+        sample_scale=sample_scale,
+    )
+
+
+def _parse_category(value: Any) -> CostCategory | None:
+    if value is None:
+        return None
+    try:
+        return CostCategory(value)
+    except ValueError:
+        return None
+
+
+def render_histogram(hist: HistogramMetric, width: int = 30) -> str:
+    """ASCII rendering of a histogram, one bucket per line."""
+    if hist.count == 0:
+        return "(no observations)"
+    lines = []
+    peak = max(hist.bucket_counts)
+    labels = [f"<= {format_value(b)}" for b in hist.bounds] + ["> last"]
+    label_width = max(len(label) for label in labels)
+    for label, count in zip(labels, hist.bucket_counts):
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(f"  {label.rjust(label_width)}  {str(count).rjust(8)}  {bar}")
+    lines.append(
+        f"  n={hist.count}  mean={format_value(hist.mean)}  "
+        f"min={format_value(hist.min)}  max={format_value(hist.max)}  "
+        f"p50~{format_value(hist.quantile(0.5))}  p99~{format_value(hist.quantile(0.99))}"
+    )
+    return "\n".join(lines)
+
+
+def render_report(report: RunReport, top_k: int = 5) -> str:
+    """The full plain-text run report."""
+    lines = [
+        f"Trace: {report.path}",
+        f"  {report.events} events, {len(report.kinds)} kinds, "
+        f"simulated span [{format_value(report.first_time)}, "
+        f"{format_value(report.last_time)}] "
+        f"(duration {format_value(report.duration)})",
+    ]
+    if report.sample_scale:
+        scaled = ", ".join(
+            f"{kind} x{scale:.1f}" for kind, scale in sorted(report.sample_scale.items())
+        )
+        lines.append(
+            f"  sampled trace — byte/message totals rescaled from the "
+            f"summary counters ({scaled})"
+        )
+    lines.append("")
+
+    if report.phases:
+        lines.append(
+            render_table(
+                [stat.as_dict() for stat in report.phases], title="Per-phase time"
+            )
+        )
+    else:
+        lines.append("Per-phase time\n(no span events in trace)")
+    lines.append("")
+
+    scale = report.sample_scale.get("msg.sent", 1.0)
+    by_category = report.accounting.bytes_by_category()
+    if by_category:
+        n = max(report.n_peers_seen, 1)
+        rows = [
+            {
+                "category": str(cat),
+                "bytes": int(total * scale),
+                "messages": int(report.accounting.message_count(cat) * scale),
+                "bytes/peer": total * scale / n,
+            }
+            for cat, total in sorted(
+                by_category.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        rows.append(
+            {
+                "category": "TOTAL",
+                "bytes": int(report.accounting.total_bytes() * scale),
+                "messages": int(report.accounting.message_count() * scale),
+                "bytes/peer": report.accounting.total_bytes() * scale / n,
+            }
+        )
+        lines.append(
+            render_table(
+                rows,
+                title=f"Bytes by category ({report.n_peers_seen} peers seen)",
+            )
+        )
+    else:
+        lines.append("Bytes by category\n(no msg.sent events in trace)")
+    lines.append("")
+
+    lines.append("Message latency (simulated time)")
+    lines.append(render_histogram(report.latency))
+    lines.append("")
+
+    top = report.top_peers(top_k)
+    if top:
+        lines.append(
+            render_table(
+                [
+                    {"peer": peer, "bytes sent": int(size * scale)}
+                    for peer, size in top
+                ],
+                title=f"Top {len(top)} heaviest peers",
+            )
+        )
+    return "\n".join(lines)

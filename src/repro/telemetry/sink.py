@@ -1,0 +1,157 @@
+"""Streaming JSONL trace export with bounded memory.
+
+A :class:`JsonlTraceSink` subscribes to a tracer's wildcard channel and
+writes each record as one JSON line the moment it is emitted — nothing is
+buffered beyond the file object's write buffer, so a million-message run
+costs disk, not RAM.  High-frequency event kinds can be sampled
+(``sample_every=k`` keeps every k-th event per kind); the trailing
+``trace.summary`` record carries the exact per-kind emit counts from the
+tracer so reports can rescale sampled quantities.
+
+File format, one JSON object per line:
+
+* line 1 — ``{"kind": "trace.meta", "version": 1, ...}``
+* body  — ``{"t": <sim time>, "kind": ..., <event fields>}``
+* last  — ``{"kind": "trace.summary", "counters": {...}, ...}``
+
+:func:`read_trace` is the matching loader.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from repro.sim.trace import TraceRecord, Tracer
+
+TRACE_FORMAT_VERSION = 1
+
+#: Flush to disk at least every this many written records, so a crashed or
+#: abandoned run still leaves a usable trace behind.
+FLUSH_INTERVAL = 1000
+
+
+class JsonlTraceSink:
+    """Streams trace records to a JSONL file as they are emitted."""
+
+    def __init__(
+        self,
+        path: str,
+        tracer: Tracer,
+        sample_every: int = 1,
+        sampled_prefixes: tuple[str, ...] = ("msg.", "heartbeat."),
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.path = str(path)
+        self.sample_every = sample_every
+        self.sampled_prefixes = tuple(sampled_prefixes)
+        self.written = 0
+        self.skipped = 0
+        self._seen: dict[str, int] = {}
+        self._tracer = tracer
+        self._closed = False
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._write_line(
+            {
+                "kind": "trace.meta",
+                "version": TRACE_FORMAT_VERSION,
+                "sample_every": sample_every,
+                "sampled_prefixes": list(self.sampled_prefixes),
+            }
+        )
+        tracer.subscribe("", self._on_record)
+
+    # ------------------------------------------------------------------
+    # Record handling
+    # ------------------------------------------------------------------
+    def _on_record(self, record: TraceRecord) -> None:
+        if self._closed:
+            return
+        kind = record.kind
+        if self.sample_every > 1 and kind.startswith(self.sampled_prefixes):
+            seen = self._seen.get(kind, 0)
+            self._seen[kind] = seen + 1
+            if seen % self.sample_every:
+                self.skipped += 1
+                return
+        line: dict[str, Any] = {"t": record.time, "kind": kind}
+        line.update(record.fields)
+        self._write_line(line)
+
+    def _write_line(self, obj: dict[str, Any]) -> None:
+        self._file.write(json.dumps(obj, default=_jsonable))
+        self._file.write("\n")
+        self.written += 1
+        if self.written % FLUSH_INTERVAL == 0:
+            self._file.flush()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unsubscribe, append the summary record, and close the file.
+
+        Idempotent; the summary's ``counters`` are the tracer's exact
+        per-kind emit counts (unaffected by sampling).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._tracer.unsubscribe("", self._on_record)
+        self._write_line(
+            {
+                "kind": "trace.summary",
+                "counters": dict(self._tracer.counters),
+                "written": self.written,
+                "skipped": self.skipped,
+                "sample_every": self.sample_every,
+            }
+        )
+        self._file.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _jsonable(value: Any) -> Any:
+    """Last-resort JSON coercion for numpy scalars/arrays and enums."""
+    if hasattr(value, "tolist"):  # numpy scalars and arrays alike
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "value"):
+        return value.value
+    return str(value)
+
+
+def read_trace(path: str) -> list[dict[str, Any]]:
+    """Load every record of a JSONL trace (meta and summary included)."""
+    return list(iter_trace(path))
+
+
+def iter_trace(path: str) -> Iterator[dict[str, Any]]:
+    """Stream a JSONL trace one record at a time (bounded memory).
+
+    A malformed *final* line is silently dropped — that is what a killed
+    run leaves mid-write, and the rest of the trace is still good.  A
+    malformed line anywhere else raises :class:`ValueError` with the
+    line number, because it means the file is corrupt, not truncated.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        pending_error: ValueError | None = None
+        for lineno, line in enumerate(handle, start=1):
+            if pending_error is not None:
+                raise pending_error
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as error:
+                pending_error = ValueError(
+                    f"{path}:{lineno}: malformed trace line ({error})"
+                )

@@ -18,7 +18,7 @@ from repro.hierarchy.builder import Hierarchy
 from repro.items.itemset import LocalItemSet
 from repro.net.network import Network
 from repro.net.overlay import Topology
-from repro.net.wire import CostCategory, SizeModel
+from repro.net.wire import CostCategory
 from repro.sim.engine import Simulation
 
 

@@ -9,7 +9,6 @@ searches for a counterexample over randomly generated systems.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ from repro.core.config import NetFilterConfig
 from repro.core.cost_model import naive_cost_bounds
 from repro.core.naive import NaiveProtocol
 from repro.core.oracle import oracle_frequent_items, oracle_global_values
-from repro.net.wire import CostCategory
 
 from tests.conftest import build_small_system
 

@@ -8,7 +8,6 @@ import pytest
 from repro.core.config import NetFilterConfig
 from repro.core.netfilter import NetFilter
 from repro.core.oracle import oracle_frequent_items
-from repro.net.wire import CostCategory
 
 from tests.conftest import build_small_system
 

@@ -9,7 +9,6 @@ has settled.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.aggregation.hierarchical import AggregationEngine
 from repro.core.config import NetFilterConfig

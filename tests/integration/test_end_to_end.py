@@ -10,7 +10,7 @@ from repro.core.config import NetFilterConfig
 from repro.core.naive import NaiveProtocol
 from repro.core.netfilter import NetFilter
 from repro.core.oracle import oracle_frequent_items
-from repro.core.optimizer import ParameterEstimates, derive_optimal_settings
+from repro.core.optimizer import derive_optimal_settings
 from repro.core.sampling import ParameterEstimator, SamplingConfig
 from repro.hierarchy.builder import Hierarchy
 from repro.net.network import Network

@@ -69,3 +69,21 @@ def test_reset(accounting):
     accounting.reset()
     assert accounting.total_bytes() == 0
     assert accounting.message_count() == 0
+
+
+def test_explicit_empty_selection_means_zero(accounting):
+    """An explicit empty category list selects nothing — never 'all'."""
+    assert accounting.total_bytes([]) == 0
+    assert accounting.message_count([]) == 0
+    assert accounting.per_peer_bytes([]) == {}
+    assert accounting.peer_bytes(1, []) == 0
+    assert accounting.average_bytes_per_peer(10, categories=[]) == 0.0
+
+
+def test_iterable_selection_matches_varargs(accounting):
+    both = [CostCategory.FILTERING, CostCategory.AGGREGATION]
+    assert accounting.total_bytes(both) == accounting.total_bytes(*both)
+    assert accounting.message_count(both) == accounting.message_count(*both)
+    assert accounting.per_peer_bytes(both) == accounting.per_peer_bytes(*both)
+    assert accounting.peer_bytes(1, both) == accounting.peer_bytes(1, *both)
+    assert accounting.total_bytes(iter(both)) == 350  # any iterable works

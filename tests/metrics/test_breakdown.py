@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.metrics.accounting import CostAccounting
 from repro.metrics.breakdown import CostBreakdown

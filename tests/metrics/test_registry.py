@@ -1,0 +1,209 @@
+"""Tests for the metric primitives and the registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics.registry import (
+    DEFAULT_TIME_BUCKETS,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    TimerMetric,
+)
+
+
+# ----------------------------------------------------------------------
+# Counter
+# ----------------------------------------------------------------------
+def test_counter_increments():
+    counter = CounterMetric("c")
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+
+
+def test_counter_rejects_decrease():
+    counter = CounterMetric("c")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_counter_reset():
+    counter = CounterMetric("c")
+    counter.inc(3)
+    counter.reset()
+    assert counter.value == 0
+
+
+# ----------------------------------------------------------------------
+# Gauge
+# ----------------------------------------------------------------------
+def test_gauge_tracks_max():
+    gauge = GaugeMetric("g")
+    gauge.inc(3)
+    gauge.inc(2)
+    gauge.dec(4)
+    assert gauge.value == 1
+    assert gauge.max_value == 5
+
+
+def test_gauge_set_and_reset():
+    gauge = GaugeMetric("g")
+    gauge.set(7.5)
+    assert gauge.value == 7.5
+    gauge.reset()
+    assert gauge.value == 0.0
+    assert gauge.max_value == 0.0
+
+
+# ----------------------------------------------------------------------
+# Histogram bucket math
+# ----------------------------------------------------------------------
+def test_histogram_bucket_boundaries_are_inclusive():
+    # A value exactly on a bound must land in that bound's bucket
+    # (Prometheus ``le`` semantics).
+    hist = HistogramMetric("h", buckets=(1.0, 10.0, 100.0))
+    for value in (1.0, 10.0, 100.0):
+        hist.observe(value)
+    assert hist.bucket_counts == [1, 1, 1, 0]
+
+
+def test_histogram_overflow_bucket():
+    hist = HistogramMetric("h", buckets=(1.0, 10.0))
+    hist.observe(10.000001)
+    hist.observe(1e9)
+    assert hist.bucket_counts == [0, 0, 2]
+
+
+def test_histogram_underflow_goes_to_first_bucket():
+    hist = HistogramMetric("h", buckets=(1.0, 10.0))
+    hist.observe(-5.0)
+    hist.observe(0.0)
+    assert hist.bucket_counts[0] == 2
+
+
+def test_histogram_stats():
+    hist = HistogramMetric("h", buckets=(1.0, 10.0))
+    for value in (0.5, 2.0, 3.5):
+        hist.observe(value)
+    assert hist.count == 3
+    assert hist.total == 6.0
+    assert hist.mean == 2.0
+    assert hist.min == 0.5
+    assert hist.max == 3.5
+
+
+def test_histogram_cumulative_counts_monotone():
+    hist = HistogramMetric("h", buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 5.0, 50.0, 500.0):
+        hist.observe(value)
+    cumulative = hist.cumulative_counts()
+    assert cumulative == [1, 2, 3, 4]
+    assert cumulative[-1] == hist.count
+
+
+def test_histogram_quantiles():
+    hist = HistogramMetric("h", buckets=(1.0, 10.0, 100.0))
+    for _ in range(99):
+        hist.observe(0.5)
+    hist.observe(50.0)
+    assert hist.quantile(0.5) == 1.0
+    assert hist.quantile(1.0) == 100.0
+    assert math.isnan(HistogramMetric("e", buckets=(1.0,)).quantile(0.5))
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        HistogramMetric("h", buckets=())
+    with pytest.raises(ValueError):
+        HistogramMetric("h", buckets=(10.0, 1.0))
+    with pytest.raises(ValueError):
+        HistogramMetric("h", buckets=(1.0, 1.0))
+
+
+def test_histogram_trailing_inf_bound_is_dropped():
+    hist = HistogramMetric("h", buckets=(1.0, math.inf))
+    assert hist.bounds == (1.0,)
+    assert len(hist.bucket_counts) == 2
+
+
+def test_histogram_reset():
+    hist = HistogramMetric("h", buckets=(1.0,))
+    hist.observe(0.5)
+    hist.reset()
+    assert hist.count == 0
+    assert hist.bucket_counts == [0, 0]
+    assert hist.mean == 0.0
+
+
+# ----------------------------------------------------------------------
+# Timer
+# ----------------------------------------------------------------------
+def test_timer_context_records_wall_time():
+    timer = TimerMetric("t", buckets=(0.5, 10.0))
+    with timer.time() as ctx:
+        pass
+    assert timer.histogram.count == 1
+    assert ctx.elapsed >= 0.0
+
+
+def test_timer_observe_simulated_duration():
+    timer = TimerMetric("t", buckets=(1.0, 10.0))
+    timer.observe(5.0)
+    assert timer.histogram.bucket_counts == [0, 1, 0]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_returns_same_object():
+    registry = MetricsRegistry()
+    a = registry.counter("x")
+    b = registry.counter("x")
+    assert a is b
+
+
+def test_registry_rejects_type_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_registry_names_and_len():
+    registry = MetricsRegistry()
+    registry.counter("b")
+    registry.gauge("a")
+    assert registry.names() == ["a", "b"]
+    assert len(registry) == 2
+    assert list(registry) == ["a", "b"]
+    assert registry.get("a") is not None
+    assert registry.get("missing") is None
+
+
+def test_registry_as_dict_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    registry.histogram("h", buckets=(1.0,)).observe(0.5)
+    snapshot = registry.as_dict()
+    assert snapshot["c"] == {"type": "counter", "value": 2}
+    assert snapshot["h"]["count"] == 1
+
+
+def test_registry_reset_keeps_references_valid():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc(5)
+    registry.reset()
+    assert counter.value == 0
+    assert registry.counter("c") is counter
+
+
+def test_default_time_buckets_strictly_increasing():
+    assert list(DEFAULT_TIME_BUCKETS) == sorted(set(DEFAULT_TIME_BUCKETS))

@@ -57,3 +57,51 @@ def test_wildcard_subscription_sees_everything():
     tracer.emit(0.0, "a")
     tracer.emit(0.0, "b")
     assert [record.kind for record in seen] == ["a", "b"]
+
+
+def test_unsubscribe_stops_delivery():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("a", seen.append)
+    tracer.emit(0.0, "a")
+    tracer.unsubscribe("a", seen.append)
+    tracer.emit(1.0, "a")
+    assert len(seen) == 1
+    assert tracer.counters["a"] == 2  # counters keep counting
+
+
+def test_unsubscribe_unknown_pair_is_ignored():
+    tracer = Tracer()
+    tracer.unsubscribe("never.subscribed", print)  # no error
+    tracer.subscribe("a", print)
+    tracer.unsubscribe("a", len)  # wrong handler: also ignored
+    tracer.emit(0.0, "a")
+
+
+def test_reset_clears_counters_records_and_subscribers():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("", seen.append)
+    tracer.start_recording()
+    tracer.emit(0.0, "a")
+    tracer.reset()
+    assert tracer.counters == {}
+    assert tracer.records == []
+    tracer.emit(1.0, "b")
+    assert len(seen) == 1  # the pre-reset record only
+    assert tracer.records == []
+    assert tracer.counters["b"] == 1
+
+
+def test_active_reflects_consumers():
+    tracer = Tracer()
+    assert not tracer.active
+    tracer.start_recording()
+    assert tracer.active
+    tracer.stop_recording()
+    assert not tracer.active
+    handler = lambda record: None
+    tracer.subscribe("a", handler)
+    assert tracer.active
+    tracer.unsubscribe("a", handler)
+    assert not tracer.active

@@ -1,0 +1,104 @@
+"""Tests for trace folding and report rendering."""
+
+from __future__ import annotations
+
+from repro.net.wire import CostCategory
+from repro.sim.engine import Simulation
+from repro.telemetry.report import build_report, render_histogram, render_report
+from repro.telemetry.sink import iter_trace
+
+
+def _records():
+    return [
+        {"kind": "trace.meta", "version": 1, "sample_every": 1},
+        {"t": 0.0, "kind": "msg.sent", "sender": 1, "recipient": 2,
+         "category": "filtering", "size": 100},
+        {"t": 0.0, "kind": "msg.sent", "sender": 2, "recipient": 1,
+         "category": "aggregation", "size": 40},
+        {"t": 1.0, "kind": "msg.delivered", "sender": 1, "recipient": 2,
+         "latency": 1.0},
+        {"t": 0.0, "kind": "filter.phase", "ev": "begin"},
+        {"t": 8.0, "kind": "filter.phase", "ev": "end", "sim_elapsed": 8.0,
+         "wall_elapsed": 0.25},
+        {"kind": "trace.summary",
+         "counters": {"msg.sent": 2, "msg.delivered": 1, "filter.phase": 2}},
+    ]
+
+
+def test_build_report_folds_phases_bytes_and_latency():
+    report = build_report(_records(), path="x.jsonl")
+    assert report.path == "x.jsonl"
+    assert report.events == 5  # meta/summary excluded
+    assert report.first_time == 0.0
+    assert report.last_time == 8.0
+    assert report.duration == 8.0
+    assert report.n_peers_seen == 2
+
+    assert len(report.phases) == 1
+    phase = report.phases[0]
+    assert phase.kind == "filter.phase"
+    assert phase.count == 1
+    assert phase.sim_time == 8.0
+    assert phase.wall_time == 0.25
+
+    assert report.accounting.total_bytes() == 140
+    assert report.accounting.total_bytes(CostCategory.FILTERING) == 100
+    assert report.latency.count == 1
+    assert report.sample_scale == {}  # written == emitted: no rescaling
+
+
+def test_build_report_computes_sample_scale():
+    records = _records()
+    # Pretend 10 msg.sent were emitted but only 2 written (1-in-5 sampling).
+    records[-1]["counters"]["msg.sent"] = 10
+    report = build_report(records)
+    assert report.sample_scale == {"msg.sent": 5.0}
+    rendered = render_report(report)
+    assert "rescaled" in rendered
+    # TOTAL bytes scaled back up: 140 * 5.
+    assert "700" in rendered
+
+
+def test_build_report_empty_trace():
+    report = build_report([])
+    assert report.events == 0
+    assert report.duration == 0.0
+    assert report.top_peers() == []
+
+
+def test_top_peers_orders_by_bytes_descending():
+    report = build_report(_records())
+    assert report.top_peers(5) == [(1, 100), (2, 40)]
+    assert report.top_peers(1) == [(1, 100)]
+
+
+def test_render_report_contains_all_sections():
+    rendered = render_report(build_report(_records(), path="x.jsonl"))
+    assert "Trace: x.jsonl" in rendered
+    assert "Per-phase time" in rendered
+    assert "filter.phase" in rendered
+    assert "Bytes by category" in rendered
+    assert "filtering" in rendered
+    assert "TOTAL" in rendered
+    assert "Message latency" in rendered
+    assert "heaviest peers" in rendered
+
+
+def test_render_histogram_empty():
+    from repro.metrics.registry import HistogramMetric
+
+    assert "no observations" in render_histogram(HistogramMetric("h", (1.0,)))
+
+
+def test_report_round_trips_through_real_sink(tmp_path):
+    """A trace written by the live system folds into a sane report."""
+    path = str(tmp_path / "run.jsonl")
+    sim = Simulation(seed=0)
+    sink = sim.telemetry.attach_jsonl(path)
+    with sim.telemetry.span("demo.phase"):
+        sim.run(until=5.0)
+    sink.close()
+    report = build_report(iter_trace(path), path=path)
+    assert [p.kind for p in report.phases] == ["demo.phase"]
+    assert report.phases[0].sim_time == 5.0
+    render_report(report)  # renders without raising

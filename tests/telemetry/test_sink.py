@@ -1,0 +1,116 @@
+"""Tests for the streaming JSONL trace sink."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import Tracer
+from repro.telemetry.sink import JsonlTraceSink, iter_trace, read_trace
+
+
+def test_sink_writes_meta_body_and_summary(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    tracer = Tracer()
+    sink = JsonlTraceSink(path, tracer)
+    tracer.emit(1.0, "msg.sent", sender=3, size=42)
+    tracer.emit(2.0, "filter.phase", ev="begin")
+    sink.close()
+
+    records = read_trace(path)
+    assert records[0]["kind"] == "trace.meta"
+    assert records[0]["version"] == 1
+    assert records[1] == {"t": 1.0, "kind": "msg.sent", "sender": 3, "size": 42}
+    assert records[2] == {"t": 2.0, "kind": "filter.phase", "ev": "begin"}
+    assert records[-1]["kind"] == "trace.summary"
+    assert records[-1]["counters"] == {"msg.sent": 1, "filter.phase": 1}
+
+
+def test_sink_sampling_keeps_one_in_k(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    tracer = Tracer()
+    sink = JsonlTraceSink(path, tracer, sample_every=3)
+    for i in range(9):
+        tracer.emit(float(i), "msg.sent", seq=i)
+    tracer.emit(10.0, "filter.phase", ev="begin")  # structural: never sampled
+    sink.close()
+
+    body = [r for r in read_trace(path) if r["kind"] == "msg.sent"]
+    assert [r["seq"] for r in body] == [0, 3, 6]
+    assert sink.skipped == 6
+    kinds = [r["kind"] for r in read_trace(path)]
+    assert "filter.phase" in kinds
+    # Summary still carries the exact emit counts.
+    summary = read_trace(path)[-1]
+    assert summary["counters"]["msg.sent"] == 9
+
+
+def test_sink_close_is_idempotent_and_unsubscribes(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    tracer = Tracer()
+    sink = JsonlTraceSink(path, tracer)
+    tracer.emit(0.0, "a")
+    sink.close()
+    sink.close()  # no error, no second summary
+    tracer.emit(1.0, "b")  # after close: not written
+
+    records = read_trace(path)
+    assert sum(1 for r in records if r["kind"] == "trace.summary") == 1
+    assert not any(r["kind"] == "b" for r in records)
+    assert not tracer.active
+
+
+def test_sink_context_manager(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    tracer = Tracer()
+    with JsonlTraceSink(path, tracer) as sink:
+        tracer.emit(0.0, "a")
+    assert sink.written == 3  # meta + record + summary
+    assert read_trace(path)[-1]["kind"] == "trace.summary"
+
+
+def test_sink_rejects_bad_sample_every(tmp_path):
+    with pytest.raises(ValueError):
+        JsonlTraceSink(str(tmp_path / "t.jsonl"), Tracer(), sample_every=0)
+
+
+def test_sink_coerces_numpy_and_enum_fields(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    tracer = Tracer()
+    sink = JsonlTraceSink(path, tracer)
+    tracer.emit(0.0, "a", count=np.int64(7), values=np.array([1, 2]))
+    sink.close()
+    record = read_trace(path)[1]
+    assert record["count"] == 7
+    assert record["values"] == [1, 2]
+    json.dumps(record)  # round-trips as plain JSON
+
+
+def test_iter_trace_streams_lazily(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    tracer = Tracer()
+    sink = JsonlTraceSink(path, tracer)
+    for i in range(5):
+        tracer.emit(float(i), "tick")
+    sink.close()
+    iterator = iter_trace(path)
+    first = next(iterator)
+    assert first["kind"] == "trace.meta"
+    assert sum(1 for r in iterator if r["kind"] == "tick") == 5
+
+
+def test_iter_trace_drops_malformed_final_line(tmp_path):
+    """A killed run truncates its last line mid-write; the rest still loads."""
+    path = tmp_path / "cut.jsonl"
+    path.write_text('{"kind": "trace.meta", "version": 1}\n{"t": 1.0, "kind": "a"}\n{"t": 2.0, "kin')
+    records = read_trace(str(path))
+    assert [r["kind"] for r in records] == ["trace.meta", "a"]
+
+
+def test_iter_trace_raises_on_mid_file_corruption(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "trace.meta", "version": 1}\nnot json\n{"t": 1.0, "kind": "a"}\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        read_trace(str(path))
