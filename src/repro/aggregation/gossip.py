@@ -24,11 +24,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AggregationError
+from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
 from repro.net.network import Network
 from repro.net.wire import CostCategory, SizeModel
 
 
+@register_payload
 @dataclass(frozen=True, eq=False)
 class GossipPayload(Payload):
     """Half of a peer's (mass vector, weight) for one push-sum round."""

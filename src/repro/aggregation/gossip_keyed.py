@@ -18,12 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import AggregationError
+from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
 from repro.net.network import Network
 from repro.net.wire import CostCategory, SizeModel
 from repro.aggregation.gossip import GossipConfig
 
 
+@register_payload
 @dataclass(frozen=True, eq=False)
 class KeyedGossipPayload(Payload):
     """Half of a peer's keyed mass and weight for one push-sum round."""

@@ -28,12 +28,14 @@ from typing import Any, Callable
 from repro.aggregation.spec import AggregateSpec
 from repro.errors import AggregationError
 from repro.hierarchy.builder import Hierarchy
+from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
 from repro.net.node import Node
 from repro.net.wire import CostCategory, SizeModel
 from repro.sim.timers import Timeout
 
 
+@register_payload
 @dataclass(frozen=True, eq=False)
 class AggRequestPayload(Payload):
     """Down-sweep: "compute this aggregate; here is the request data"."""
@@ -50,6 +52,7 @@ class AggRequestPayload(Payload):
         return self.spec.request_bytes(self.request_data, model)
 
 
+@register_payload
 @dataclass(frozen=True, eq=False)
 class AggReplyPayload(Payload):
     """Up-sweep: the merged aggregate of the sender's subtree."""

@@ -42,6 +42,7 @@ from repro.core.verification import HeavyGroups, materialize_candidates
 from repro.errors import ConfigurationError
 from repro.items.itemset import LocalItemSet
 from repro.metrics.breakdown import CostBreakdown
+from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
 from repro.net.network import Network
 from repro.net.wire import CostCategory, SizeModel
@@ -102,6 +103,7 @@ class GossipNetFilterResult:
         return self.breakdown.gossip + self.breakdown.dissemination
 
 
+@register_payload
 @dataclass(frozen=True, eq=False)
 class HeavyGroupFloodPayload(Payload):
     """Heavy-group lists being flooded over the overlay."""

@@ -22,6 +22,7 @@ from repro.core.config import NetFilterConfig
 from repro.core.netfilter import NetFilter, NetFilterResult
 from repro.errors import ProtocolError
 from repro.items.itemset import LocalItemSet
+from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
 from repro.net.wire import CostCategory, SizeModel
 
@@ -40,6 +41,7 @@ class IfiRequest:
             )
 
 
+@register_payload
 @dataclass(frozen=True, eq=False)
 class RequestPayload(Payload):
     """A request hopping toward the root, recording its route."""
@@ -52,6 +54,7 @@ class RequestPayload(Payload):
         return model.aggregate_bytes
 
 
+@register_payload
 @dataclass(frozen=True, eq=False)
 class ResultPayload(Payload):
     """A requester's answer, source-routed back along the recorded route."""

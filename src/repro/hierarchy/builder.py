@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import HierarchyError
+from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
 from repro.net.network import Network
 from repro.net.node import Node
@@ -26,6 +27,7 @@ from repro.net.wire import CostCategory, SizeModel
 from repro.hierarchy.roles import HierarchyState, NodeRole
 
 
+@register_payload
 @dataclass(frozen=True)
 class BuildPayload(Payload):
     """BFS construction offer: "attach under me, I am at ``depth``"."""
@@ -37,6 +39,7 @@ class BuildPayload(Payload):
         return model.aggregate_bytes
 
 
+@register_payload
 @dataclass(frozen=True)
 class ChildRegisterPayload(Payload):
     """Sent to the chosen upstream neighbour: "I am now your child"."""
@@ -47,6 +50,7 @@ class ChildRegisterPayload(Payload):
         return model.aggregate_bytes
 
 
+@register_payload
 @dataclass(frozen=True)
 class ChildUnregisterPayload(Payload):
     """Sent to a former upstream neighbour after reattaching elsewhere."""

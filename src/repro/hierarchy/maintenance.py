@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.net.codec import register_payload
 from repro.net.heartbeat import HeartbeatConfig, HeartbeatService
 from repro.net.message import Message, Payload
 from repro.net.network import Network
@@ -29,6 +30,7 @@ from repro.hierarchy.builder import Hierarchy, HierarchyService
 from repro.types import INFINITE_DEPTH
 
 
+@register_payload
 @dataclass(frozen=True)
 class InvalidatePayload(Payload):
     """"Your subtree lost its root path — set your depth to ∞ too"."""
@@ -39,6 +41,7 @@ class InvalidatePayload(Payload):
         return model.aggregate_bytes
 
 
+@register_payload
 @dataclass(frozen=True)
 class ResetPayload(Payload):
     """A rejoining peer's announcement: "I crashed and remember nothing —

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
 from repro.net.node import Node
 from repro.net.wire import CostCategory, SizeModel
@@ -24,6 +25,7 @@ from repro.sim.timers import PeriodicTimer, Timeout
 from repro.types import INFINITE_DEPTH
 
 
+@register_payload
 @dataclass(frozen=True)
 class HeartbeatPayload(Payload):
     """A heartbeat carrying the sender's hierarchy depth (Section III-A.3)."""

@@ -10,16 +10,18 @@ inherited unchanged, so tagging never alters measured costs.
 
 from __future__ import annotations
 
+from repro.net.codec import register_payload
 from repro.net.message import Payload
 
-_CACHE: dict[tuple[type, str], type] = {}
+_CACHE: dict[tuple[type[Payload], str], type[Payload]] = {}
 
 
 def tagged(base: type[Payload], tag: str) -> type[Payload]:
     """The payload type for instance ``tag`` of a protocol.
 
     The empty tag returns ``base`` itself, so single-instance deployments
-    pay nothing.
+    pay nothing.  Derived types are registered with the wire codec under
+    ``Base@tag``, so tagged traffic stays resolvable by name.
 
     Examples
     --------
@@ -35,6 +37,6 @@ def tagged(base: type[Payload], tag: str) -> type[Payload]:
     key = (base, tag)
     derived = _CACHE.get(key)
     if derived is None:
-        derived = type(f"{base.__name__}@{tag}", (base,), {})
+        derived = register_payload(type(f"{base.__name__}@{tag}", (base,), {}))
         _CACHE[key] = derived
     return derived

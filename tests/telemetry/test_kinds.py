@@ -1,0 +1,58 @@
+"""Trace-kind registry: coverage of the emitted vocabulary."""
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.telemetry.kinds import TRACE_KINDS, declare_kind, is_declared
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+def _literal_emit_kinds():
+    """Every string-literal kind passed to .emit()/.span() under src/."""
+    kinds = set()
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in (
+                "emit",
+                "span",
+            ):
+                continue
+            for arg in node.args[:2]:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    kinds.add(arg.value)
+                    break
+    return kinds
+
+
+def test_every_emitted_kind_is_declared():
+    undeclared = sorted(_literal_emit_kinds() - set(TRACE_KINDS))
+    assert not undeclared, f"kinds emitted but not declared: {undeclared}"
+
+
+def test_declared_kinds_have_descriptions():
+    for kind, description in TRACE_KINDS.items():
+        assert description.strip(), f"kind {kind!r} has an empty description"
+
+
+def test_is_declared():
+    assert is_declared("msg.sent")
+    assert not is_declared("msg.snet")
+
+
+def test_declare_kind_extends_registry():
+    declare_kind("test.kinds.extension", "added by the registry unit test")
+    assert is_declared("test.kinds.extension")
+
+
+def test_declare_kind_is_idempotent_but_rejects_conflicts():
+    declare_kind("test.kinds.conflict", "original description")
+    declare_kind("test.kinds.conflict", "original description")
+    with pytest.raises(ValueError, match="already declared"):
+        declare_kind("test.kinds.conflict", "a different description")
