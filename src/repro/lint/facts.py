@@ -1,0 +1,76 @@
+"""Cross-file facts gathered before rules run.
+
+Some determinism properties are not visible inside a single module: the
+hierarchy's ``downstream`` set is *annotated* in ``repro.hierarchy.roles``
+but *iterated* in ``repro.hierarchy.maintenance``.  The engine therefore
+makes a first pass over every linted file and records
+
+* attribute names declared with a ``set``/``frozenset`` annotation
+  (class bodies and ``self.x: set[...]`` assignments), and
+* function/method names whose return annotation is a set,
+
+so the DET003 rule can recognise ``for child in state.downstream`` or
+``for c in hierarchy.children_of(p)`` as unordered iteration wherever
+they occur.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+_SET_TYPE_NAMES = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet"})
+
+
+@dataclass
+class ProjectFacts:
+    """What the first pass learned about the linted tree."""
+
+    #: Attribute names annotated as set/frozenset anywhere in the tree.
+    set_attributes: set[str] = field(default_factory=set)
+    #: Function/method names annotated to return a set/frozenset.
+    set_returning_functions: set[str] = field(default_factory=set)
+
+    def merge_from(self, tree: ast.Module) -> None:
+        """Fold one parsed module into the fact tables."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign) and annotation_is_set(node.annotation):
+                target = node.target
+                if isinstance(target, ast.Attribute):
+                    # self.x: set[...] = ...
+                    self.set_attributes.add(target.attr)
+                elif isinstance(target, ast.Name) and isinstance(
+                    getattr(node, "parent", None), (ast.ClassDef, type(None))
+                ):
+                    # Class-body (incl. dataclass field) annotations only;
+                    # function locals are tracked per-scope by DET003.
+                    self.set_attributes.add(target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.returns is not None and annotation_is_set(node.returns):
+                    self.set_returning_functions.add(node.name)
+
+
+def attach_parents(tree: ast.Module) -> None:
+    """Annotate every node with a ``parent`` backlink (used by facts
+    gathering and by rules that need the consuming context)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+
+
+def annotation_is_set(annotation: ast.expr) -> bool:
+    """Whether an annotation expression denotes a set type.
+
+    Handles ``set``, ``set[int]``, ``frozenset[...]``, ``typing.Set[...]``
+    and string annotations containing the same.
+    """
+    if isinstance(annotation, ast.Subscript):
+        return annotation_is_set(annotation.value)
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _SET_TYPE_NAMES
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _SET_TYPE_NAMES
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value.split("[", 1)[0].strip()
+        return text.rsplit(".", 1)[-1] in _SET_TYPE_NAMES
+    return False

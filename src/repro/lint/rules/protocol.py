@@ -1,0 +1,161 @@
+"""Protocol-invariant rules: PROTO001 (payload registration) and
+PROTO002 (trace-kind declaration).
+
+These are the static halves of two runtime registries: the wire codec
+(:mod:`repro.net.codec`) and the trace-kind table
+(:mod:`repro.telemetry.kinds`).  The registries catch violations at
+runtime *if the offending path executes*; these rules catch them at
+review time whether or not any test exercises the path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.facts import ProjectFacts
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, rule
+
+
+def _in_tests(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return "tests" in parts and "fixtures" not in parts
+
+
+def _decorator_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+@rule
+class PayloadRegistrationRule(Rule):
+    """PROTO001: Payload subclasses must be complete and wire-registered.
+
+    A ``Payload`` subclass that is missing ``@register_payload`` never
+    reaches the codec's duplicate/size validation; one missing
+    ``body_bytes`` silently inherits a parent's size model and skews the
+    paper's byte-cost curves.  Each missing aspect is reported
+    separately so the fix list is explicit.
+    """
+
+    id = "PROTO001"
+    summary = "Payload subclass missing codec registration, body_bytes, or category"
+
+    def check(
+        self, tree: ast.Module, source: str, path: str, facts: ProjectFacts
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name == "Payload":
+                continue
+            base_names = set()
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    base_names.add(base.id)
+                elif isinstance(base, ast.Attribute):
+                    base_names.add(base.attr)
+            if "Payload" not in base_names:
+                continue
+            has_body_bytes = False
+            has_category = False
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if item.name == "body_bytes":
+                        has_body_bytes = True
+                    elif item.name == "category":
+                        has_category = True
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    if item.target.id == "category":
+                        has_category = True
+                elif isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name) and target.id == "category":
+                            has_category = True
+            if "register_payload" not in _decorator_names(node):
+                yield self.finding(
+                    path,
+                    node,
+                    f"Payload subclass {node.name} is not decorated with "
+                    "@register_payload; the wire codec cannot account for it",
+                )
+            if not has_body_bytes:
+                yield self.finding(
+                    path,
+                    node,
+                    f"Payload subclass {node.name} does not define body_bytes(); "
+                    "its wire size would silently fall back to the parent's",
+                )
+            if not has_category:
+                yield self.finding(
+                    path,
+                    node,
+                    f"Payload subclass {node.name} does not declare a category; "
+                    "cost accounting cannot attribute its traffic",
+                )
+
+
+@rule
+class TraceKindRule(Rule):
+    """PROTO002: every telemetry emit/span kind is declared in the registry.
+
+    Trace consumers (the run-report CLI, the replay gate) key on the
+    ``kind`` field.  An undeclared kind is either a typo or a new event
+    type that dashboards and docs do not know about yet — both should be
+    caught before the trace ships.  Tests are exempt: they emit ad-hoc
+    kinds on purpose.
+    """
+
+    id = "PROTO002"
+    summary = "telemetry emit()/span() kind not declared in repro.telemetry.kinds"
+
+    def applies_to(self, path: str) -> bool:
+        return not _in_tests(path)
+
+    def check(
+        self, tree: ast.Module, source: str, path: str, facts: ProjectFacts
+    ) -> Iterator[Finding]:
+        try:
+            from repro.telemetry.kinds import TRACE_KINDS
+        except ImportError:  # pragma: no cover - linting outside the repo
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in (
+                "emit",
+                "span",
+            ):
+                continue
+            kind = self._literal_kind(node)
+            if kind is None:
+                continue
+            if kind not in TRACE_KINDS:
+                yield self.finding(
+                    path,
+                    node,
+                    f"trace kind {kind!r} is not declared in "
+                    "repro.telemetry.kinds.TRACE_KINDS; declare it (with a "
+                    "description) or fix the typo",
+                )
+
+    @staticmethod
+    def _literal_kind(node: ast.Call) -> str | None:
+        """The kind argument, when it is a string literal.
+
+        ``Telemetry.emit(kind, ...)`` and ``Telemetry.span(kind)`` take the
+        kind first; the lower-level ``Tracer.emit(time, kind, ...)`` takes
+        it second.  Non-literal kinds are out of static reach and skipped.
+        """
+        for arg in node.args[:2]:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                return arg.value
+        return None

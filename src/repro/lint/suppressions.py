@@ -1,0 +1,73 @@
+"""Per-rule suppression comments.
+
+Three forms, mirroring the linters people already know:
+
+* ``# repro-lint: disable=DET001`` — suppress on this physical line;
+* ``# repro-lint: disable-next=DET001,DET003`` — suppress on the next
+  physical line (for lines too long to carry a trailing comment);
+* ``# repro-lint: disable-file=PROTO002`` — suppress in the whole file.
+
+Every suppression names its rules explicitly — there is no blanket
+``disable=all``, because a suppression that outlives its reason should
+start failing, loudly, when the rule it silenced is joined by a new one.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<verb>disable(?:-next|-file)?)\s*=\s*"
+    r"(?P<rules>[A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    file_level: set[str] = field(default_factory=set)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether this file's directives silence the given finding."""
+        if finding.rule in self.file_level:
+            return True
+        return finding.rule in self.by_line.get(finding.line, ())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every ``repro-lint`` directive from a module's comments.
+
+    Tokenizes rather than regexing raw lines so that directive-looking
+    text inside string literals is never misread as a directive.  A file
+    that fails to tokenize yields no suppressions (the engine will report
+    the syntax error separately).
+    """
+    suppressions = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group("rules").split(",")}
+            verb = match.group("verb")
+            if verb == "disable-file":
+                suppressions.file_level |= rules
+            elif verb == "disable-next":
+                line = token.start[0] + 1
+                suppressions.by_line.setdefault(line, set()).update(rules)
+            else:
+                line = token.start[0]
+                suppressions.by_line.setdefault(line, set()).update(rules)
+    except tokenize.TokenError:
+        pass
+    return suppressions

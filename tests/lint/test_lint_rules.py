@@ -1,0 +1,95 @@
+"""Per-rule fixture tests: each rule has a flagged, a clean, and a
+suppressed fixture, and the flagged fixture trips exactly its own rule.
+
+Fixtures use the ``.pytxt`` extension so a directory-level
+``python -m repro.lint src tests`` run never lints them; the engine only
+picks up explicitly named files regardless of extension, which is how
+these tests feed them in.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.lint import lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: Fake path used when linting fixtures, so path-scoped rules (DET001
+#: skips telemetry, PROTO002 skips tests) treat them as protocol code.
+SRC_LIKE = "src/repro/core/fixture.py"
+
+RULES = ["DET001", "DET002", "DET003", "PROTO001", "PROTO002", "API001"]
+
+#: Findings expected from each rule's flagged fixture.
+EXPECTED_COUNTS = {
+    "DET001": 2,  # time.time() + bare perf_counter()
+    "DET002": 3,  # random.shuffle + np.random.random + bare default_rng()
+    "DET003": 3,  # for over set param, .keys() comp, list(a - b) comp
+    "PROTO001": 4,  # Unregistered: 1 aspect; Bare: all 3 aspects
+    "PROTO002": 2,  # typo'd emit kind + typo'd span kind
+    "API001": 3,  # two mutable defaults + one float-time equality
+}
+
+
+def lint_fixture(name: str) -> list:
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, path=SRC_LIKE)
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_flagged_fixture_trips_exactly_its_rule(rule_id):
+    findings = lint_fixture(f"{rule_id.lower()}_flagged.pytxt")
+    assert findings, f"{rule_id} flagged fixture produced no findings"
+    assert {f.rule for f in findings} == {rule_id}
+    assert len(findings) == EXPECTED_COUNTS[rule_id]
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_clean_fixture_is_clean(rule_id):
+    findings = lint_fixture(f"{rule_id.lower()}_clean.pytxt")
+    assert findings == []
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_suppressed_fixture_is_silent(rule_id):
+    findings = lint_fixture(f"{rule_id.lower()}_suppressed.pytxt")
+    assert findings == []
+
+
+def test_det001_exempts_telemetry_paths():
+    source = (FIXTURES / "det001_flagged.pytxt").read_text(encoding="utf-8")
+    findings = lint_source(source, path="src/repro/telemetry/fixture.py")
+    assert findings == []
+
+
+def test_proto002_exempts_test_paths():
+    source = (FIXTURES / "proto002_flagged.pytxt").read_text(encoding="utf-8")
+    findings = lint_source(source, path="tests/core/test_fixture.py")
+    assert findings == []
+
+
+def test_api001_float_equality_exempts_test_paths():
+    source = (FIXTURES / "api001_flagged.pytxt").read_text(encoding="utf-8")
+    findings = lint_source(source, path="tests/core/test_fixture.py")
+    # Mutable defaults stay flagged in tests; only float-time eq is waived.
+    assert {f.rule for f in findings} == {"API001"}
+    assert len(findings) == EXPECTED_COUNTS["API001"] - 1
+
+
+def test_det003_uses_cross_file_facts():
+    """A set-typed attribute declared in another module is recognised."""
+    from repro.lint import ProjectFacts, attach_parents
+    import ast
+
+    declaring = ast.parse("class Roles:\n    downstream: set = frozenset()\n")
+    attach_parents(declaring)
+    facts = ProjectFacts()
+    facts.merge_from(declaring)
+
+    consuming = "def fanout(state):\n    return [c for c in state.downstream]\n"
+    findings = lint_source(consuming, path=SRC_LIKE, facts=facts)
+    assert [f.rule for f in findings] == ["DET003"]
+
+    # Without the declaring module's facts there is nothing to flag.
+    assert lint_source(consuming, path=SRC_LIKE) == []
