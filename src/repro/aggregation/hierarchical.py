@@ -144,7 +144,7 @@ class AggregationService:
             request = self._engine.request_cls(
                 session_id=session_id, spec=spec, request_data=request_data
             )
-            for child in children:
+            for child in sorted(children):
                 self._node.send(child, request)
             # Stagger deadlines by depth: a node's patience must exceed its
             # children's, or parents give up while their subtrees are still

@@ -172,7 +172,7 @@ class ContinuousNetFilter:
         population = network.n_peers
         diff = {
             category: after.get(category, 0) - before.get(category, 0)
-            for category in set(before) | set(after)
+            for category in sorted(set(before) | set(after))
         }
         breakdown = CostBreakdown(
             filtering=diff.get(CostCategory.FILTERING, 0) / population,

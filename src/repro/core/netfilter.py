@@ -238,7 +238,7 @@ class NetFilter:
         population = network.n_peers
         delta = {
             category: after.get(category, 0) - before.get(category, 0)
-            for category in set(before) | set(after)
+            for category in sorted(set(before) | set(after))
         }
         breakdown = CostBreakdown(
             filtering=delta.get(CostCategory.FILTERING, 0) / population,

@@ -166,9 +166,11 @@ def main(argv: list[str] | None = None) -> int:
     }
     try:
         for name in selected:
-            started = time.perf_counter()
+            # Progress line for humans; wall time never enters results.
+            started = time.perf_counter()  # repro-lint: disable=DET001
             exported["tables"].update(COMMANDS[name](scale, args.seed))
-            print(f"\n[{name} completed in {time.perf_counter() - started:.1f}s]\n")
+            elapsed = time.perf_counter() - started  # repro-lint: disable=DET001
+            print(f"\n[{name} completed in {elapsed:.1f}s]\n")
             if args.trace_dir:
                 _report_traces(flush_traces())
     finally:

@@ -38,7 +38,10 @@ def render_table(rows: Sequence[dict[str, Any]], title: str | None = None) -> st
     """
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
+    # Column order deliberately follows the first row's insertion order,
+    # which is itself deterministic (rows are built key-by-key in code).
     headers = list(rows[0].keys())
+    # repro-lint: disable-next=DET003
     table = [[format_value(row.get(header, "")) for header in headers] for row in rows]
     widths = [
         max(len(header), *(len(line[col]) for line in table))

@@ -296,7 +296,7 @@ class Hierarchy:
         while stack:
             peer = stack.pop()
             reached.append(peer)
-            for child in self.children_of(peer):
+            for child in sorted(self.children_of(peer)):
                 if child not in seen and self.network.node(child).alive:
                     seen.add(child)
                     stack.append(child)

@@ -112,7 +112,7 @@ class MaintenanceService:
         sim.telemetry.registry.counter("hierarchy.invalidations").inc()
         sim.trace.emit(sim.now, "hierarchy.invalidated", peer=node.peer_id)
         payload = InvalidatePayload()
-        for child in list(state.downstream):
+        for child in sorted(state.downstream):
             node.send(child, payload)
 
     def _handle_invalidate(self, message: Message) -> None:

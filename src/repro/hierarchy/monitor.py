@@ -79,7 +79,7 @@ def check_invariants(hierarchy: Hierarchy) -> list[str]:
                     problems.append(
                         f"peer {peer} missing from parent {parent}'s downstream set"
                     )
-        for child in state.downstream:
+        for child in sorted(state.downstream):
             if child not in neighbors:
                 problems.append(f"peer {peer} child {child} is not a neighbour")
             if child not in participant_set:

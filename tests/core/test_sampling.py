@@ -30,7 +30,7 @@ def test_branches_are_root_to_leaf_paths(system):
     sampled = estimator.select_sampled_peers()
     assert system.hierarchy.root in sampled
     # Every sampled peer's parent is sampled too (paths are closed upward).
-    for peer in sampled:
+    for peer in sorted(sampled):
         parent = system.hierarchy.parent_of(peer)
         assert parent is None or parent in sampled
 

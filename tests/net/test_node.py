@@ -16,7 +16,8 @@ from repro.sim.engine import Simulation
 
 
 @dataclass(frozen=True)
-class Ping(Payload):
+class Ping(Payload):  # repro-lint: disable=PROTO001
+    # Test-local payload; intentionally outside the wire codec.
     category = CostCategory.CONTROL
 
     def body_bytes(self, model: SizeModel) -> int:

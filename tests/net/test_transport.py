@@ -16,8 +16,8 @@ from repro.sim.engine import Simulation
 
 
 @dataclass(frozen=True)
-class Ping(Payload):
-    """Test payload with an explicit size."""
+class Ping(Payload):  # repro-lint: disable=PROTO001
+    """Test payload with an explicit size; intentionally unregistered."""
 
     size: int = 10
     category = CostCategory.CONTROL
