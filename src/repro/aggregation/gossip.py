@@ -20,6 +20,7 @@ check.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -132,7 +133,7 @@ class GossipAggregation:
             network.node(peer).register_handler(GossipPayload, self._make_handler(peer))
         self._rounds_done = 0
 
-    def _make_handler(self, peer: int):
+    def _make_handler(self, peer: int) -> Callable[[Message], None]:
         def handle(message: Message) -> None:
             payload = message.payload
             assert isinstance(payload, GossipPayload)

@@ -16,6 +16,7 @@ verification phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.errors import AggregationError
 from repro.net.codec import register_payload
@@ -84,7 +85,7 @@ class KeyedGossipAggregation:
                 KeyedGossipPayload, self._make_handler(peer)
             )
 
-    def _make_handler(self, peer: int):
+    def _make_handler(self, peer: int) -> Callable[[Message], None]:
         def handle(message: Message) -> None:
             payload = message.payload
             assert isinstance(payload, KeyedGossipPayload)

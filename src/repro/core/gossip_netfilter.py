@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -126,7 +127,7 @@ class _Flood:
                 HeavyGroupFloodPayload, self._make_handler(peer)
             )
 
-    def _make_handler(self, peer: int):
+    def _make_handler(self, peer: int) -> Callable[[Message], None]:
         def handle(message: Message) -> None:
             payload = message.payload
             assert isinstance(payload, HeavyGroupFloodPayload)

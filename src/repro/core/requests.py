@@ -16,6 +16,7 @@ traffic in any reported component).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.aggregation.hierarchical import AggregationEngine
 from repro.core.config import NetFilterConfig
@@ -93,7 +94,7 @@ class MultiRequestCoordinator:
     # ------------------------------------------------------------------
     # Relaying
     # ------------------------------------------------------------------
-    def _make_request_handler(self, peer: int):
+    def _make_request_handler(self, peer: int) -> Callable[[Message], None]:
         def handle(message: Message) -> None:
             payload = message.payload
             assert isinstance(payload, RequestPayload)
@@ -117,7 +118,7 @@ class MultiRequestCoordinator:
             ),
         )
 
-    def _make_result_handler(self, peer: int):
+    def _make_result_handler(self, peer: int) -> Callable[[Message], None]:
         def handle(message: Message) -> None:
             payload = message.payload
             assert isinstance(payload, ResultPayload)

@@ -17,7 +17,9 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 from time import perf_counter
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence, TypeVar
+
+_M = TypeVar("_M", "CounterMetric", "GaugeMetric", "HistogramMetric", "TimerMetric")
 
 #: Default histogram buckets, in simulated time units (link latency is 1.0
 #: by default, so these resolve one-hop through deep-tree round trips).
@@ -255,7 +257,7 @@ class MetricsRegistry:
             str, CounterMetric | GaugeMetric | HistogramMetric | TimerMetric
         ] = {}
 
-    def _get_or_create(self, name: str, cls, *args):
+    def _get_or_create(self, name: str, cls: type[_M], *args: Any) -> _M:
         metric = self._metrics.get(name)
         if metric is None:
             metric = cls(name, *args)
