@@ -13,6 +13,17 @@ aggregate is then computed over the reachable subtree — the behaviour the
 paper accepts for hierarchical aggregation and mitigates by recruiting
 stable peers.
 
+That silent degradation is what the *coverage accounting* here turns into
+a detected condition: every reply carries the number of peers folded into
+it, so each merge — and ultimately the root — knows exactly how many of
+the live peers it covered.  The root-side :class:`SessionHandle` exposes
+``covered`` / ``expected`` / ``coverage`` / ``complete``, and a session
+that ends short of full coverage emits an ``aggregation.incomplete``
+trace.  A *hardened* engine additionally re-probes missing children once
+before giving up on them (recovering from a lost request, a lost reply,
+or a child that revived in the meantime: a node that already replied
+answers a duplicate request by re-sending its stored reply).
+
 The engine installs one :class:`AggregationService` per participant and
 multiplexes any number of concurrent sessions over them (needed both for
 netFilter's two phases and for Section III-A.1's concurrent-request
@@ -55,11 +66,19 @@ class AggRequestPayload(Payload):
 @register_payload
 @dataclass(frozen=True, eq=False)
 class AggReplyPayload(Payload):
-    """Up-sweep: the merged aggregate of the sender's subtree."""
+    """Up-sweep: the merged aggregate of the sender's subtree.
+
+    ``covered`` counts the peers whose contributions are folded into
+    ``value`` (the sender plus its merged descendants).  The base payload
+    does not price the counter — the paper's cost model covers the
+    aggregate value only; :class:`CoverageAggReplyPayload` (used by
+    hardened engines) charges it honestly.
+    """
 
     session_id: int
     spec: AggregateSpec
     value: Any
+    covered: int = 1
 
     @property
     def category(self) -> CostCategory:  # type: ignore[override]
@@ -67,6 +86,20 @@ class AggReplyPayload(Payload):
 
     def body_bytes(self, model: SizeModel) -> int:
         return self.spec.combiner.size_bytes(self.value, model)
+
+
+@register_payload
+@dataclass(frozen=True, eq=False)
+class CoverageAggReplyPayload(AggReplyPayload):
+    """Hardened up-sweep reply: prices the coverage counter it carries.
+
+    Same fields as :class:`AggReplyPayload`; one extra aggregate-sized
+    integer on the wire, charged to the spec's up-category so robustness
+    runs measure the true cost of coverage accounting.
+    """
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return super().body_bytes(model) + model.aggregate_bytes
 
 
 class SessionHandle:
@@ -78,10 +111,27 @@ class SessionHandle:
         self.done = False
         self.value: Any = None
         self.started_at: float = 0.0
+        #: Peers whose contributions reached the root.
+        self.covered: int = 0
+        #: Live peers at session start — what a complete session covers.
+        self.expected: int = 0
 
-    def _complete(self, value: Any) -> None:
+    @property
+    def coverage(self) -> float:
+        """Fraction of the live population this session covered."""
+        if self.expected <= 0:
+            return 1.0
+        return self.covered / self.expected
+
+    @property
+    def complete(self) -> bool:
+        """Whether every live peer's contribution reached the root."""
+        return self.done and self.covered >= self.expected
+
+    def _complete(self, value: Any, covered: int) -> None:
         self.done = True
         self.value = value
+        self.covered = covered
 
 
 @dataclass
@@ -93,8 +143,15 @@ class _NodeSessionState:
     parent: int | None
     waiting_on: set[int] = field(default_factory=set)
     received: list[Any] = field(default_factory=list)
+    received_covered: list[int] = field(default_factory=list)
     timeout: Timeout | None = None
     replied: bool = False
+    reprobed: bool = False
+    # The merged reply, kept after replying so a duplicate request (a
+    # parent re-probing after its timeout) can be answered by re-sending
+    # rather than silently ignored.
+    reply_value: Any = None
+    reply_covered: int = 0
 
 
 class AggregationService:
@@ -127,8 +184,15 @@ class AggregationService:
         """Join a session: forward the request to children, then reply once
         every child answered (or timed out).  Called with ``parent=None``
         on the root by the engine."""
-        if session_id in self._sessions:
-            return  # duplicate request (possible transiently during repair)
+        state = self._sessions.get(session_id)
+        if state is not None:
+            # Duplicate request: either a transient artefact of repair, or
+            # a parent re-probing because our reply never arrived.  If we
+            # already replied, answer it by re-sending the stored reply;
+            # if we are still collecting, the eventual reply answers it.
+            if state.replied and parent is not None and parent == state.parent:
+                self._send_reply(session_id, state)
+            return
         hierarchy = self._engine.hierarchy
         network = self._node.network
         children = {
@@ -175,6 +239,7 @@ class AggregationService:
             return  # duplicate
         state.waiting_on.discard(message.sender)
         state.received.append(payload.value)
+        state.received_covered.append(payload.covered)
         if not state.waiting_on:
             if state.timeout is not None:
                 state.timeout.cancel()
@@ -185,6 +250,31 @@ class AggregationService:
         if state is None or state.replied:
             return
         sim = self._node.network.sim
+        if self._engine.hardened and not state.reprobed and state.waiting_on:
+            # One bounded re-probe before proceeding without the missing
+            # children: recovers a lost request, a lost reply (the child
+            # re-sends its stored reply), or a child that crashed and
+            # revived within the window — and buys a slow subtree one more
+            # timeout period.
+            state.reprobed = True
+            sim.trace.emit(
+                sim.now,
+                "aggregation.reprobe",
+                peer=self._node.peer_id,
+                session=session_id,
+                missing=len(state.waiting_on),
+            )
+            sim.telemetry.registry.counter("aggregation.reprobes").inc()
+            request = self._engine.request_cls(
+                session_id=session_id,
+                spec=state.spec,
+                request_data=state.request_data,
+            )
+            for child in sorted(state.waiting_on):
+                self._node.send(child, request)
+            assert state.timeout is not None
+            state.timeout.reset()
+            return
         sim.trace.emit(
             sim.now,
             "aggregation.child_timeout",
@@ -199,18 +289,30 @@ class AggregationService:
         state.replied = True
         own = state.spec.contribute(self._node, state.request_data)
         value = state.spec.combiner.combine_many([own, *state.received])
+        covered = 1 + sum(state.received_covered)
+        state.reply_value = value
+        state.reply_covered = covered
         if state.parent is None:
-            self._engine._complete(session_id, value)
+            self._engine._complete(session_id, value, covered)
         else:
-            self._node.send(
-                state.parent,
-                self._engine.reply_cls(
-                    session_id=session_id, spec=state.spec, value=value
-                ),
-            )
-        # Free the merged child contributions; keep the entry so duplicate
-        # requests stay idempotent.
+            self._send_reply(session_id, state)
+        # Free the merged child contributions; keep the entry (and the
+        # combined reply) so duplicate requests stay idempotent and
+        # re-probes can be answered.
         state.received.clear()
+        state.received_covered.clear()
+
+    def _send_reply(self, session_id: int, state: _NodeSessionState) -> None:
+        assert state.parent is not None
+        self._node.send(
+            state.parent,
+            self._engine.reply_cls(
+                session_id=session_id,
+                spec=state.spec,
+                value=state.reply_value,
+                covered=state.reply_covered,
+            ),
+        )
 
 
 class AggregationEngine:
@@ -225,6 +327,12 @@ class AggregationEngine:
     child_timeout:
         How long a node waits for its children before proceeding without
         the missing ones.  Only matters under churn.
+    hardened:
+        Enable the recovery behaviours: one bounded re-probe of children
+        missing at timeout, and coverage counters priced on the wire
+        (:class:`CoverageAggReplyPayload`).  Coverage *accounting* is
+        always on — an unhardened engine still detects and reports
+        incomplete sessions; it just does not try to recover.
 
     Examples
     --------
@@ -232,18 +340,27 @@ class AggregationEngine:
     tests in ``tests/aggregation/test_hierarchical.py``.
     """
 
-    def __init__(self, hierarchy: Hierarchy, child_timeout: float = 300.0) -> None:
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        child_timeout: float = 300.0,
+        hardened: bool = False,
+    ) -> None:
         from repro.net.tagging import tagged
 
         self.hierarchy = hierarchy
         self.network = hierarchy.network
         self.sim = hierarchy.network.sim
         self.child_timeout = child_timeout
+        self.hardened = hardened
         # Engines over differently-tagged hierarchies (Section III-A.1's
         # redundant hierarchies) use distinct payload types so their
         # sessions never collide in the node dispatch tables.
         self.request_cls = tagged(AggRequestPayload, hierarchy.tag)
-        self.reply_cls = tagged(AggReplyPayload, hierarchy.tag)
+        reply_base: type[AggReplyPayload] = (
+            CoverageAggReplyPayload if hardened else AggReplyPayload
+        )
+        self.reply_cls = tagged(reply_base, hierarchy.tag)
         self._session_ids = itertools.count(1)
         self._handles: dict[int, SessionHandle] = {}
         self._callbacks: dict[int, Callable[[Any], None]] = {}
@@ -272,6 +389,7 @@ class AggregationEngine:
         session_id = next(self._session_ids)
         handle = SessionHandle(session_id, spec)
         handle.started_at = self.sim.now
+        handle.expected = self.network.n_live_peers
         self.sim.trace.emit(
             self.sim.now, "aggregation.start", session=session_id, spec=spec.name
         )
@@ -290,7 +408,24 @@ class AggregationEngine:
         request_data: Any = None,
         max_events: int = 50_000_000,
     ) -> Any:
+        """Start a session and drive the simulation until it completes;
+        returns the aggregate value.  Use :meth:`run_session` when the
+        caller also needs the coverage annotations."""
+        return self.run_session(spec, request_data, max_events).value
+
+    def run_session(
+        self,
+        spec: AggregateSpec,
+        request_data: Any = None,
+        max_events: int = 50_000_000,
+    ) -> SessionHandle:
         """Start a session and drive the simulation until it completes.
+
+        Returns
+        -------
+        SessionHandle
+            The completed handle, carrying the value *and* the coverage
+            accounting (``covered`` / ``expected`` / ``complete``).
 
         Raises
         ------
@@ -313,13 +448,13 @@ class AggregationEngine:
                     f"session {handle.session_id} ({spec.name}) did not complete "
                     f"within {max_events} events"
                 )
-        return handle.value
+        return handle
 
-    def _complete(self, session_id: int, value: Any) -> None:
+    def _complete(self, session_id: int, value: Any, covered: int) -> None:
         handle = self._handles.get(session_id)
         if handle is None or handle.done:
             return
-        handle._complete(value)
+        handle._complete(value, covered)
         sim_elapsed = self.sim.now - handle.started_at
         self.sim.telemetry.registry.timer("aggregation.session_time").observe(
             sim_elapsed
@@ -330,7 +465,19 @@ class AggregationEngine:
             session=session_id,
             spec=handle.spec.name,
             sim_elapsed=sim_elapsed,
+            covered=covered,
+            expected=handle.expected,
         )
+        if covered < handle.expected:
+            self.sim.telemetry.registry.counter("aggregation.incomplete_sessions").inc()
+            self.sim.trace.emit(
+                self.sim.now,
+                "aggregation.incomplete",
+                session=session_id,
+                spec=handle.spec.name,
+                covered=covered,
+                expected=handle.expected,
+            )
         callback = self._callbacks.pop(session_id, None)
         if callback is not None:
             callback(value)

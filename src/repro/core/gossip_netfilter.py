@@ -97,6 +97,13 @@ class GossipNetFilterResult:
     heavy_groups: HeavyGroups
     breakdown: CostBreakdown
     rounds: int
+    #: Fraction of the total population live when the run started.  Gossip
+    #: has no convergecast to count per-peer contributions, so this is a
+    #: population-level annotation: peers that were down contributed
+    #: nothing to any push-sum round.
+    coverage: float = 1.0
+    #: Whether every peer in the population was live for the run.
+    complete: bool = True
 
     @property
     def total_cost(self) -> float:
@@ -165,6 +172,7 @@ class GossipNetFilter:
         accounting = network.accounting
         telemetry = network.sim.telemetry
         before = accounting.bytes_by_category()
+        live_at_start = network.n_live_peers
         config = self.config
         bank = FilterBank(config.num_filters, config.filter_size, config.hash_seed)
         gossip_config = GossipConfig(rounds=config.rounds)
@@ -253,4 +261,6 @@ class GossipNetFilter:
             heavy_groups=heavy,
             breakdown=breakdown,
             rounds=config.rounds,
+            coverage=live_at_start / population if population else 1.0,
+            complete=live_at_start == population,
         )

@@ -43,6 +43,11 @@ class NaiveResult:
     avg_items_per_peer: float
     #: Simulated time the run took (two convergecasts).
     elapsed_time: float = 0.0
+    #: Worst per-phase coverage fraction across the two convergecasts.
+    coverage: float = 1.0
+    #: Whether both convergecasts covered every live peer (exactness
+    #: holds only when they did).
+    complete: bool = True
 
     @property
     def frequent_ids(self) -> np.ndarray:
@@ -93,10 +98,12 @@ class NaiveProtocol:
         before = accounting.bytes_by_category()
         started_at = engine.sim.now
 
-        grand_total, n_participants = engine.run(totals_spec())
+        totals_handle = engine.run_session(totals_spec())
+        grand_total, n_participants = totals_handle.value
         threshold = self.config.resolve_threshold(int(grand_total))
 
-        all_items: LocalItemSet = engine.run(full_collection_spec())
+        collection_handle = engine.run_session(full_collection_spec())
+        all_items: LocalItemSet = collection_handle.value
         frequent = all_items.filter_values(threshold)
 
         after = accounting.bytes_by_category()
@@ -121,4 +128,6 @@ class NaiveProtocol:
             breakdown=breakdown,
             avg_items_per_peer=pairs_sent / population,
             elapsed_time=engine.sim.now - started_at,
+            coverage=min(totals_handle.coverage, collection_handle.coverage),
+            complete=totals_handle.complete and collection_handle.complete,
         )

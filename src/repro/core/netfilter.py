@@ -30,10 +30,11 @@ from repro.aggregation.combiners import (
     TupleCombiner,
     VectorSumCombiner,
 )
-from repro.aggregation.hierarchical import AggregationEngine
+from repro.aggregation.hierarchical import AggregationEngine, SessionHandle
 from repro.aggregation.spec import AggregateSpec
 from repro.core.config import NetFilterConfig
 from repro.core.filters import FilterBank
+from repro.core.recovery import RecoveryPolicy
 from repro.core.verification import HeavyGroups, materialize_candidates
 from repro.items.itemset import LocalItemSet
 from repro.metrics.breakdown import CostBreakdown
@@ -82,6 +83,15 @@ class NetFilterResult:
     #: link latency this is a few times the hierarchy height — the
     #: latency face of the hierarchical-vs-gossip trade-off).
     elapsed_time: float = 0.0
+    #: Worst per-phase coverage fraction (covered / live peers at phase
+    #: start) across the run's three convergecasts.
+    coverage: float = 1.0
+    #: Whether every phase covered every live peer.  Only a ``complete``
+    #: result carries the paper's no-false-negative guarantee; an
+    #: incomplete one may have silently pruned a frequent item.
+    complete: bool = True
+    #: Phase + whole-query re-issues spent getting here.
+    reissues: int = 0
 
     @property
     def frequent_ids(self) -> np.ndarray:
@@ -178,25 +188,100 @@ class NetFilter:
         result.frequent.to_dict()   # {item_id: exact global value}
     """
 
-    def __init__(self, config: NetFilterConfig) -> None:
+    def __init__(
+        self, config: NetFilterConfig, recovery: RecoveryPolicy | None = None
+    ) -> None:
         self.config = config
+        self.recovery = recovery
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _run_phase(
+        self,
+        engine: AggregationEngine,
+        spec: AggregateSpec,
+        request_data: Any = None,
+    ) -> tuple[SessionHandle, int]:
+        """Run one aggregation phase; under a recovery policy, re-issue it
+        (after a settle delay) while coverage stays below the floor and
+        budget remains.  Returns the best handle and the re-issues spent."""
+        handle = engine.run_session(spec, request_data)
+        reissues = 0
+        if self.recovery is None:
+            return handle, reissues
+        sim = engine.sim
+        while (
+            handle.coverage < self.recovery.min_coverage
+            and reissues < self.recovery.max_phase_reissues
+        ):
+            reissues += 1
+            sim.trace.emit(
+                sim.now,
+                "request.reissued",
+                scope="phase",
+                spec=spec.name,
+                coverage=handle.coverage,
+                attempt=reissues,
+            )
+            sim.telemetry.registry.counter("recovery.phase_reissues").inc()
+            sim.run(until=sim.now + self.recovery.reissue_delay)
+            retry = engine.run_session(spec, request_data)
+            if retry.coverage >= handle.coverage:
+                handle = retry
+        return handle, reissues
+
     def run(self, engine: AggregationEngine) -> NetFilterResult:
         """Execute Algorithm 1 over the engine's hierarchy and return the
-        exact frequent-item set with measured costs."""
+        exact frequent-item set with measured costs.
+
+        With a :class:`~repro.core.recovery.RecoveryPolicy`, phases whose
+        coverage falls below the policy floor are re-issued, and if the
+        run still comes back incomplete the whole query is re-run (early
+        phases feed later ones — an undercounted grand total corrupts the
+        threshold) up to ``max_query_reissues`` times."""
+        result = self._run_once(engine, reissues_so_far=0)
+        attempts = 0
+        while (
+            self.recovery is not None
+            and not result.complete
+            and attempts < self.recovery.max_query_reissues
+        ):
+            attempts += 1
+            sim = engine.sim
+            sim.trace.emit(
+                sim.now,
+                "request.reissued",
+                scope="query",
+                coverage=result.coverage,
+                attempt=attempts,
+            )
+            sim.telemetry.registry.counter("recovery.query_reissues").inc()
+            sim.run(until=sim.now + self.recovery.reissue_delay)
+            retry = self._run_once(engine, reissues_so_far=result.reissues + 1)
+            if retry.coverage >= result.coverage:
+                result = retry
+        return result
+
+    def _run_once(
+        self, engine: AggregationEngine, reissues_so_far: int
+    ) -> NetFilterResult:
         network = engine.network
         telemetry = engine.sim.telemetry
         accounting = network.accounting
         before = accounting.bytes_by_category()
         started_at = engine.sim.now
 
+        phase_handles: list[SessionHandle] = []
+        reissues = reissues_so_far
+
         with telemetry.span("netfilter.run") as run_span:
             # Step 0: grand total v and participant count N.
             with telemetry.span("totals.phase") as span:
-                grand_total, n_participants = engine.run(totals_spec())
+                handle, spent = self._run_phase(engine, totals_spec())
+                phase_handles.append(handle)
+                reissues += spent
+                grand_total, n_participants = handle.value
                 threshold = self.config.resolve_threshold(int(grand_total))
                 span["participants"] = int(n_participants)
 
@@ -210,8 +295,10 @@ class NetFilter:
                 num_filters=self.config.num_filters,
                 filter_size=self.config.filter_size,
             ) as span:
-                flat_aggregate = engine.run(filtering_spec(bank))
-                heavy = HeavyGroups.from_aggregate(bank, flat_aggregate, threshold)
+                handle, spent = self._run_phase(engine, filtering_spec(bank))
+                phase_handles.append(handle)
+                reissues += spent
+                heavy = HeavyGroups.from_aggregate(bank, handle.value, threshold)
                 span["heavy_groups"] = heavy.total_count
                 telemetry.registry.histogram(
                     "netfilter.heavy_groups", buckets=(0, 1, 4, 16, 64, 256, 1024)
@@ -226,9 +313,12 @@ class NetFilter:
             # Phase 2: candidate verification (Algorithm 1, line 4;
             # Algorithm 2).
             with telemetry.span("verify.phase") as span:
-                candidates: LocalItemSet = engine.run(
-                    verification_spec(bank), request_data=heavy
+                handle, spent = self._run_phase(
+                    engine, verification_spec(bank), request_data=heavy
                 )
+                phase_handles.append(handle)
+                reissues += spent
+                candidates: LocalItemSet = handle.value
                 frequent = candidates.filter_values(threshold)
                 span["candidates"] = len(candidates)
                 span["frequent"] = len(frequent)
@@ -247,6 +337,8 @@ class NetFilter:
             control=delta.get(CostCategory.CONTROL, 0) / population,
         )
         pairs_sent = delta.get(CostCategory.AGGREGATION, 0) / network.size_model.pair_bytes
+        coverage = min(handle.coverage for handle in phase_handles)
+        complete = all(handle.complete for handle in phase_handles)
         return NetFilterResult(
             frequent=frequent,
             candidates=candidates,
@@ -258,4 +350,7 @@ class NetFilter:
             avg_candidates_per_peer=pairs_sent / population,
             config=self.config,
             elapsed_time=engine.sim.now - started_at,
+            coverage=coverage,
+            complete=complete,
+            reissues=reissues,
         )

@@ -94,6 +94,22 @@ def _model(scale: ExperimentScale, seed: int) -> RowsByTable:
     return {"model_validation": [row.as_dict() for row in rows]}
 
 
+def _robustness(scale: ExperimentScale, seed: int) -> RowsByTable:
+    from repro.experiments.robustness import run_robustness
+
+    rows = run_robustness(scale, seed)
+    print(
+        render_table(
+            [row.as_dict() for row in rows],
+            title=(
+                f"Robustness — exactness under loss x churn, hardened vs "
+                f"baseline ({scale.name})"
+            ),
+        )
+    )
+    return {"robustness": [row.as_dict() for row in rows]}
+
+
 def _ablations(scale: ExperimentScale, seed: int) -> RowsByTable:
     collected: RowsByTable = {}
     for title, rows in run_all_ablations(scale, seed).items():
@@ -110,6 +126,7 @@ COMMANDS = {
     "fig8": _fig8,
     "model": _model,
     "ablations": _ablations,
+    "robustness": _robustness,
 }
 
 

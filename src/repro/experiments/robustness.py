@@ -1,0 +1,169 @@
+"""Robustness ablation: exactness under loss and churn, hardened vs not.
+
+The paper's evaluation assumes a quiet network; its Section III-A.2 fault
+handling (merge whatever arrived at timeout) silently undercounts under
+real loss or churn, and a silently undercounted phase-1 aggregate prunes
+frequent items — the one failure mode an *exact* protocol must not have.
+
+This sweep crosses message-loss probability × churn rate and runs each
+cell twice:
+
+* **unhardened** — fire-and-forget transport, plain engine, no recovery
+  (the paper's setup).  Coverage accounting still reports how much of the
+  population the run actually covered — detection is free.
+* **hardened** — ACK/retransmit on convergecast traffic
+  (:class:`~repro.net.transport.ReliabilityConfig`), one bounded re-probe
+  of silent children, and requester-side re-issue on low coverage
+  (:class:`~repro.core.recovery.RecoveryPolicy`).
+
+Reported per cell: recall against the live-population oracle (the
+no-false-negative guarantee, measured), the worst phase coverage, the
+``complete`` flag, re-issues spent, and total per-peer bytes — the price
+of the guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter, NetFilterResult
+from repro.core.oracle import oracle_frequent_items
+from repro.core.recovery import RecoveryPolicy
+from repro.aggregation.hierarchical import AggregationEngine
+from repro.experiments.ablations import AblationRow
+from repro.experiments.harness import ExperimentScale, PaperDefaults
+from repro.hierarchy.builder import Hierarchy
+from repro.hierarchy.maintenance import enable_maintenance
+from repro.items.itemset import LocalItemSet
+from repro.net.churn import ChurnConfig, ChurnProcess
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.net.transport import ReliabilityConfig, TransportConfig
+from repro.sim.engine import Simulation
+from repro.workload.workload import Workload
+
+
+def _run_cell(
+    scale: ExperimentScale,
+    seed: int,
+    loss: float,
+    churn_rate: float,
+    hardened: bool,
+) -> tuple[NetFilterResult | None, Network]:
+    """One sweep cell: build a fresh faulty system, run netFilter once.
+
+    Returns the result (``None`` when the run could not finish at all —
+    e.g. churn disconnected the hierarchy mid-phase and the event queue
+    drained; itself a robustness datum) and the network it ran on, so the
+    caller can compute the oracle over the same live population.
+    """
+    defaults = PaperDefaults()
+    sim = Simulation(seed=seed)
+    topology = Topology.random_connected(
+        scale.n_peers, float(defaults.branching + 1), sim.rng.stream("topology")
+    )
+    network = Network(
+        sim,
+        topology,
+        size_model=defaults.size_model,
+        reliability=ReliabilityConfig() if hardened else None,
+    )
+    workload = Workload.zipf(
+        n_items=scale.n_items,
+        n_peers=scale.n_peers,
+        skew=defaults.skew,
+        rng=sim.rng.stream("workload"),
+        instances_per_item=defaults.instances_per_item,
+    )
+    network.assign_items(workload.item_sets)
+    # Build during a quiet period (both arms start from the same healthy
+    # hierarchy), then turn the faulty link model on for the query.
+    hierarchy = Hierarchy.build(network, root=0)
+    network.transport.config = TransportConfig(latency=1.0, loss_probability=loss)
+    engine = AggregationEngine(hierarchy, child_timeout=120.0, hardened=hardened)
+    if churn_rate > 0.0:
+        enable_maintenance(hierarchy)
+        churn = ChurnProcess(
+            sim,
+            network,
+            ChurnConfig(
+                failure_rate=churn_rate,
+                mean_downtime=80.0,
+                protected_peers=frozenset({hierarchy.root}),
+            ),
+        )
+        churn.start()
+    netfilter = NetFilter(
+        NetFilterConfig(
+            filter_size=100,
+            num_filters=3,
+            threshold_ratio=defaults.threshold_ratio,
+        ),
+        recovery=RecoveryPolicy(min_coverage=0.999, reissue_delay=150.0)
+        if hardened
+        else None,
+    )
+    try:
+        return netfilter.run(engine), network
+    except Exception:
+        return None, network
+
+
+def run_robustness(
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    loss_probabilities: tuple[float, ...] = (0.0, 0.02, 0.05),
+    churn_rates: tuple[float, ...] = (0.0, 0.005),
+) -> list[AblationRow]:
+    """The loss × churn × hardening sweep.
+
+    ``churn_rates`` includes ``0.0`` — the control arm a zero-rate
+    :class:`~repro.net.churn.ChurnConfig` exists for.
+    """
+    scale = scale or ExperimentScale.small()
+    rows: list[AblationRow] = []
+    for loss in loss_probabilities:
+        for churn_rate in churn_rates:
+            for hardened in (False, True):
+                result, network = _run_cell(scale, seed, loss, churn_rate, hardened)
+                label = (
+                    f"loss={loss:.0%} churn={churn_rate:g} "
+                    f"{'hardened' if hardened else 'baseline'}"
+                )
+                if result is None:
+                    rows.append(
+                        AblationRow(
+                            label,
+                            {
+                                "recall": 0.0,
+                                "coverage": 0.0,
+                                "complete": 0.0,
+                                "reissues": 0.0,
+                                "B/peer": 0.0,
+                            },
+                        )
+                    )
+                    continue
+                # Recall against the oracle over the population the answer
+                # claims to describe: every currently-live peer's data.
+                truth = oracle_frequent_items(network, result.threshold)
+                rows.append(
+                    AblationRow(
+                        label,
+                        {
+                            "recall": _recall(result, truth),
+                            "coverage": result.coverage,
+                            "complete": 1.0 if result.complete else 0.0,
+                            "reissues": float(result.reissues),
+                            "B/peer": result.breakdown.total,
+                        },
+                    )
+                )
+    return rows
+
+
+def _recall(result: NetFilterResult, truth: LocalItemSet) -> float:
+    ids = [int(item) for item in truth.ids]
+    if not ids:
+        return 1.0
+    reported = set(int(item) for item in result.frequent.ids)
+    return sum(1 for item in ids if item in reported) / len(ids)

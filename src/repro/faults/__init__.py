@@ -1,0 +1,32 @@
+"""Deterministic, scriptable fault injection for robustness runs.
+
+See :mod:`repro.faults.scenario` for the declarative DSL and
+:mod:`repro.faults.injector` for the interpreter; ``docs/ROBUSTNESS.md``
+walks through both.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.scenario import (
+    BurstLoss,
+    CrashPeer,
+    DelayMessages,
+    DropMessages,
+    FaultAction,
+    FaultScenario,
+    MessageMatch,
+    PartitionLinks,
+    RevivePeer,
+)
+
+__all__ = [
+    "BurstLoss",
+    "CrashPeer",
+    "DelayMessages",
+    "DropMessages",
+    "FaultAction",
+    "FaultInjector",
+    "FaultScenario",
+    "MessageMatch",
+    "PartitionLinks",
+    "RevivePeer",
+]

@@ -24,6 +24,8 @@ class ChurnConfig:
     ----------
     failure_rate:
         Expected peer failures per simulated time unit (Poisson arrivals).
+        ``0.0`` is allowed and means the process never fires — the natural
+        control arm for robustness ablations that sweep churn rates.
     mean_downtime:
         Mean of the exponential downtime after which a failed peer
         revives.  ``None`` means failures are permanent.
@@ -37,8 +39,8 @@ class ChurnConfig:
     protected_peers: frozenset[int] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
-        if self.failure_rate <= 0:
-            raise NetworkError("failure_rate must be positive")
+        if self.failure_rate < 0:
+            raise NetworkError("failure_rate must be non-negative")
         if self.mean_downtime is not None and self.mean_downtime <= 0:
             raise NetworkError("mean_downtime must be positive or None")
 
@@ -79,6 +81,8 @@ class ChurnProcess:
     # Internals
     # ------------------------------------------------------------------
     def _schedule_next_failure(self) -> None:
+        if self._config.failure_rate == 0:
+            return  # a zero-rate process never fires (and draws no RNG)
         rng = self._sim.rng.stream("churn")
         gap = float(rng.exponential(1.0 / self._config.failure_rate))
         self._sim.schedule(gap, self._fail_one)

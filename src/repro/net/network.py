@@ -15,7 +15,7 @@ from repro.items.itemset import LocalItemSet
 from repro.metrics.accounting import CostAccounting
 from repro.net.node import Node
 from repro.net.overlay import Topology
-from repro.net.transport import Transport, TransportConfig
+from repro.net.transport import ReliabilityConfig, Transport, TransportConfig
 from repro.net.wire import SizeModel
 from repro.sim.engine import Simulation
 
@@ -34,6 +34,11 @@ class Network:
         Link latency/jitter/loss.  Defaults to 1-unit fixed latency.
     size_model:
         Wire pricing (defaults to the paper's 4-byte integers).
+    reliability:
+        Optional transport-level ACK/retransmit configuration for
+        control/aggregation traffic (see
+        :class:`~repro.net.transport.ReliabilityConfig`).  ``None`` keeps
+        the paper's fire-and-forget links.
 
     Examples
     --------
@@ -51,6 +56,7 @@ class Network:
         topology: Topology,
         transport_config: TransportConfig | None = None,
         size_model: SizeModel | None = None,
+        reliability: ReliabilityConfig | None = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -66,6 +72,7 @@ class Network:
             transport_config or TransportConfig(),
             self.size_model,
             self.accounting,
+            reliability=reliability,
         )
         self.nodes: dict[int, Node] = {
             peer_id: Node(self, peer_id) for peer_id in range(topology.n_peers)

@@ -6,21 +6,56 @@ the single place where bytes are priced and charged to the sender's cost
 account.  Losing the destination (it failed or left) silently drops the
 message — exactly what a UDP-style P2P overlay would observe — and the
 protocols above are designed to survive that via timeouts and repair.
+
+Two robustness hooks layer on top of that base model:
+
+* **Fault injection** — :meth:`Transport.set_fault_hook` installs a single
+  deterministic interception point consulted for every wire attempt (see
+  :mod:`repro.faults`).  The hook can drop a message (link partitions,
+  scripted drop bursts) or stretch its delivery latency, and the transport
+  records what was done so fault runs can assert on what was lost.
+* **Reliability** — an optional per-message ACK + bounded-retransmit
+  scheme (:class:`ReliabilityConfig`) for control/aggregation traffic.
+  Every reliable wire copy is charged like any other message (a
+  retransmission costs real bytes), acknowledgements travel the same
+  lossy links as data, duplicates created by lost ACKs are suppressed at
+  the receiver, and the retransmit backoff is a deterministic exponential
+  so runs replay bit-for-bit.
+
+Every silently dropped message — dead/absent destination, random loss, or
+fault injection — is additionally counted in the metrics registry under
+``net.msgs_dropped.<reason>.<category>``, keyed by the payload's cost
+category, so robustness experiments can assert on exactly what traffic
+was lost.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import NetworkError
 from repro.metrics.accounting import CostAccounting
+from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
-from repro.net.wire import SizeModel
+from repro.net.wire import CostCategory, SizeModel
 from repro.sim.engine import Simulation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.net.node import Node
+
+#: Fault-hook verdicts: deliver the message unchanged, drop it on the
+#: floor, or deliver it after the returned extra delay.
+DELIVER = "deliver"
+DROP = "drop"
+DELAY = "delay"
+
+#: A fault hook inspects ``(sender, recipient, payload)`` for one wire
+#: attempt and returns ``(verdict, extra_delay)`` where the verdict is one
+#: of :data:`DELIVER` / :data:`DROP` / :data:`DELAY`.  Hooks must be
+#: deterministic functions of simulation state and named RNG streams.
+FaultHook = Callable[[int, int, Payload], "tuple[str, float]"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +85,82 @@ class TransportConfig:
             raise NetworkError("loss_probability must be in [0, 1)")
 
 
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Per-message ACK + bounded retransmit for selected traffic.
+
+    Attributes
+    ----------
+    categories:
+        Cost categories whose payloads are sent reliably.  Defaults to the
+        convergecast/control categories; gossip traffic is redundant by
+        design and stays fire-and-forget.
+    exclude_kinds:
+        Payload class names exempted even within a reliable category.
+        Heartbeats are excluded by default: a late heartbeat is worthless
+        (the next one supersedes it) and acking every heartbeat would
+        double the steady-state control traffic.
+    ack_timeout:
+        Initial retransmit timeout.  Must exceed one round trip
+        (``2 * (latency + latency_jitter)``) to avoid spurious copies.
+    max_retransmits:
+        Wire copies after the first send before the sender gives up.
+    backoff_factor:
+        Deterministic exponential backoff applied per attempt.
+    """
+
+    categories: frozenset[CostCategory] = frozenset(
+        {
+            CostCategory.CONTROL,
+            CostCategory.FILTERING,
+            CostCategory.DISSEMINATION,
+            CostCategory.AGGREGATION,
+            CostCategory.NAIVE,
+            CostCategory.SAMPLING,
+        }
+    )
+    exclude_kinds: frozenset[str] = frozenset({"HeartbeatPayload"})
+    ack_timeout: float = 6.0
+    max_retransmits: int = 4
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0:
+            raise NetworkError("ack_timeout must be positive")
+        if self.max_retransmits < 0:
+            raise NetworkError("max_retransmits must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise NetworkError("backoff_factor must be >= 1")
+
+
+@register_payload
+@dataclass(frozen=True)
+class TransportAckPayload(Payload):
+    """Transport-level acknowledgement of one reliable wire message.
+
+    Consumed by the receiving :class:`Transport` itself, never dispatched
+    to node handlers.  ACKs travel the same lossy, partitionable links as
+    data and are themselves fire-and-forget (a lost ACK costs one
+    retransmission, suppressed as a duplicate at the receiver).
+    """
+
+    msg_id: int
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return model.aggregate_bytes
+
+
+@dataclass
+class _PendingSend:
+    """Sender-side bookkeeping for one unacknowledged reliable message."""
+
+    sender: int
+    recipient: int
+    payload: Payload
+    attempts: int = 0
+
+
 class Transport:
     """Delivers payloads between nodes with latency, jitter and loss.
 
@@ -67,6 +178,9 @@ class Transport:
         Wire pricing for payloads.
     accounting:
         Where sent bytes are charged.
+    reliability:
+        Optional ACK/retransmit configuration.  ``None`` (the default)
+        keeps the paper's fire-and-forget semantics.
     """
 
     def __init__(
@@ -76,25 +190,125 @@ class Transport:
         config: TransportConfig,
         size_model: SizeModel,
         accounting: CostAccounting,
+        reliability: ReliabilityConfig | None = None,
     ) -> None:
         self._sim = sim
         self._resolve = resolve
         self.config = config
         self.size_model = size_model
         self.accounting = accounting
+        self.reliability = reliability
+        self._fault_hook: FaultHook | None = None
+        # Reliable-delivery state: monotonically increasing message ids,
+        # unacknowledged sends, and the receiver-side duplicate filter.
+        # The sets grow with the number of reliable messages in a run —
+        # acceptable for simulation, where runs are finite by construction.
+        self._msg_ids = itertools.count(1)
+        self._pending: dict[int, _PendingSend] = {}
+        self._delivered_reliable: set[int] = set()
         # Metric handles are resolved once: the send/deliver path updates
         # them with plain attribute math, no registry lookups.
         registry = sim.telemetry.registry
         self._bytes_sent = registry.counter("net.bytes_sent")
         self._msgs_in_flight = registry.gauge("net.msgs_in_flight")
         self._latency_hist = registry.histogram("net.msg_latency")
+        self._retransmits = registry.counter("transport.retransmits")
+        self._retransmit_failures = registry.counter("transport.retransmit_exhausted")
+        self._duplicates = registry.counter("transport.duplicates_suppressed")
 
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def set_fault_hook(self, hook: FaultHook | None) -> None:
+        """Install (or, with ``None``, remove) the fault-injection hook.
+
+        At most one hook is active; a scenario that needs several fault
+        processes composes them inside one hook (see
+        :class:`repro.faults.FaultInjector`).
+        """
+        if hook is not None and self._fault_hook is not None:
+            raise NetworkError(
+                "a fault hook is already installed; clear it first "
+                "(set_fault_hook(None)) or compose scenarios in one injector"
+            )
+        self._fault_hook = hook
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
     def send(self, sender: int, recipient: int, payload: Payload) -> None:
         """Charge the sender and schedule delivery.
 
         Bytes are charged at send time whether or not the message survives:
-        a sender pays for what it puts on the wire.
+        a sender pays for what it puts on the wire.  With reliability
+        enabled and the payload in a reliable category, the sender also
+        arms a retransmit timer that re-sends the message until it is
+        acknowledged or the retry budget is exhausted.
         """
+        if self.reliability is not None and self._is_reliable(payload):
+            msg_id = next(self._msg_ids)
+            self._pending[msg_id] = _PendingSend(
+                sender=sender, recipient=recipient, payload=payload
+            )
+            self._attempt(msg_id)
+            return
+        self._transmit(sender, recipient, payload, msg_id=None)
+
+    def _is_reliable(self, payload: Payload) -> bool:
+        assert self.reliability is not None
+        if isinstance(payload, TransportAckPayload):
+            return False  # never ack an ack
+        if type(payload).__name__ in self.reliability.exclude_kinds:
+            return False
+        return payload.category in self.reliability.categories
+
+    def _attempt(self, msg_id: int) -> None:
+        """One wire copy of a pending reliable message plus its timer."""
+        assert self.reliability is not None
+        pending = self._pending[msg_id]
+        pending.attempts += 1
+        timeout = self.reliability.ack_timeout * (
+            self.reliability.backoff_factor ** (pending.attempts - 1)
+        )
+        self._sim.schedule(timeout, self._on_ack_timeout, msg_id)
+        self._transmit(pending.sender, pending.recipient, pending.payload, msg_id)
+
+    def _on_ack_timeout(self, msg_id: int) -> None:
+        pending = self._pending.get(msg_id)
+        if pending is None:
+            return  # acknowledged in time
+        assert self.reliability is not None
+        sender_node = self._resolve(pending.sender)
+        if sender_node is None or not sender_node.alive:
+            del self._pending[msg_id]  # a crashed sender retransmits nothing
+            return
+        if pending.attempts > self.reliability.max_retransmits:
+            del self._pending[msg_id]
+            self._retransmit_failures.inc()
+            self._sim.trace.emit(
+                self._sim.now,
+                "transport.retransmit_exhausted",
+                sender=pending.sender,
+                recipient=pending.recipient,
+                payload_kind=type(pending.payload).__name__,
+                attempts=pending.attempts,
+            )
+            return
+        self._retransmits.inc()
+        self._sim.trace.emit(
+            self._sim.now,
+            "transport.retransmit",
+            sender=pending.sender,
+            recipient=pending.recipient,
+            payload_kind=type(pending.payload).__name__,
+            attempt=pending.attempts,
+        )
+        self._attempt(msg_id)
+
+    def _transmit(
+        self, sender: int, recipient: int, payload: Payload, msg_id: int | None
+    ) -> None:
+        """One wire attempt: charge, trace, inject faults, lose, delay."""
         size = payload.size_bytes(self.size_model)
         category = payload.category
         self.accounting.record(sender, category, size)
@@ -112,12 +326,36 @@ class Transport:
             )
         else:
             trace.counters["msg.sent"] += 1
+        extra_delay = 0.0
+        if self._fault_hook is not None:
+            verdict, extra = self._fault_hook(sender, recipient, payload)
+            if verdict == DROP:
+                self._count_drop("fault", category)
+                self._sim.trace.emit(
+                    self._sim.now,
+                    "msg.dropped_fault",
+                    sender=sender,
+                    recipient=recipient,
+                    payload_kind=type(payload).__name__,
+                    category=category.value,
+                )
+                return
+            if verdict == DELAY:
+                extra_delay = extra
+                self._sim.trace.emit(
+                    self._sim.now,
+                    "msg.delayed_fault",
+                    sender=sender,
+                    recipient=recipient,
+                    extra=extra,
+                )
         if self.config.loss_probability > 0.0:
             rng = self._sim.rng.stream("transport.loss")
             if rng.random() < self.config.loss_probability:
+                self._count_drop("loss", category)
                 self._sim.trace.emit(self._sim.now, "msg.lost", sender=sender)
                 return
-        delay = self.config.latency
+        delay = self.config.latency + extra_delay
         if self.config.latency_jitter > 0.0:
             rng = self._sim.rng.stream("transport.latency")
             delay += float(rng.uniform(0.0, self.config.latency_jitter))
@@ -127,18 +365,47 @@ class Transport:
         inflight.value += 1.0
         if inflight.value > inflight.max_value:
             inflight.max_value = inflight.value
-        self._sim.schedule(delay, self._deliver, sender, recipient, payload, sent_at)
+        self._sim.schedule(
+            delay, self._deliver, sender, recipient, payload, sent_at, msg_id
+        )
 
+    def _count_drop(self, reason: str, category: CostCategory) -> None:
+        """Count one silently dropped message, keyed by cost category."""
+        self._sim.telemetry.registry.counter(
+            f"net.msgs_dropped.{reason}.{category.value}"
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
     def _deliver(
-        self, sender: int, recipient: int, payload: Payload, sent_at: float
+        self,
+        sender: int,
+        recipient: int,
+        payload: Payload,
+        sent_at: float,
+        msg_id: int | None,
     ) -> None:
         self._msgs_in_flight.value -= 1.0
         node = self._resolve(recipient)
         if node is None or not node.alive:
+            self._count_drop("dead", payload.category)
             self._sim.trace.emit(
                 self._sim.now, "msg.dropped_dead_recipient", recipient=recipient
             )
             return
+        if isinstance(payload, TransportAckPayload):
+            # Transport-internal: complete the pending send, never dispatch.
+            self._pending.pop(payload.msg_id, None)
+            return
+        if msg_id is not None:
+            # Reliable data: acknowledge every copy (the first ACK may have
+            # been lost), dispatch only the first.
+            self._transmit(recipient, sender, TransportAckPayload(msg_id), msg_id=None)
+            if msg_id in self._delivered_reliable:
+                self._duplicates.inc()
+                return
+            self._delivered_reliable.add(msg_id)
         latency = self._sim.now - sent_at
         self._latency_hist.observe(latency)
         trace = self._sim.trace

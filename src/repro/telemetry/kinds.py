@@ -26,6 +26,12 @@ TRACE_KINDS: dict[str, str] = {
     "msg.lost": "the transport's loss process dropped a message",
     "msg.dropped_dead_recipient": "delivery attempted to a failed/unknown peer",
     "msg.unhandled": "a delivered payload type had no registered handler",
+    "transport.retransmit": "an unacked reliable message was re-sent",
+    "transport.retransmit_exhausted": "a reliable message ran out of retries",
+    # -- fault injection ------------------------------------------------
+    "fault.injected": "a scripted fault scenario action fired",
+    "msg.dropped_fault": "the fault injector dropped a matching message",
+    "msg.delayed_fault": "the fault injector delayed a matching message",
     # -- node / churn lifecycle ----------------------------------------
     "node.failed": "a peer crashed (stops sending, receiving, timing)",
     "node.revived": "a failed peer rejoined with the same identity",
@@ -44,6 +50,10 @@ TRACE_KINDS: dict[str, str] = {
     "aggregation.start": "the root opened an aggregation session",
     "aggregation.complete": "the root obtained the global aggregate",
     "aggregation.child_timeout": "a node gave up waiting for children",
+    "aggregation.reprobe": "a hardened node re-probed children missing at timeout",
+    "aggregation.incomplete": "a session completed short of full coverage",
+    # -- recovery (requester-side re-issue) -----------------------------
+    "request.reissued": "a requester re-ran a phase/query on low coverage",
     # -- netFilter (hierarchical) --------------------------------------
     "netfilter.run": "span: one full two-phase netFilter execution",
     "totals.phase": "span: the combined (v, N) aggregation",

@@ -188,6 +188,119 @@ def test_start_with_dead_root_raises():
         engine.start(scalar_spec())
 
 
+def test_late_reply_after_timeout_is_ignored_without_double_merge():
+    """Regression for the late-reply path: a child reply arriving after
+    the parent's timeout fired must be dropped — no error, no second
+    merge, no change to the already-forwarded value."""
+    from repro.faults import DelayMessages, FaultInjector, FaultScenario, MessageMatch
+
+    engine = make_engine(Topology.line(5))
+    engine.child_timeout = 50.0
+    # Delay peer 2's up-sweep reply to peer 1 far past every timeout.
+    FaultInjector(
+        engine.network,
+        FaultScenario(
+            name="late-reply",
+            actions=(
+                DelayMessages(
+                    match=MessageMatch(
+                        sender=2, recipient=1, payload_kind="AggReplyPayload"
+                    ),
+                    count=1,
+                    extra_delay=500.0,
+                ),
+            ),
+        ),
+    ).install()
+    handle = engine.start(scalar_spec())
+    engine.sim.run()
+    assert handle.done
+    assert handle.value == 0 + 1  # partial merge at timeout...
+    assert engine.sim.trace.counters["aggregation.child_timeout"] >= 1
+    # ...and the late reply (delivered at ~t+500) changed nothing.
+    assert handle.value == 0 + 1
+    assert handle.covered == 2
+    assert handle.expected == 5
+    assert not handle.complete
+    assert engine.sim.trace.counters["aggregation.incomplete"] == 1
+
+
+def test_healthy_session_reports_full_coverage():
+    engine = make_engine(Topology.line(6))
+    handle = engine.run_session(scalar_spec())
+    assert handle.covered == 6
+    assert handle.expected == 6
+    assert handle.coverage == 1.0
+    assert handle.complete
+    assert engine.sim.trace.counters.get("aggregation.incomplete", 0) == 0
+
+
+def test_hardened_reprobe_recovers_a_lost_request():
+    """A dropped down-sweep request is recovered by the one bounded
+    re-probe: the session still completes with full coverage."""
+    from repro.faults import DropMessages, FaultInjector, FaultScenario, MessageMatch
+
+    def run(hardened: bool):
+        sim = Simulation(seed=0)
+        network = Network(sim, Topology.line(3))
+        hierarchy = Hierarchy.build(network, root=0)
+        engine = AggregationEngine(hierarchy, child_timeout=40.0, hardened=hardened)
+        FaultInjector(
+            network,
+            FaultScenario(
+                name="lost-request",
+                actions=(
+                    DropMessages(
+                        match=MessageMatch(
+                            sender=1, recipient=2, payload_kind="AggRequestPayload"
+                        ),
+                        count=1,
+                    ),
+                ),
+            ),
+        ).install()
+        return engine, engine.run_session(scalar_spec())
+
+    engine, handle = run(hardened=True)
+    assert handle.value == 0 + 1 + 2
+    assert handle.complete
+    assert engine.sim.trace.counters["aggregation.reprobe"] == 1
+
+    engine, handle = run(hardened=False)
+    assert handle.value == 0 + 1  # the baseline loses the subtree
+    assert not handle.complete
+
+
+def test_hardened_reprobe_recovers_a_lost_reply():
+    """When the reply (not the request) was lost, the re-probed child has
+    already replied — it answers the duplicate request by re-sending its
+    stored reply rather than ignoring it."""
+    from repro.faults import DropMessages, FaultInjector, FaultScenario, MessageMatch
+
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.line(3))
+    hierarchy = Hierarchy.build(network, root=0)
+    engine = AggregationEngine(hierarchy, child_timeout=40.0, hardened=True)
+    FaultInjector(
+        network,
+        FaultScenario(
+            name="lost-reply",
+            actions=(
+                DropMessages(
+                    match=MessageMatch(
+                        sender=2, recipient=1, payload_kind="CoverageAggReplyPayload"
+                    ),
+                    count=1,
+                ),
+            ),
+        ),
+    ).install()
+    handle = engine.run_session(scalar_spec())
+    assert handle.value == 0 + 1 + 2
+    assert handle.complete
+    assert engine.sim.trace.counters["aggregation.reprobe"] == 1
+
+
 def test_revived_peer_gets_service_and_participates():
     engine = make_engine(Topology.star(4))
     network = engine.network

@@ -1,0 +1,34 @@
+"""Tests for the robustness (loss x churn x hardening) ablation."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.robustness import run_robustness
+
+SMALL = ExperimentScale.small()
+
+
+def test_hardening_restores_exactness_under_loss():
+    rows = run_robustness(
+        SMALL, seed=0, loss_probabilities=(0.05,), churn_rates=(0.0,)
+    )
+    baseline, hardened = rows
+    assert "baseline" in baseline.label and "hardened" in hardened.label
+    # The baseline silently loses frequent items — and knows it.
+    assert baseline.metrics["recall"] < 1.0
+    assert baseline.metrics["complete"] == 0.0
+    assert baseline.metrics["coverage"] < 1.0
+    # The hardened arm pays more bytes and gets the exact answer back.
+    assert hardened.metrics["recall"] == 1.0
+    assert hardened.metrics["complete"] == 1.0
+    assert hardened.metrics["coverage"] == 1.0
+
+
+def test_quiet_network_is_exact_either_way():
+    rows = run_robustness(
+        SMALL, seed=0, loss_probabilities=(0.0,), churn_rates=(0.0,)
+    )
+    for row in rows:
+        assert row.metrics["recall"] == 1.0
+        assert row.metrics["complete"] == 1.0
+        assert row.metrics["reissues"] == 0.0

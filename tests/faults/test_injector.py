@@ -1,0 +1,148 @@
+"""Unit tests for the fault injector's message-level and timed actions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.faults import (
+    BurstLoss,
+    CrashPeer,
+    DelayMessages,
+    DropMessages,
+    FaultInjector,
+    FaultScenario,
+    MessageMatch,
+    PartitionLinks,
+    RevivePeer,
+)
+from repro.net.message import Payload
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.net.wire import CostCategory, SizeModel
+from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class Ping(Payload):  # repro-lint: disable=PROTO001
+    """Test payload; intentionally unregistered."""
+
+    size: int = 10
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return self.size
+
+
+def make_network(seed: int = 0, n: int = 4) -> Network:
+    sim = Simulation(seed=seed)
+    return Network(sim, Topology.line(n))
+
+
+def install(network: Network, *actions) -> FaultInjector:
+    return FaultInjector(network, FaultScenario(name="test", actions=actions)).install()
+
+
+def test_drop_messages_drops_exactly_count_then_stops():
+    network = make_network()
+    install(network, DropMessages(match=MessageMatch(sender=0), count=2))
+    received = []
+    network.node(1).register_handler(Ping, received.append)
+    for _ in range(5):
+        network.node(0).send(1, Ping())
+    network.sim.run()
+    assert len(received) == 3
+    assert network.sim.trace.counters["msg.dropped_fault"] == 2
+    # Drops are counted under the fault reason, keyed by category.
+    counter = network.sim.telemetry.registry.counter(
+        "net.msgs_dropped.fault.control"
+    )
+    assert counter.value == 2
+
+
+def test_delay_messages_stretches_delivery():
+    network = make_network()
+    install(
+        network,
+        DelayMessages(match=MessageMatch(sender=0), count=1, extra_delay=7.0),
+    )
+    times = []
+    network.node(1).register_handler(Ping, lambda m: times.append(m.delivered_at))
+    network.node(0).send(1, Ping())
+    network.node(0).send(1, Ping())
+    network.sim.run()
+    assert sorted(times) == [1.0, 8.0]
+
+
+def test_partition_cuts_link_for_window_both_directions():
+    network = make_network()
+    install(network, PartitionLinks(links=((0, 1),), start=0.0, duration=10.0))
+    received = []
+    network.node(1).register_handler(Ping, received.append)
+    network.node(0).register_handler(Ping, received.append)
+    network.node(0).send(1, Ping())
+    network.node(1).send(0, Ping())
+    network.sim.run(until=5.0)
+    assert received == []
+    # After the window the link heals.
+    network.sim.schedule_at(20.0, lambda: network.node(0).send(1, Ping()))
+    network.sim.run()
+    assert len(received) == 1
+
+
+def test_timed_crash_and_revive():
+    network = make_network()
+    install(network, CrashPeer(peer=2, at=5.0), RevivePeer(peer=2, at=9.0))
+    network.sim.run(until=6.0)
+    assert not network.node(2).alive
+    network.sim.run(until=10.0)
+    assert network.node(2).alive
+    kinds = [k for k in network.sim.trace.counters if k == "fault.injected"]
+    assert kinds  # both actions traced under fault.injected
+
+
+def test_match_triggered_crash_lets_the_matching_message_fly():
+    """The k-th matching message is sent, but its recipient dies before
+    delivery — the 'replied into a crash' race."""
+    network = make_network()
+    install(
+        network,
+        CrashPeer(peer=1, on_match=MessageMatch(sender=0, recipient=1), after=2),
+    )
+    received = []
+    network.node(1).register_handler(Ping, received.append)
+    network.node(0).send(1, Ping())
+    network.sim.run()
+    assert len(received) == 1  # first message delivered normally
+    network.node(0).send(1, Ping())  # the trigger
+    network.sim.run()
+    assert len(received) == 1  # second never arrives
+    assert not network.node(1).alive
+    assert network.sim.trace.counters["msg.dropped_dead_recipient"] == 1
+
+
+def test_burst_loss_is_probabilistic_and_deterministic():
+    def run(seed: int) -> int:
+        network = make_network(seed=seed)
+        install(network, BurstLoss(start=0.0, duration=1000.0, probability=0.5))
+        received = []
+        network.node(1).register_handler(Ping, received.append)
+        for i in range(100):
+            network.sim.schedule_at(float(i), network.node(0).send, 1, Ping())
+        network.sim.run()
+        return len(received)
+
+    first = run(3)
+    assert 20 < first < 80  # ~50 expected
+    assert run(3) == first  # same seed, same losses
+
+
+def test_second_hook_rejected_and_uninstall_clears():
+    network = make_network()
+    injector = install(network, DropMessages(match=MessageMatch(), count=1))
+    with pytest.raises(NetworkError):
+        install(network, DropMessages(match=MessageMatch(), count=1))
+    injector.uninstall()
+    install(network, DropMessages(match=MessageMatch(), count=1))

@@ -1,0 +1,107 @@
+"""Seeded fault-matrix smoke tests (the CI fault-matrix job).
+
+Each cell of {loss, crash, partition} × {seed 1, 2, 3} runs a hardened
+netFilter trial with fault injection active — twice — and asserts the
+determinism replay gate: identical JSONL traces, identical results.  The
+CI job selects one cell per matrix entry with
+``-k "<scenario> and seed<N>"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation.hierarchical import AggregationEngine
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter
+from repro.core.recovery import RecoveryPolicy
+from repro.faults import (
+    BurstLoss,
+    CrashPeer,
+    FaultInjector,
+    FaultScenario,
+    PartitionLinks,
+    RevivePeer,
+)
+from repro.hierarchy.builder import Hierarchy
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.net.transport import ReliabilityConfig, TransportConfig
+from repro.sim.engine import Simulation
+from repro.telemetry.sink import read_trace
+from repro.workload.workload import Workload
+
+from tests.test_determinism import strip_wall_clock
+
+
+def make_scenario(kind: str, network: Network) -> FaultScenario:
+    if kind == "loss":
+        return FaultScenario(
+            name="smoke-loss",
+            actions=(BurstLoss(start=500.0, duration=400.0, probability=0.3),),
+        )
+    if kind == "crash":
+        # Crash two non-root internal peers mid-run, revive them later.
+        return FaultScenario(
+            name="smoke-crash",
+            actions=(
+                CrashPeer(peer=3, at=505.0),
+                CrashPeer(peer=7, at=520.0),
+                RevivePeer(peer=3, at=640.0),
+                RevivePeer(peer=7, at=660.0),
+            ),
+        )
+    assert kind == "partition"
+    links = tuple(
+        (0, neighbor) for neighbor in sorted(network.topology.adjacency[0])[:2]
+    )
+    return FaultScenario(
+        name="smoke-partition",
+        actions=(PartitionLinks(links=links, start=505.0, duration=120.0),),
+    )
+
+
+def run_smoke(kind: str, seed: int, trace_path: str) -> dict[int, float]:
+    sim = Simulation(seed=seed)
+    sim.telemetry.attach_jsonl(trace_path)
+    topology = Topology.random_connected(24, 4.0, sim.rng.stream("topology"))
+    network = Network(
+        sim,
+        topology,
+        transport_config=TransportConfig(latency=1.0, latency_jitter=0.3),
+        reliability=ReliabilityConfig(),
+    )
+    workload = Workload.zipf(
+        n_items=400, n_peers=24, skew=1.0, rng=sim.rng.stream("workload")
+    )
+    network.assign_items(workload.item_sets)
+    hierarchy = Hierarchy.build(network, root=0)
+    engine = AggregationEngine(hierarchy, child_timeout=120.0, hardened=True)
+    FaultInjector(network, make_scenario(kind, network)).install()
+    result = NetFilter(
+        NetFilterConfig(filter_size=40, num_filters=2, threshold_ratio=0.01),
+        recovery=RecoveryPolicy(min_coverage=0.99, reissue_delay=100.0),
+    ).run(engine)
+    sim.telemetry.close()
+    return result.frequent.to_dict()
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3], ids=lambda s: f"seed{s}")
+@pytest.mark.parametrize("scenario", ["loss", "crash", "partition"])
+def test_fault_matrix_replays_identically(scenario, seed, tmp_path):
+    first_path = str(tmp_path / "first.jsonl")
+    second_path = str(tmp_path / "second.jsonl")
+    first = run_smoke(scenario, seed, first_path)
+    second = run_smoke(scenario, seed, second_path)
+    assert first == second
+    a = strip_wall_clock(read_trace(first_path))
+    b = strip_wall_clock(read_trace(second_path))
+    assert len(a) == len(b)
+    for index, (left, right) in enumerate(zip(a, b)):
+        assert left == right, (
+            f"{scenario}/seed{seed} trace diverges at record {index}: "
+            f"{left!r} != {right!r}"
+        )
+    kinds = {record["kind"] for record in a}
+    assert "fault.injected" in kinds or scenario == "partition"
+    assert "netfilter.run" in kinds

@@ -98,6 +98,50 @@ def test_depth_infinity_cascades_through_subtree():
     assert not hierarchy.state_of(3).attached
 
 
+def test_invalidate_cascade_mid_aggregation_then_correct_next_session():
+    """A parent crashing mid-aggregation triggers the INVALIDATE cascade;
+    after repair, the *next* session aggregates the full live population
+    correctly (the issue's satellite acceptance)."""
+    from repro.aggregation.hierarchical import AggregationEngine
+    from repro.aggregation.spec import AggregateSpec
+    from repro.aggregation.combiners import ScalarSumCombiner
+    from repro.net.wire import CostCategory
+
+    # A cycle: when internal peer 1 dies, its subtree has an alternate
+    # route back to the root.
+    topology = Topology.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+    network, hierarchy = build_maintained(topology)
+    engine = AggregationEngine(hierarchy, child_timeout=60.0)
+    spec = AggregateSpec(
+        name="sum",
+        combiner=ScalarSumCombiner(),
+        contribute=lambda node, _: node.peer_id,
+        up_category=CostCategory.CONTROL,
+    )
+    victim = 1
+    assert hierarchy.parent_of(2) == victim
+
+    # Crash the parent after it forwarded the request but before its
+    # subtree's replies return: the first session degrades.
+    first = engine.start(spec)
+    network.sim.schedule(3.5, network.fail_peer, victim)
+    network.sim.run(until=network.sim.now + 100.0)
+    assert first.done
+    assert not first.complete  # detected, not silent
+
+    # The heartbeat watchdogs fire, the INVALIDATE cascade detaches the
+    # orphaned subtree, and it reattaches over the alternate path.
+    network.sim.run(until=network.sim.now + 300.0)
+    assert_consistent_over_live(hierarchy)
+    live = sorted(network.live_peers())
+    assert sorted(hierarchy.participants()) == live
+
+    # The repaired hierarchy's next session is exact over the live peers.
+    second = engine.run_session(spec)
+    assert second.value == sum(live)
+    assert second.complete
+
+
 def test_repair_traffic_is_control_only():
     from repro.net.wire import CostCategory
 

@@ -67,9 +67,21 @@ def test_start_is_idempotent():
 
 def test_invalid_config_rejected():
     with pytest.raises(NetworkError):
-        ChurnConfig(failure_rate=0.0)
+        ChurnConfig(failure_rate=-0.1)
     with pytest.raises(NetworkError):
         ChurnConfig(mean_downtime=-1.0)
+
+
+def test_zero_rate_is_a_valid_control_arm():
+    """failure_rate=0.0 never fires, never fails anyone, draws no RNG."""
+    network, process = make(failure_rate=0.0)
+    process.start()
+    drawn_before = network.sim.rng.stream("churn").bit_generator.state
+    network.sim.run(until=1000.0)
+    assert process.failures == 0
+    assert network.n_live_peers == 20
+    assert process.active
+    assert network.sim.rng.stream("churn").bit_generator.state == drawn_before
 
 
 def test_deterministic_under_seed():
