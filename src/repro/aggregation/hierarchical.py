@@ -39,6 +39,7 @@ from typing import Any, Callable
 from repro.aggregation.spec import AggregateSpec
 from repro.errors import AggregationError
 from repro.hierarchy.builder import Hierarchy
+from repro.hierarchy.generation import fence_stale
 from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
 from repro.net.node import Node
@@ -49,11 +50,21 @@ from repro.sim.timers import Timeout
 @register_payload
 @dataclass(frozen=True, eq=False)
 class AggRequestPayload(Payload):
-    """Down-sweep: "compute this aggregate; here is the request data"."""
+    """Down-sweep: "compute this aggregate; here is the request data".
+
+    ``generation`` is the sender's hierarchy fencing epoch (see
+    :mod:`repro.hierarchy.generation`): a request issued against a
+    superseded tree is dropped-and-counted by receivers that already
+    joined a newer one.  Like ``covered`` on the reply, the counter is
+    not priced in the base payload (the paper's cost model covers the
+    request data only); :class:`CoverageAggReplyPayload` prices the
+    hardened engine's metadata honestly on the reply path.
+    """
 
     session_id: int
     spec: AggregateSpec
     request_data: Any
+    generation: int = 0
 
     @property
     def category(self) -> CostCategory:  # type: ignore[override]
@@ -79,6 +90,7 @@ class AggReplyPayload(Payload):
     spec: AggregateSpec
     value: Any
     covered: int = 1
+    generation: int = 0
 
     @property
     def category(self) -> CostCategory:  # type: ignore[override]
@@ -91,15 +103,16 @@ class AggReplyPayload(Payload):
 @register_payload
 @dataclass(frozen=True, eq=False)
 class CoverageAggReplyPayload(AggReplyPayload):
-    """Hardened up-sweep reply: prices the coverage counter it carries.
+    """Hardened up-sweep reply: prices the metadata it carries.
 
-    Same fields as :class:`AggReplyPayload`; one extra aggregate-sized
-    integer on the wire, charged to the spec's up-category so robustness
-    runs measure the true cost of coverage accounting.
+    Same fields as :class:`AggReplyPayload`; two extra aggregate-sized
+    integers on the wire (the coverage counter and the generation stamp),
+    charged to the spec's up-category so robustness runs measure the true
+    cost of coverage accounting and generation fencing.
     """
 
     def body_bytes(self, model: SizeModel) -> int:
-        return super().body_bytes(model) + model.aggregate_bytes
+        return super().body_bytes(model) + 2 * model.aggregate_bytes
 
 
 class SessionHandle:
@@ -115,6 +128,10 @@ class SessionHandle:
         self.covered: int = 0
         #: Live peers at session start — what a complete session covers.
         self.expected: int = 0
+        #: The session lost its root (it died, or failover replaced it)
+        #: before the aggregate arrived — the value is unusable and the
+        #: caller must re-issue against the new root.
+        self.failed: bool = False
 
     @property
     def coverage(self) -> float:
@@ -126,7 +143,7 @@ class SessionHandle:
     @property
     def complete(self) -> bool:
         """Whether every live peer's contribution reached the root."""
-        return self.done and self.covered >= self.expected
+        return self.done and not self.failed and self.covered >= self.expected
 
     def _complete(self, value: Any, covered: int) -> None:
         self.done = True
@@ -141,6 +158,7 @@ class _NodeSessionState:
     spec: AggregateSpec
     request_data: Any
     parent: int | None
+    generation: int = 0
     waiting_on: set[int] = field(default_factory=set)
     received: list[Any] = field(default_factory=list)
     received_covered: list[int] = field(default_factory=list)
@@ -170,8 +188,21 @@ class AggregationService:
     def _handle_request(self, message: Message) -> None:
         payload = message.payload
         assert isinstance(payload, AggRequestPayload)
+        if fence_stale(
+            self._node.network.sim,
+            context="agg_request",
+            peer=self._node.peer_id,
+            sender=message.sender,
+            msg_generation=payload.generation,
+            local_generation=self._engine.hierarchy.generation_of(self._node.peer_id),
+        ):
+            return
         self.begin_session(
-            payload.session_id, payload.spec, payload.request_data, parent=message.sender
+            payload.session_id,
+            payload.spec,
+            payload.request_data,
+            parent=message.sender,
+            generation=payload.generation,
         )
 
     def begin_session(
@@ -180,6 +211,7 @@ class AggregationService:
         spec: AggregateSpec,
         request_data: Any,
         parent: int | None,
+        generation: int = 0,
     ) -> None:
         """Join a session: forward the request to children, then reply once
         every child answered (or timed out).  Called with ``parent=None``
@@ -201,12 +233,19 @@ class AggregationService:
             if network.node(child).alive
         }
         state = _NodeSessionState(
-            spec=spec, request_data=request_data, parent=parent, waiting_on=children
+            spec=spec,
+            request_data=request_data,
+            parent=parent,
+            generation=generation,
+            waiting_on=children,
         )
         self._sessions[session_id] = state
         if children:
             request = self._engine.request_cls(
-                session_id=session_id, spec=spec, request_data=request_data
+                session_id=session_id,
+                spec=spec,
+                request_data=request_data,
+                generation=state.generation,
             )
             for child in sorted(children):
                 self._node.send(child, request)
@@ -232,6 +271,15 @@ class AggregationService:
     def _handle_reply(self, message: Message) -> None:
         payload = message.payload
         assert isinstance(payload, AggReplyPayload)
+        if fence_stale(
+            self._node.network.sim,
+            context="agg_reply",
+            peer=self._node.peer_id,
+            sender=message.sender,
+            msg_generation=payload.generation,
+            local_generation=self._engine.hierarchy.generation_of(self._node.peer_id),
+        ):
+            return
         state = self._sessions.get(payload.session_id)
         if state is None or state.replied:
             return  # late reply after timeout — already merged without it
@@ -269,6 +317,7 @@ class AggregationService:
                 session_id=session_id,
                 spec=state.spec,
                 request_data=state.request_data,
+                generation=state.generation,
             )
             for child in sorted(state.waiting_on):
                 self._node.send(child, request)
@@ -311,6 +360,7 @@ class AggregationService:
                 spec=state.spec,
                 value=state.reply_value,
                 covered=state.reply_covered,
+                generation=state.generation,
             ),
         )
 
@@ -399,7 +449,13 @@ class AggregationEngine:
         root_service = self._services.get(self.hierarchy.root)
         if root_service is None:
             raise AggregationError("root has no aggregation service (is it alive?)")
-        root_service.begin_session(session_id, spec, request_data, parent=None)
+        root_service.begin_session(
+            session_id,
+            spec,
+            request_data,
+            parent=None,
+            generation=self.hierarchy.generation_of(self.hierarchy.root),
+        )
         return handle
 
     def run(
@@ -432,11 +488,22 @@ class AggregationEngine:
         AggregationError
             If the simulation runs out of events (or hits ``max_events``)
             before the session completes — a protocol bug, not a runtime
-            condition.
+            condition.  Losing the root mid-session is a runtime
+            condition, not a bug: the handle comes back with
+            ``failed=True`` (and so ``complete=False``) instead of an
+            exception, and recovery-aware callers re-issue against the
+            promoted root.
         """
         handle = self.start(spec, request_data)
+        root_at_start = self.hierarchy.root
         steps = 0
         while not handle.done:
+            if (
+                not self.network.node(root_at_start).alive
+                or self.hierarchy.root != root_at_start
+            ):
+                self._fail_root_lost(handle, root_at_start, reason="died_mid_session")
+                break
             if not self.sim.step():
                 raise AggregationError(
                     f"event queue drained before session {handle.session_id} "
@@ -449,6 +516,32 @@ class AggregationEngine:
                     f"within {max_events} events"
                 )
         return handle
+
+    def dead_root_session(self, spec: AggregateSpec) -> SessionHandle:
+        """A synthetic failed handle for when the root is already dead at
+        session start — lets recovery loops treat "root dead before the
+        request" and "root died mid-session" uniformly instead of
+        special-casing the :meth:`start` exception."""
+        handle = SessionHandle(next(self._session_ids), spec)
+        handle.started_at = self.sim.now
+        handle.expected = self.network.n_live_peers
+        self._fail_root_lost(handle, self.hierarchy.root, reason="dead_at_start")
+        return handle
+
+    def _fail_root_lost(
+        self, handle: SessionHandle, root: int, reason: str
+    ) -> None:
+        handle.failed = True
+        handle.done = True
+        self.sim.telemetry.registry.counter("aggregation.root_lost_sessions").inc()
+        self.sim.trace.emit(
+            self.sim.now,
+            "aggregation.root_lost",
+            session=handle.session_id,
+            spec=handle.spec.name,
+            root=root,
+            reason=reason,
+        )
 
     def _complete(self, session_id: int, value: Any, covered: int) -> None:
         handle = self._handles.get(session_id)

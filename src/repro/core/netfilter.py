@@ -197,6 +197,20 @@ class NetFilter:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _attempt(
+        self,
+        engine: AggregationEngine,
+        spec: AggregateSpec,
+        request_data: Any = None,
+    ) -> SessionHandle:
+        """One session attempt that never raises on a dead root: a root
+        that is down when the attempt starts yields a synthetic failed
+        handle, so the recovery loop can wait for failover and re-aim at
+        the promoted root instead of aborting the whole query."""
+        if not engine.network.node(engine.hierarchy.root).alive:
+            return engine.dead_root_session(spec)
+        return engine.run_session(spec, request_data)
+
     def _run_phase(
         self,
         engine: AggregationEngine,
@@ -204,17 +218,19 @@ class NetFilter:
         request_data: Any = None,
     ) -> tuple[SessionHandle, int]:
         """Run one aggregation phase; under a recovery policy, re-issue it
-        (after a settle delay) while coverage stays below the floor and
-        budget remains.  Returns the best handle and the re-issues spent."""
-        handle = engine.run_session(spec, request_data)
+        (after a backed-off settle delay) while it stays failed or below
+        the coverage floor and budget remains.  Re-issues go to whatever
+        ``engine.hierarchy.root`` is *now* — after a root failover that is
+        the promoted successor.  Returns the best handle and the re-issues
+        spent."""
+        handle = self._attempt(engine, spec, request_data)
         reissues = 0
         if self.recovery is None:
             return handle, reissues
         sim = engine.sim
         while (
-            handle.coverage < self.recovery.min_coverage
-            and reissues < self.recovery.max_phase_reissues
-        ):
+            handle.failed or handle.coverage < self.recovery.min_coverage
+        ) and reissues < self.recovery.max_phase_reissues:
             reissues += 1
             sim.trace.emit(
                 sim.now,
@@ -225,9 +241,9 @@ class NetFilter:
                 attempt=reissues,
             )
             sim.telemetry.registry.counter("recovery.phase_reissues").inc()
-            sim.run(until=sim.now + self.recovery.reissue_delay)
-            retry = engine.run_session(spec, request_data)
-            if retry.coverage >= handle.coverage:
+            sim.run(until=sim.now + self.recovery.delay_for(reissues))
+            retry = self._attempt(engine, spec, request_data)
+            if not retry.failed and (handle.failed or retry.coverage >= handle.coverage):
                 handle = retry
         return handle, reissues
 
@@ -239,7 +255,11 @@ class NetFilter:
         coverage falls below the policy floor are re-issued, and if the
         run still comes back incomplete the whole query is re-run (early
         phases feed later ones — an undercounted grand total corrupts the
-        threshold) up to ``max_query_reissues`` times."""
+        threshold) up to ``max_query_reissues`` times.  A phase that loses
+        its *root* mid-flight is re-issued the same way — against whatever
+        root the hierarchy has by then, i.e. the failover successor once
+        maintenance promotes one.  Without a recovery policy a root loss
+        yields an empty result flagged ``complete=False``."""
         result = self._run_once(engine, reissues_so_far=0)
         attempts = 0
         while (
@@ -257,11 +277,51 @@ class NetFilter:
                 attempt=attempts,
             )
             sim.telemetry.registry.counter("recovery.query_reissues").inc()
-            sim.run(until=sim.now + self.recovery.reissue_delay)
+            sim.run(until=sim.now + self.recovery.delay_for(attempts))
             retry = self._run_once(engine, reissues_so_far=result.reissues + 1)
             if retry.coverage >= result.coverage:
                 result = retry
         return result
+
+    def _aborted_result(
+        self,
+        engine: AggregationEngine,
+        before: dict[CostCategory, int],
+        started_at: float,
+        reissues: int,
+    ) -> NetFilterResult:
+        """The honest answer when a phase lost its root and the retry
+        budget (or the absence of a recovery policy) could not restore it:
+        an empty result flagged ``complete=False`` with zero coverage —
+        never a silently wrong frequent-item set."""
+        network = engine.network
+        after = network.accounting.bytes_by_category()
+        population = network.n_peers
+        delta = {
+            category: after.get(category, 0) - before.get(category, 0)
+            for category in sorted(set(before) | set(after))
+        }
+        breakdown = CostBreakdown(
+            filtering=delta.get(CostCategory.FILTERING, 0) / population,
+            dissemination=delta.get(CostCategory.DISSEMINATION, 0) / population,
+            aggregation=delta.get(CostCategory.AGGREGATION, 0) / population,
+            control=delta.get(CostCategory.CONTROL, 0) / population,
+        )
+        return NetFilterResult(
+            frequent=LocalItemSet.empty(),
+            candidates=LocalItemSet.empty(),
+            heavy_groups=HeavyGroups(per_filter=()),
+            threshold=0,
+            grand_total=0,
+            n_participants=0,
+            breakdown=breakdown,
+            avg_candidates_per_peer=0.0,
+            config=self.config,
+            elapsed_time=engine.sim.now - started_at,
+            coverage=0.0,
+            complete=False,
+            reissues=reissues,
+        )
 
     def _run_once(
         self, engine: AggregationEngine, reissues_so_far: int
@@ -281,6 +341,8 @@ class NetFilter:
                 handle, spent = self._run_phase(engine, totals_spec())
                 phase_handles.append(handle)
                 reissues += spent
+                if handle.failed:
+                    return self._aborted_result(engine, before, started_at, reissues)
                 grand_total, n_participants = handle.value
                 threshold = self.config.resolve_threshold(int(grand_total))
                 span["participants"] = int(n_participants)
@@ -298,6 +360,8 @@ class NetFilter:
                 handle, spent = self._run_phase(engine, filtering_spec(bank))
                 phase_handles.append(handle)
                 reissues += spent
+                if handle.failed:
+                    return self._aborted_result(engine, before, started_at, reissues)
                 heavy = HeavyGroups.from_aggregate(bank, handle.value, threshold)
                 span["heavy_groups"] = heavy.total_count
                 telemetry.registry.histogram(
@@ -318,6 +382,8 @@ class NetFilter:
                 )
                 phase_handles.append(handle)
                 reissues += spent
+                if handle.failed:
+                    return self._aborted_result(engine, before, started_at, reissues)
                 candidates: LocalItemSet = handle.value
                 frequent = candidates.filter_values(threshold)
                 span["candidates"] = len(candidates)

@@ -5,8 +5,11 @@ accounting in :mod:`repro.aggregation.hierarchical`); this module holds
 the requester's *response* to that signal.  A protocol run configured with
 a :class:`RecoveryPolicy` re-issues an aggregation phase — and, if phases
 keep coming back short, the whole query — up to bounded retry budgets,
-waiting a fixed settle delay between attempts so transient failures
-(a crashed peer reviving, a partition healing) can clear.
+waiting a settle delay between attempts so transient failures (a crashed
+peer reviving, a partition healing) can clear.  The delay backs off
+exponentially with a cap, in the same deterministic style as the
+transport's retransmit schedule: early retries are cheap when the cause
+was a blip, later retries wait long enough for repair to land.
 
 This is what restores the paper's no-false-negative guarantee whenever
 the network stabilises: a phase that finally covers every live peer is
@@ -41,14 +44,23 @@ class RecoveryPolicy:
         phases feed later ones: a grand total measured over 4/5 peers
         yields the wrong threshold even if later phases recover.
     reissue_delay:
-        Simulated time to wait before each re-issue, giving revivals and
-        hierarchy repair a chance to land.
+        Simulated time to wait before the *first* re-issue, giving
+        revivals and hierarchy repair a chance to land.
+    backoff_factor:
+        Multiplier applied to the delay on every further attempt
+        (attempt ``k`` waits ``reissue_delay * backoff_factor**(k-1)``,
+        matching the transport's retransmit style).  ``1.0`` restores the
+        fixed settle delay.
+    reissue_delay_cap:
+        Ceiling on any single backed-off delay.
     """
 
     min_coverage: float = 1.0
     max_phase_reissues: int = 2
     max_query_reissues: int = 1
     reissue_delay: float = 50.0
+    backoff_factor: float = 2.0
+    reissue_delay_cap: float = 400.0
 
     def __post_init__(self) -> None:
         if not (0.0 < self.min_coverage <= 1.0):
@@ -59,3 +71,16 @@ class RecoveryPolicy:
             raise ConfigurationError("max_query_reissues must be non-negative")
         if self.reissue_delay < 0:
             raise ConfigurationError("reissue_delay must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1.0")
+        if self.reissue_delay_cap < self.reissue_delay:
+            raise ConfigurationError("reissue_delay_cap must be >= reissue_delay")
+
+    def delay_for(self, attempt: int) -> float:
+        """Settle delay before re-issue number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.reissue_delay_cap,
+            self.reissue_delay * self.backoff_factor ** (attempt - 1),
+        )

@@ -16,6 +16,7 @@ from repro.faults.scenario import (
     MessageMatch,
     PartitionLinks,
     RevivePeer,
+    SuspendPeer,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "MessageMatch",
     "PartitionLinks",
     "RevivePeer",
+    "SuspendPeer",
 ]

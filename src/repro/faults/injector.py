@@ -34,6 +34,7 @@ from repro.faults.scenario import (
     FaultScenario,
     PartitionLinks,
     RevivePeer,
+    SuspendPeer,
 )
 
 
@@ -83,6 +84,10 @@ class FaultInjector:
                 self._sim.schedule_at(
                     action.start, self._announce_partition, index, action
                 )
+            elif isinstance(action, SuspendPeer):
+                self._sim.schedule_at(
+                    action.start, self._announce_suspend, index, action
+                )
             elif isinstance(action, (DropMessages, DelayMessages)):
                 self._remaining[index] = action.count
             if isinstance(action, CrashPeer) and action.on_match is not None:
@@ -117,6 +122,14 @@ class FaultInjector:
         self._record(
             "partition",
             links=[list(link) for link in action.links],
+            until=action.start + action.duration,
+            action=index,
+        )
+
+    def _announce_suspend(self, index: int, action: SuspendPeer) -> None:
+        self._record(
+            "suspend",
+            peer=action.peer,
             until=action.start + action.duration,
             action=index,
         )
@@ -170,6 +183,14 @@ class FaultInjector:
                         action=index,
                     )
                     extra_delay += action.extra_delay
+            elif isinstance(action, SuspendPeer):
+                # Gray failure: the suspended peer's outbound traffic dies
+                # on the wire (the transport itself counts the drop).
+                if (
+                    sender == action.peer
+                    and action.start <= now < action.start + action.duration
+                ):
+                    return DROP, 0.0
             elif isinstance(action, BurstLoss):
                 if action.start <= now < action.start + action.duration:
                     rng = self._sim.rng.stream("faults.burst_loss")

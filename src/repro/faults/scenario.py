@@ -180,9 +180,39 @@ class BurstLoss:
             raise ConfigurationError("probability must be in (0, 1]")
 
 
+@dataclass(frozen=True)
+class SuspendPeer:
+    """Gray failure: the peer stays alive but transmits nothing for a
+    window.
+
+    The peer's timers keep running and it still *receives* traffic — only
+    its outbound messages are dropped on the wire.  To its neighbours it
+    is indistinguishable from a crash (silence), which is exactly what a
+    failure detector must not be fooled by: the adaptive detector's false
+    suspicions under suspend windows shorter than its deadline are the
+    test surface this action exists for.
+    """
+
+    peer: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.start < 0:
+            raise ConfigurationError("start must be non-negative")
+
+
 #: The action union the injector interprets.
 FaultAction = (
-    CrashPeer | RevivePeer | PartitionLinks | DropMessages | DelayMessages | BurstLoss
+    CrashPeer
+    | RevivePeer
+    | PartitionLinks
+    | DropMessages
+    | DelayMessages
+    | BurstLoss
+    | SuspendPeer
 )
 
 
@@ -211,6 +241,7 @@ class FaultScenario:
                     DropMessages,
                     DelayMessages,
                     BurstLoss,
+                    SuspendPeer,
                 ),
             ):
                 raise ConfigurationError(

@@ -14,11 +14,17 @@ tree (convergecast) and heavy-group identifiers flow down (broadcast).
 """
 
 from repro.hierarchy.builder import Hierarchy, HierarchyService
+from repro.hierarchy.generation import NO_GENERATION, fence_stale, is_stale
 from repro.hierarchy.maintenance import MaintenanceService, enable_maintenance
 from repro.hierarchy.monitor import HierarchyStats, check_invariants, tree_stats
 from repro.hierarchy.multi import MultiHierarchy
 from repro.hierarchy.roles import HierarchyState, NodeRole
-from repro.hierarchy.root_selection import central_root, most_stable_root, random_root
+from repro.hierarchy.root_selection import (
+    central_root,
+    failover_successor,
+    most_stable_root,
+    random_root,
+)
 
 __all__ = [
     "Hierarchy",
@@ -27,10 +33,14 @@ __all__ = [
     "HierarchyStats",
     "MaintenanceService",
     "MultiHierarchy",
+    "NO_GENERATION",
     "NodeRole",
     "central_root",
     "check_invariants",
     "enable_maintenance",
+    "failover_successor",
+    "fence_stale",
+    "is_stale",
     "most_stable_root",
     "random_root",
     "tree_stats",

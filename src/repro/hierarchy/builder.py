@@ -24,19 +24,25 @@ from repro.net.message import Message, Payload
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.wire import CostCategory, SizeModel
+from repro.hierarchy.generation import fence_stale
 from repro.hierarchy.roles import HierarchyState, NodeRole
 
 
 @register_payload
 @dataclass(frozen=True)
 class BuildPayload(Payload):
-    """BFS construction offer: "attach under me, I am at ``depth``"."""
+    """BFS construction offer: "attach under me, I am at ``depth``".
+
+    Carries the build's generation (fencing epoch) so offers from a
+    superseded build are dropped instead of re-wiring a newer tree.
+    """
 
     depth: int
+    generation: int = 0
     category = CostCategory.CONTROL
 
     def body_bytes(self, model: SizeModel) -> int:
-        return model.aggregate_bytes
+        return 2 * model.aggregate_bytes
 
 
 @register_payload
@@ -81,6 +87,12 @@ class HierarchyService:
         self.node = node
         self.tag = tag
         self.state = HierarchyState()
+        # Child registrations that arrived from our *current upstream* (a
+        # reattachment race built a momentary 2-cycle).  Held here instead
+        # of accepted or dropped: when the cycle resolves by our side
+        # moving to another parent, the claimant becomes a real child; if
+        # it resolves by the claimant moving on, its unregister clears it.
+        self._deferred_children: set[int] = set()
         self._build_cls = tagged(BuildPayload, tag)
         self._register_cls = tagged(ChildRegisterPayload, tag)
         self._unregister_cls = tagged(ChildUnregisterPayload, tag)
@@ -91,14 +103,17 @@ class HierarchyService:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def become_root(self) -> None:
+    def become_root(self, generation: int = 1) -> None:
         """Designate this peer as the hierarchy root and start the flood."""
         self.state.depth = 0
         self.state.upstream = None
+        self.state.generation = generation
         self._flood()
 
     def _flood(self) -> None:
-        payload = self._build_cls(depth=self.state.depth)
+        payload = self._build_cls(
+            depth=self.state.depth, generation=self.state.generation
+        )
         for neighbor in self.node.neighbors:
             if neighbor != self.state.upstream:
                 self.node.send(neighbor, payload)
@@ -106,13 +121,24 @@ class HierarchyService:
     def _handle_build(self, message: Message) -> None:
         payload = message.payload
         assert isinstance(payload, BuildPayload)
+        if fence_stale(
+            self.node.network.sim,
+            context="build",
+            peer=self.node.peer_id,
+            sender=message.sender,
+            msg_generation=payload.generation,
+            local_generation=self.state.generation,
+        ):
+            return
         offered_depth = payload.depth + 1
         if offered_depth < self.state.depth:
-            self.attach_under(message.sender, offered_depth)
+            self.attach_under(message.sender, offered_depth, generation=payload.generation)
             self._flood()
 
-    def attach_under(self, parent: int, depth: int) -> None:
-        """Adopt ``parent`` as upstream neighbour at the given depth."""
+    def attach_under(self, parent: int, depth: int, generation: int | None = None) -> None:
+        """Adopt ``parent`` as upstream neighbour at the given depth,
+        joining ``generation`` when the caller knows it (a build offer or
+        heartbeat-driven reattach carries the parent's epoch)."""
         sim = self.node.network.sim
         trace = sim.trace
         if trace.active:
@@ -136,21 +162,33 @@ class HierarchyService:
         self.state.former_upstream = None
         self.state.upstream = parent
         self.state.depth = depth
+        if generation is not None:
+            self.state.generation = generation
         # A former child that is now our parent must not stay in our
         # downstream set, or the tree would contain a 2-cycle.
         self.state.downstream.discard(parent)
+        # Conversely, a deferred claimant that is no longer our upstream
+        # is a real child after all (its own register already arrived).
+        for claimant in sorted(self._deferred_children - {parent}):
+            self.state.downstream.add(claimant)
+        self._deferred_children &= {parent}
         self.node.send(parent, self._register_cls())
 
     def _handle_register(self, message: Message) -> None:
         # A peer cannot be both our parent and our child: such a register
         # is a symptom of a reattachment race and accepting it would create
         # a two-cycle (see MaintenanceService's depth reconciliation).
+        # Defer rather than drop — if the race resolves by *us* reattaching
+        # elsewhere, the claimant really is our child and forgetting it
+        # would leave the tree permanently asymmetric.
         if message.sender == self.state.upstream:
+            self._deferred_children.add(message.sender)
             return
         self.state.downstream.add(message.sender)
 
     def _handle_unregister(self, message: Message) -> None:
         self.state.downstream.discard(message.sender)
+        self._deferred_children.discard(message.sender)
 
     # ------------------------------------------------------------------
     # Repair hooks (driven by MaintenanceService)
@@ -223,7 +261,7 @@ class Hierarchy:
                 peer: HierarchyService(network.node(peer), tag=tag)
                 for peer in network.live_peers()
             }
-            services[root].become_root()
+            services[root].become_root(network.next_hierarchy_generation(tag))
             network.sim.run(until=network.sim.now + settle_time)
             hierarchy = cls(network, root, services, tag=tag)
             if strict:
@@ -266,6 +304,16 @@ class Hierarchy:
     def role_of(self, peer: int) -> NodeRole:
         """Role of one peer."""
         return self.state_of(peer).role
+
+    @property
+    def generation(self) -> int:
+        """The tree's current generation — the root's fencing epoch."""
+        return self.state_of(self.root).generation
+
+    def generation_of(self, peer: int) -> int:
+        """Fencing epoch of one peer (0 when the peer holds no state)."""
+        service = self.services.get(peer)
+        return 0 if service is None else service.state.generation
 
     def participants(self) -> list[int]:
         """Live, attached peers — the peers any aggregation will involve."""

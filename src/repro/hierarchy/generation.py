@@ -1,0 +1,75 @@
+"""Generation fencing for hierarchy state (the epoch rule).
+
+Every hierarchy build and every completed repair that changes the root
+bumps a per-tree monotone *generation* (issued by
+:meth:`repro.net.network.Network.next_hierarchy_generation`).  Heartbeats,
+``InvalidatePayload``/``ResetPayload`` and all aggregation request/reply
+payloads carry the sender's generation, and every receiver applies one
+rule before touching its own state:
+
+    a message stamped with an older generation than the receiver's is
+    **stale** — drop it and count it.
+
+Generation ``NO_GENERATION`` (0) means "no claim": bootstrap traffic from
+peers that have not yet joined any build (e.g. the RESET announcement of a
+freshly revived peer) always passes the fence, and messages are never
+dropped by receivers that hold no generation themselves.  Newer-than-local
+generations also pass — they are the repair mechanism's way of telling a
+peer its state is out of date, and the receiver adopts the newer epoch.
+
+This one rule replaces the ad-hoc late-reply and stale-INVALIDATE guards
+that previously each protocol implemented on its own, and it is what lets
+a promoted root invalidate in-flight traffic addressed to the old epoch
+deterministically (SDIMS and Astrolabe fence their aggregation trees the
+same way; see PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulation
+
+#: The "no claim" generation: traffic stamped 0 always passes the fence.
+NO_GENERATION = 0
+
+
+def is_stale(msg_generation: int, local_generation: int) -> bool:
+    """Whether a message stamped ``msg_generation`` is stale at a receiver
+    holding ``local_generation``.
+
+    Stale means *strictly older than local while making a claim*:
+    ``NO_GENERATION`` passes (bootstrap traffic), equal passes (same
+    epoch), newer passes (the receiver is the out-of-date party).
+    """
+    return NO_GENERATION < msg_generation < local_generation
+
+
+def fence_stale(
+    sim: Simulation,
+    *,
+    context: str,
+    peer: int,
+    sender: int,
+    msg_generation: int,
+    local_generation: int,
+) -> bool:
+    """Apply the fencing rule; count and trace the drop when it fires.
+
+    Returns ``True`` when the message is stale and must be discarded.
+    The drop is never silent: it increments the
+    ``hierarchy.cross_gen_drops`` counter and emits a
+    ``hierarchy.cross_gen_drop`` trace record naming the protocol context
+    (``"heartbeat"``, ``"invalidate"``, ``"agg_request"``, ...).
+    """
+    if not is_stale(msg_generation, local_generation):
+        return False
+    sim.telemetry.registry.counter("hierarchy.cross_gen_drops").inc()
+    sim.trace.emit(
+        sim.now,
+        "hierarchy.cross_gen_drop",
+        context=context,
+        peer=peer,
+        sender=sender,
+        msg_generation=msg_generation,
+        local_generation=local_generation,
+    )
+    return True

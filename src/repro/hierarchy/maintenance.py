@@ -11,6 +11,22 @@ The paper's repair protocol, verbatim:
 * A newly joined peer is accommodated the same way: it starts detached and
   attaches to the first finite-depth neighbour it hears.
 
+Two hardening layers sit on top of the paper's design:
+
+* **Generation fencing** (:mod:`repro.hierarchy.generation`): repair
+  messages and heartbeats carry the sender's epoch, and anything stamped
+  with an older epoch is dropped-and-counted instead of re-wiring current
+  state.  The ``depth > n_peers`` loop heuristic is thereby demoted to a
+  true last resort — when it still fires, a ``hierarchy.cycle_break``
+  alarm records it.
+* **Root failover**: when the *root* dies, rather than leaving the whole
+  tree permanently detached, a deterministic successor — the most stable
+  live peer under the dead root, tie-broken by smallest id (see
+  :func:`repro.hierarchy.root_selection.failover_successor`) — promotes
+  itself to depth 0, bumps the generation, and announces the new epoch
+  through an immediate heartbeat.  Every other orphan runs the ordinary
+  INVALIDATE cascade and reattaches under the new epoch.
+
 :class:`MaintenanceService` wires one node's
 :class:`~repro.net.heartbeat.HeartbeatService` into its
 :class:`~repro.hierarchy.builder.HierarchyService` to implement exactly
@@ -24,21 +40,28 @@ from dataclasses import dataclass
 from repro.net.codec import register_payload
 from repro.net.heartbeat import HeartbeatConfig, HeartbeatService
 from repro.net.message import Message, Payload
-from repro.net.network import Network
 from repro.net.wire import CostCategory, SizeModel
 from repro.hierarchy.builder import Hierarchy, HierarchyService
+from repro.hierarchy.generation import fence_stale
+from repro.hierarchy.root_selection import failover_successor
 from repro.types import INFINITE_DEPTH
 
 
 @register_payload
 @dataclass(frozen=True)
 class InvalidatePayload(Payload):
-    """"Your subtree lost its root path — set your depth to ∞ too"."""
+    """"Your subtree lost its root path — set your depth to ∞ too".
 
+    Stamped with the sender's generation so an INVALIDATE from a
+    superseded epoch cannot tear down a subtree that already joined a
+    newer one.
+    """
+
+    generation: int = 0
     category = CostCategory.CONTROL
 
     def body_bytes(self, model: SizeModel) -> int:
-        return model.aggregate_bytes
+        return 2 * model.aggregate_bytes
 
 
 @register_payload
@@ -49,13 +72,16 @@ class ResetPayload(Payload):
 
     Without this, a peer that fails and revives *faster than the failure
     detector's timeout* leaves its old parent with a stale child entry and
-    its old children with a parent that has forgotten them.
+    its old children with a parent that has forgotten them.  A freshly
+    revived peer makes no generation claim (0), so its reset always
+    passes the fence.
     """
 
+    generation: int = 0
     category = CostCategory.CONTROL
 
     def body_bytes(self, model: SizeModel) -> int:
-        return model.aggregate_bytes
+        return 2 * model.aggregate_bytes
 
 
 class MaintenanceService:
@@ -67,14 +93,21 @@ class MaintenanceService:
         The peer's hierarchy state machine.
     heartbeat_config:
         Timing for the underlying heartbeat/failure-detection service.
+    hierarchy:
+        The tree facade, when known.  Required for root failover: the
+        facade names the current root, and the promoted successor updates
+        it so in-flight queries can be re-aimed.  ``None`` disables
+        failover (orphans of a dead root simply stay detached).
     """
 
     def __init__(
         self,
         hierarchy_service: HierarchyService,
         heartbeat_config: HeartbeatConfig | None = None,
+        hierarchy: Hierarchy | None = None,
     ) -> None:
         self._hier = hierarchy_service
+        self._facade = hierarchy
         node = hierarchy_service.node
         node.register_handler(InvalidatePayload, self._handle_invalidate)
         node.register_handler(ResetPayload, self._handle_reset)
@@ -82,9 +115,20 @@ class MaintenanceService:
             node,
             heartbeat_config or HeartbeatConfig(),
             depth_provider=lambda: self._hier.state.depth,
+            generation_provider=lambda: self._hier.state.generation,
+            upstream_provider=lambda: self._hier.state.upstream,
             on_heartbeat=self._on_heartbeat,
             on_neighbor_down=self._on_neighbor_down,
         )
+
+    def shutdown(self) -> None:
+        """Stop heartbeats and watchdogs (peer crashed or tree torn down).
+
+        Idempotent; also runs automatically through the node's failure
+        hooks, but the network-level crash listener calls it explicitly so
+        a retired service cannot be left half-armed.
+        """
+        self.heartbeats.stop()
 
     # ------------------------------------------------------------------
     # Failure handling
@@ -101,25 +145,72 @@ class MaintenanceService:
                 child=neighbor,
             )
         if state.upstream == neighbor:
+            if self._facade is not None and neighbor == self._facade.root:
+                # Our parent was the root itself: run the failover
+                # election.  Deterministic — every orphan computes the
+                # same successor from shared state, so exactly one
+                # promotes itself and the rest detach and wait for the
+                # new epoch's heartbeats.
+                if failover_successor(self._facade, neighbor) == node.peer_id:
+                    self._promote_to_root(neighbor)
+                    return
             self._start_invalidation()
+
+    def _promote_to_root(self, old_root: int) -> None:
+        """Take over as root: depth 0, next generation, announce now."""
+        state = self._hier.state
+        node = self._hier.node
+        sim = node.network.sim
+        assert self._facade is not None
+        state.upstream = None
+        state.former_upstream = None
+        state.depth = 0
+        state.downstream.discard(old_root)
+        state.generation += 1
+        self._facade.root = node.peer_id
+        node.network.record_hierarchy_generation(self._facade.tag, state.generation)
+        sim.telemetry.registry.counter("hierarchy.root_failovers").inc()
+        sim.trace.emit(
+            sim.now,
+            "hierarchy.root_promoted",
+            peer=node.peer_id,
+            old_root=old_root,
+            generation=state.generation,
+        )
+        # Announce the new epoch immediately — orphans reattach on this
+        # heartbeat instead of waiting out a full interval.
+        self.heartbeats.beat_now()
 
     def _start_invalidation(self) -> None:
         """Detach and cascade ∞-depth into the subtree (paper III-A.3)."""
         state = self._hier.state
         node = self._hier.node
         sim = node.network.sim
+        generation = state.generation
         state.detach()
         sim.telemetry.registry.counter("hierarchy.invalidations").inc()
         sim.trace.emit(sim.now, "hierarchy.invalidated", peer=node.peer_id)
-        payload = InvalidatePayload()
+        payload = InvalidatePayload(generation=generation)
         for child in sorted(state.downstream):
             node.send(child, payload)
 
     def _handle_invalidate(self, message: Message) -> None:
         state = self._hier.state
+        payload = message.payload
+        assert isinstance(payload, InvalidatePayload)
+        node = self._hier.node
+        if fence_stale(
+            node.network.sim,
+            context="invalidate",
+            peer=node.peer_id,
+            sender=message.sender,
+            msg_generation=payload.generation,
+            local_generation=state.generation,
+        ):
+            return
         # Only cascade if the message came from our current upstream —
-        # a stale invalidate from a former parent must not tear down a
-        # subtree that already reattached elsewhere.
+        # a same-epoch invalidate from a former parent must not tear down
+        # a subtree that already reattached elsewhere.
         if state.upstream == message.sender and state.attached:
             self._start_invalidation()
 
@@ -129,12 +220,24 @@ class MaintenanceService:
     def announce_reset(self) -> None:
         """Tell all overlay neighbours to forget me (sent on rejoin)."""
         node = self._hier.node
-        payload = ResetPayload()
+        payload = ResetPayload(generation=self._hier.state.generation)
         for neighbor in node.network.topology.adjacency[node.peer_id]:
             node.send(neighbor, payload)
 
     def _handle_reset(self, message: Message) -> None:
         state = self._hier.state
+        payload = message.payload
+        assert isinstance(payload, ResetPayload)
+        node = self._hier.node
+        if fence_stale(
+            node.network.sim,
+            context="reset",
+            peer=node.peer_id,
+            sender=message.sender,
+            msg_generation=payload.generation,
+            local_generation=state.generation,
+        ):
+            return
         self._hier.drop_child(message.sender)
         if state.upstream == message.sender and state.attached:
             self._start_invalidation()
@@ -142,30 +245,118 @@ class MaintenanceService:
     # ------------------------------------------------------------------
     # Reattachment and depth reconciliation
     # ------------------------------------------------------------------
-    def _on_heartbeat(self, neighbor: int, depth: int) -> None:
+    def _cycle_break(self, neighbor: int, depth: int, effect: str) -> None:
+        """The demoted last-resort loop heuristic — alarmed, never silent."""
+        node = self._hier.node
+        sim = node.network.sim
+        sim.telemetry.registry.counter("hierarchy.cycle_breaks").inc()
+        sim.trace.emit(
+            sim.now,
+            "hierarchy.cycle_break",
+            peer=node.peer_id,
+            neighbor=neighbor,
+            depth=depth,
+            effect=effect,
+        )
+
+    def _abdicate(self, neighbor: int, depth: int, generation: int) -> None:
+        """Step down as root and join the newer epoch under ``neighbor``."""
+        node = self._hier.node
+        sim = node.network.sim
+        self._hier.attach_under(neighbor, depth + 1, generation=generation)
+        sim.telemetry.registry.counter("hierarchy.root_abdications").inc()
+        sim.trace.emit(
+            sim.now,
+            "hierarchy.root_abdicated",
+            peer=node.peer_id,
+            parent=neighbor,
+            generation=generation,
+        )
+
+    def _on_heartbeat(
+        self, neighbor: int, depth: int, generation: int, upstream: int | None
+    ) -> None:
         state = self._hier.state
         node = self._hier.node
+        if fence_stale(
+            node.network.sim,
+            context="heartbeat",
+            peer=node.peer_id,
+            sender=neighbor,
+            msg_generation=generation,
+            local_generation=state.generation,
+        ):
+            return
+        # Downstream-set reconciliation: the sender's upstream claim is
+        # current evidence of who its parent is, and it settles both ways
+        # a register/unregister exchange can go stale.
+        if state.attached and neighbor != state.upstream:
+            sim = node.network.sim
+            if upstream == node.peer_id and neighbor not in state.downstream:
+                # A live neighbour still claims us as its parent, but we
+                # do not list it: a false suspicion dropped the child,
+                # and the child never learned.  Re-adopt instead of
+                # leaving the tree permanently asymmetric.
+                state.downstream.add(neighbor)
+                sim.telemetry.registry.counter("hierarchy.child_readoptions").inc()
+                sim.trace.emit(
+                    sim.now,
+                    "hierarchy.child_readopted",
+                    peer=node.peer_id,
+                    child=neighbor,
+                )
+            elif upstream != node.peer_id and neighbor in state.downstream:
+                # The inverse staleness: we list a child that has since
+                # attached elsewhere (e.g. a delayed pre-move heartbeat
+                # re-adopted it after its unregister was processed).
+                self._hier.drop_child(neighbor)
+                sim.telemetry.registry.counter("hierarchy.stale_children_dropped").inc()
+                sim.trace.emit(
+                    sim.now,
+                    "hierarchy.stale_child_dropped",
+                    peer=node.peer_id,
+                    child=neighbor,
+                    claimed_parent=upstream,
+                )
         if state.attached and neighbor == state.upstream:
+            # The parent's epoch is authoritative for its subtree: adopt a
+            # newer generation (e.g. after a root promotion upstream).
+            if generation > state.generation:
+                state.generation = generation
             # Continuous reconciliation against the parent's advertised
-            # depth.  This is the cycle breaker: reattachment races (a peer
-            # adopting a parent based on a heartbeat sent *before* that
-            # parent was invalidated) can create parent loops, in which the
-            # reconciled depths count up without bound; once a depth
-            # exceeds the population size — impossible in any real tree —
-            # the peer detaches and the loop dissolves.
+            # depth.  Reattachment races (a peer adopting a parent based
+            # on a heartbeat sent *before* that parent was invalidated)
+            # can create parent loops, in which the reconciled depths
+            # count up without bound; generation fencing prevents the
+            # cross-epoch variants, and the depth bound remains as a
+            # last-resort breaker — with an alarm, because it firing
+            # means fencing missed a same-epoch race.
             if depth >= INFINITE_DEPTH:
                 self._start_invalidation()
             elif state.depth != depth + 1:
                 if depth + 1 > node.network.n_peers:
+                    self._cycle_break(neighbor, depth + 1, effect="detach")
                     self._start_invalidation()
                 else:
                     state.depth = depth + 1
             return
+        if state.attached and state.upstream is None:
+            # A *root* hearing a strictly newer epoch lost a split-brain
+            # race: it was falsely suspected (partition, delay burst), a
+            # successor was elected, and both now claim depth 0.  The
+            # generation totally orders the claims — the older root
+            # abdicates and rejoins the newer tree as a plain peer,
+            # keeping its subtree (descendants adopt the new epoch
+            # through ordinary parent-heartbeat reconciliation).
+            if generation > state.generation and depth < INFINITE_DEPTH:
+                self._abdicate(neighbor, depth, generation)
+            return
         if state.attached or depth >= INFINITE_DEPTH:
             return
         if depth + 1 > node.network.n_peers:
-            return  # an absurd depth is itself evidence of a loop
-        self._hier.attach_under(neighbor, depth + 1)
+            self._cycle_break(neighbor, depth + 1, effect="refuse")
+            return
+        self._hier.attach_under(neighbor, depth + 1, generation=generation)
         sim = node.network.sim
         sim.telemetry.registry.counter("hierarchy.reattachments").inc()
         sim.trace.emit(
@@ -186,22 +377,31 @@ def enable_maintenance(
     Newly revived peers are integrated automatically: a join listener
     installs fresh hierarchy + maintenance services, and the peer attaches
     on the first finite-depth heartbeat it receives (paper III-A.3's
-    join handling).
+    join handling).  Symmetrically, a *crash* listener retires the dead
+    peer's maintenance service — its heartbeat timer and watchdogs stop,
+    and revival installs a fresh service rather than resurrecting one
+    with pre-crash detector state.
     """
     config = heartbeat_config or HeartbeatConfig()
     services = {
-        peer: MaintenanceService(service, config)
+        peer: MaintenanceService(service, config, hierarchy=hierarchy)
         for peer, service in hierarchy.services.items()
         if hierarchy.network.node(peer).alive
     }
 
     def integrate_new_peer(peer: int) -> None:
         node = hierarchy.network.node(peer)
-        hier_service = HierarchyService(node)
+        hier_service = HierarchyService(node, tag=hierarchy.tag)
         hierarchy.services[peer] = hier_service
-        maintenance = MaintenanceService(hier_service, config)
+        maintenance = MaintenanceService(hier_service, config, hierarchy=hierarchy)
         services[peer] = maintenance
         maintenance.announce_reset()
 
+    def retire_crashed_peer(peer: int) -> None:
+        maintenance = services.pop(peer, None)
+        if maintenance is not None:
+            maintenance.shutdown()
+
     hierarchy.network.on_join(integrate_new_peer)
+    hierarchy.network.on_crash(retire_crashed_peer)
     return services

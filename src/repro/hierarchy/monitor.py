@@ -46,6 +46,8 @@ def check_invariants(hierarchy: Hierarchy) -> list[str]:
        as its upstream (no stale children).
     5. Following upstream pointers from any peer reaches the root (no
        cycles, no orphan islands).
+    6. Every participant carries the root's generation — a repaired tree
+       must have converged onto one fencing epoch.
     """
     problems: list[str] = []
     network = hierarchy.network
@@ -55,6 +57,15 @@ def check_invariants(hierarchy: Hierarchy) -> list[str]:
     roots = [p for p in participants if hierarchy.depth_of(p) == 0]
     if roots != [hierarchy.root]:
         problems.append(f"expected single root {hierarchy.root}, found {roots}")
+    else:
+        root_generation = hierarchy.generation
+        for peer in participants:
+            peer_generation = hierarchy.generation_of(peer)
+            if peer_generation != root_generation:
+                problems.append(
+                    f"peer {peer} at generation {peer_generation}, "
+                    f"root at {root_generation}"
+                )
 
     for peer in participants:
         state = hierarchy.state_of(peer)

@@ -9,10 +9,13 @@ over to the next hierarchy when the current root is down.
 
 Redundant hierarchies and the repair protocol of
 :mod:`repro.hierarchy.maintenance` are alternative answers to churn: the
-repair protocol heals one hierarchy in place (and is what the paper's
-main design assumes), while redundancy gives instant failover at ``k``
-times the build cost.  The heartbeat service is a per-node singleton, so
-in-place maintenance attaches to at most one of the hierarchies.
+repair protocol heals one hierarchy in place — including *in-tree root
+failover*, where a deterministic successor promotes itself under a new
+generation when the root dies (see
+:func:`~repro.hierarchy.root_selection.failover_successor`) — while
+redundancy gives instant failover at ``k`` times the build cost.  The
+heartbeat service is a per-node singleton, so in-place maintenance
+attaches to at most one of the hierarchies.
 """
 
 from __future__ import annotations

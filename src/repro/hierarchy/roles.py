@@ -43,6 +43,11 @@ class HierarchyState:
     depth: int = INFINITE_DEPTH
     upstream: int | None = None
     downstream: set[int] = field(default_factory=set)
+    #: The hierarchy generation (fencing epoch) this state belongs to —
+    #: see :mod:`repro.hierarchy.generation`.  0 means "no claim yet".
+    #: Survives :meth:`detach`: a detached peer still fences traffic from
+    #: epochs older than the one it last participated in.
+    generation: int = 0
     #: The upstream neighbour held before the last detach.  Needed so a
     #: peer that reattaches under a *different* parent can unregister from
     #: the old one — otherwise the old parent keeps a stale child forever.

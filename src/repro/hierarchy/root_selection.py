@@ -14,12 +14,15 @@ fails less often).
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from repro.errors import HierarchyError
 from repro.net.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.hierarchy.builder import Hierarchy
 
 
 def random_root(network: Network, rng: np.random.Generator) -> int:
@@ -72,3 +75,34 @@ def central_root(network: Network) -> int:
         if best_eccentricity is None or eccentricity < best_eccentricity:
             best_peer, best_eccentricity = source, eccentricity
     return best_peer
+
+
+def failover_successor(hierarchy: "Hierarchy", dead_root: int) -> int | None:
+    """The deterministic successor when ``dead_root`` has died.
+
+    Election order: among the dead root's live orphans — peers whose
+    upstream neighbour is (or, for those that already detached, was)
+    ``dead_root`` — pick the most stable (earliest
+    :attr:`~repro.net.node.Node.up_since`), tie-broken by smallest peer
+    id.  Mirrors the paper's "most stable peer" root-selection option,
+    applied to the depth-1 ring instead of the whole population.
+
+    Every orphan evaluates this function over shared simulation state, so
+    they all agree on the winner without extra messaging; the winner
+    promotes itself and the rest wait for its heartbeat.  Returns ``None``
+    when the dead root has no live orphans (nothing to fail over).
+    """
+    network = hierarchy.network
+    candidates = []
+    for peer, service in hierarchy.services.items():
+        if not network.node(peer).alive:
+            continue
+        state = service.state
+        orphaned = state.upstream == dead_root or (
+            not state.attached and state.former_upstream == dead_root
+        )
+        if orphaned:
+            candidates.append(peer)
+    if not candidates:
+        return None
+    return min(candidates, key=lambda p: (network.node(p).up_since, p))

@@ -78,6 +78,11 @@ class Network:
             peer_id: Node(self, peer_id) for peer_id in range(topology.n_peers)
         }
         self._join_listeners: list[Callable[[int], None]] = []
+        self._crash_listeners: list[Callable[[int], None]] = []
+        #: Highest hierarchy generation issued per tree tag — the fencing
+        #: epoch of :mod:`repro.hierarchy.generation`.  Builds and root
+        #: failovers bump it via :meth:`next_hierarchy_generation`.
+        self._hierarchy_generations: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Node access
@@ -148,13 +153,26 @@ class Network:
         """Register a callback invoked with the peer id on every revive."""
         self._join_listeners.append(listener)
 
+    def on_crash(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked with the peer id on every crash.
+
+        Symmetric to :meth:`on_join`: services that install per-peer state
+        (heartbeat timers, watchdogs) tear it down here rather than leaving
+        a crashed peer's timers ticking.
+        """
+        self._crash_listeners.append(listener)
+
     def fail_peer(self, peer_id: int) -> None:
         """Crash a peer (it stops sending, receiving, and timing)."""
         node = self.node(peer_id)
-        if node.alive:
+        was_alive = node.alive
+        if was_alive:
             self.failed_at[peer_id] = self.sim.now
             self.sim.telemetry.registry.counter("net.peer_failures").inc()
         node.fail()
+        if was_alive:
+            for listener in self._crash_listeners:
+                listener(peer_id)
 
     def revive_peer(self, peer_id: int) -> None:
         """Bring a failed peer back and notify join listeners."""
@@ -167,3 +185,23 @@ class Network:
         self.sim.telemetry.registry.histogram("net.peer_downtime").observe(downtime)
         for listener in self._join_listeners:
             listener(peer_id)
+
+    # ------------------------------------------------------------------
+    # Hierarchy generations
+    # ------------------------------------------------------------------
+    def next_hierarchy_generation(self, tag: str) -> int:
+        """Issue the next generation for the tree named ``tag`` (first = 1).
+
+        The network is the authority so that rebuilds of the same tree keep
+        the counter monotone even when every :class:`HierarchyService` was
+        torn down in between.
+        """
+        generation = self._hierarchy_generations.get(tag, 0) + 1
+        self._hierarchy_generations[tag] = generation
+        return generation
+
+    def record_hierarchy_generation(self, tag: str, generation: int) -> None:
+        """Advance the per-tree high-water mark to ``generation`` (a root
+        failover bumps the generation locally and reports it here)."""
+        if generation > self._hierarchy_generations.get(tag, 0):
+            self._hierarchy_generations[tag] = generation

@@ -39,6 +39,9 @@ class Node:
         self.peer_id = peer_id
         self.items: LocalItemSet = LocalItemSet.empty()
         self.alive = True
+        #: Simulation time of the most recent (re)start — root-failover
+        #: successor election prefers the most stable (longest-up) peer.
+        self.up_since: float = 0.0
         self._handlers: dict[type[Payload], Callable[[Message], None]] = {}
         self._failure_hooks: list[Callable[[], None]] = []
 
@@ -133,6 +136,7 @@ class Node:
         if self.alive:
             return
         self.alive = True
+        self.up_since = self.network.sim.now
         self.network.sim.trace.emit(
             self.network.sim.now, "node.revived", peer=self.peer_id
         )

@@ -118,10 +118,21 @@ class Timeout:
         """Whether a deadline is currently pending."""
         return self._handle is not None and not self._handle.cancelled
 
-    def reset(self) -> None:
-        """(Re-)arm the timeout ``duration`` from now."""
+    def reset(self, duration: float | None = None) -> None:
+        """(Re-)arm the timeout ``duration`` from now.
+
+        ``duration`` overrides the configured default for this arm only —
+        the adaptive failure detector stretches a watchdog to its current
+        suspicion deadline without rebuilding the :class:`Timeout`.
+        """
+        if duration is not None and duration <= 0:
+            raise SimulationError(
+                f"timeout duration must be positive, got {duration}"
+            )
         self.cancel()
-        self._handle = self._sim.schedule(self._duration, self._fire)
+        self._handle = self._sim.schedule(
+            self._duration if duration is None else float(duration), self._fire
+        )
 
     def cancel(self) -> None:
         """Disarm without firing.  Idempotent."""

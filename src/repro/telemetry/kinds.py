@@ -46,12 +46,19 @@ TRACE_KINDS: dict[str, str] = {
     "hierarchy.reattached": "a detached peer re-entered via a heartbeat",
     "hierarchy.child_dropped": "a failed child was removed from downstream",
     "hierarchy.repair": "span: repair episode (used by maintenance tests)",
+    "hierarchy.cross_gen_drop": "the generation fence discarded stale traffic",
+    "hierarchy.cycle_break": "the last-resort depth bound fired (alarm)",
+    "hierarchy.root_promoted": "a failover successor promoted itself to root",
+    "hierarchy.root_abdicated": "a superseded root rejoined the newer epoch",
+    "hierarchy.child_readopted": "a parent re-adopted a wrongly dropped child",
+    "hierarchy.stale_child_dropped": "a parent dropped a child attached elsewhere",
     # -- aggregation sessions ------------------------------------------
     "aggregation.start": "the root opened an aggregation session",
     "aggregation.complete": "the root obtained the global aggregate",
     "aggregation.child_timeout": "a node gave up waiting for children",
     "aggregation.reprobe": "a hardened node re-probed children missing at timeout",
     "aggregation.incomplete": "a session completed short of full coverage",
+    "aggregation.root_lost": "a session's root died or was replaced mid-flight",
     # -- recovery (requester-side re-issue) -----------------------------
     "request.reissued": "a requester re-ran a phase/query on low coverage",
     # -- netFilter (hierarchical) --------------------------------------

@@ -1,0 +1,107 @@
+"""The adaptive-detection ablation (the issue's acceptance assertion).
+
+A jittery-but-healthy network: scripted heartbeat delays stretch the
+observed inter-arrival gaps, then a delay burst opens one gap wider than
+the fixed timeout.  **No peer ever fails.**  The fixed-timeout detector
+misreads the burst as a crash and tears part of the tree down (false
+suspicions, invalidations); the phi-accrual-style adaptive detector has
+learned the link's gap distribution by then, keeps its suspicion deadline
+above the burst, and the tree never twitches.
+"""
+
+from __future__ import annotations
+
+from repro.faults import DelayMessages, FaultInjector, FaultScenario, MessageMatch
+from repro.hierarchy.builder import Hierarchy
+from repro.hierarchy.maintenance import enable_maintenance
+from repro.hierarchy.monitor import check_invariants
+from repro.net.heartbeat import HeartbeatConfig
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.sim.engine import Simulation
+from repro.metrics.registry import MetricsRegistry
+
+#: Beats every ~2; the fixed deadline is 6.5.  The warm-up delays teach
+#: the adaptive detector that this link's gaps are jittery; the final
+#: burst holds three consecutive beats back long enough to open a gap
+#: past 6.5 but not past the learned deadline.
+BEATS = dict(interval=2.0, timeout=6.5, jitter=0.2, suspicion_threshold=6.0)
+
+
+def jitter_scenario(base: float) -> FaultScenario:
+    """Delay peer 1's heartbeats: six single-beat warm-up delays (gap
+    variance without silence), then a three-beat burst (one wide gap).
+    Starts are offset from ``base`` — hierarchy construction advances the
+    clock, and scenario times are absolute."""
+    # Match only the copies toward peer 2 (each beat fans out to both
+    # neighbours; ``count`` is consumed per *message*, not per beat).
+    beat_from_1 = MessageMatch(sender=1, recipient=2, payload_kind="HeartbeatPayload")
+    warmups = tuple(
+        DelayMessages(match=beat_from_1, count=1, extra_delay=1.5, start=base + start)
+        for start in (20.0, 28.0, 36.0, 44.0, 52.0, 60.0)
+    )
+    burst = DelayMessages(
+        match=beat_from_1, count=3, extra_delay=6.0, start=base + 70.0
+    )
+    return FaultScenario(name="jitter-no-failures", actions=warmups + (burst,))
+
+
+def run_detector(adaptive: bool, seed: int = 0) -> tuple[MetricsRegistry, Hierarchy]:
+    sim = Simulation(seed=seed)
+    network = Network(sim, Topology.line(4))
+    hierarchy = Hierarchy.build(network, root=0)
+    enable_maintenance(hierarchy, HeartbeatConfig(adaptive=adaptive, **BEATS))
+    FaultInjector(network, jitter_scenario(sim.now)).install()
+    sim.run(until=sim.now + 150.0)
+    return sim.telemetry.registry, hierarchy
+
+
+def test_fixed_timeout_false_suspects_the_jittery_link():
+    registry, _ = run_detector(adaptive=False)
+    assert registry.counter("heartbeat.false_suspicions").value > 0
+    assert registry.counter("hierarchy.invalidations").value > 0
+
+
+def test_adaptive_detector_rides_out_the_same_burst():
+    registry, hierarchy = run_detector(adaptive=True)
+    assert registry.counter("heartbeat.false_suspicions").value == 0
+    assert registry.counter("hierarchy.invalidations").value == 0
+    # The tree never twitched: everyone still attached, invariants clean.
+    assert check_invariants(hierarchy) == []
+    assert sorted(hierarchy.participants()) == [0, 1, 2, 3]
+
+
+def test_fixed_timeout_tree_eventually_heals():
+    # Even the fixed detector's false teardown is not permanent damage:
+    # once the real heartbeats resume, the invalidated subtree reattaches.
+    _, hierarchy = run_detector(adaptive=False)
+    assert check_invariants(hierarchy) == []
+    assert sorted(hierarchy.participants()) == [0, 1, 2, 3]
+
+
+def test_suspended_peer_suspected_then_tree_heals_on_resume():
+    """Gray failure via ``SuspendPeer``: the peer is alive (timers run,
+    inbound delivered) but transmits nothing.  Its silence exceeds any
+    deadline, so the suspicion fires — and is counted as *false*, because
+    no crash sits behind it.  When the window ends its heartbeats resume
+    and the tree reconverges."""
+    from repro.faults import SuspendPeer
+
+    sim = Simulation(seed=0)
+    network = Network(sim, Topology.line(4))
+    hierarchy = Hierarchy.build(network, root=0)
+    enable_maintenance(hierarchy, HeartbeatConfig(adaptive=True, **BEATS))
+    scenario = FaultScenario(
+        name="gray-failure",
+        actions=(SuspendPeer(peer=1, start=sim.now + 10.0, duration=30.0),),
+    )
+    FaultInjector(network, scenario).install()
+    sim.run(until=sim.now + 25.0)
+    registry = sim.telemetry.registry
+    # Mid-window: the silent (but alive) peer was suspected — falsely.
+    assert registry.counter("heartbeat.false_suspicions").value > 0
+    assert not hierarchy.state_of(2).attached  # subtree was invalidated
+
+    sim.run(until=sim.now + 100.0)
+    assert check_invariants(hierarchy) == []
+    assert sorted(hierarchy.participants()) == [0, 1, 2, 3]

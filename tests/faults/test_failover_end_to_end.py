@@ -1,0 +1,143 @@
+"""Root failover, end to end (the tentpole's acceptance scenario).
+
+The *root* of the hierarchy crashes mid-query — triggered by the first
+phase-0 reply landing on it.  The unhardened stack has no maintenance and
+no recovery: the session loses its root and the run reports an empty
+result flagged ``complete=False`` instead of raising or lying.  The
+hardened stack detects the silence, elects the deterministic successor
+(most-stable live depth-1 peer, lowest id on ties), promotes it with a
+bumped generation, fences the stale cross-generation traffic, re-issues
+the in-flight phase against the promoted root, and returns the exact IFI
+set with ``complete=True``.  Both runs replay bit-for-bit under the same
+seed with injection active.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation.hierarchical import AggregationEngine
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter, NetFilterResult
+from repro.core.recovery import RecoveryPolicy
+from repro.faults import CrashPeer, FaultInjector, FaultScenario, MessageMatch
+from repro.hierarchy.builder import Hierarchy
+from repro.hierarchy.maintenance import enable_maintenance
+from repro.hierarchy.monitor import check_invariants
+from repro.items.itemset import LocalItemSet
+from repro.net.heartbeat import HeartbeatConfig
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.net.transport import ReliabilityConfig
+from repro.sim.engine import Simulation
+from repro.telemetry.sink import read_trace
+
+from tests.test_determinism import strip_wall_clock
+
+#: Item 100 is frequent (40 + 40 = 80 >= t = 50) and lives on peers 1 and
+#: 3 — both survivors.  The doomed root holds only a background singleton,
+#: so the exact answer over the live population is the same before and
+#: after the crash.
+ITEMS = {0: {1: 10}, 1: {100: 40}, 2: {2: 10}, 3: {100: 40}, 4: {3: 10}}
+CONFIG = NetFilterConfig(filter_size=8, num_filters=2, threshold=50)
+BEATS = HeartbeatConfig(interval=2.0, timeout=7.0, jitter=0.2)
+
+
+def run_scenario(
+    hardened: bool, seed: int = 11, trace_path: str | None = None
+) -> tuple[NetFilterResult, Network]:
+    """Cycle 0-1-2-3-4-0, root 0: the root crashes when the first phase-0
+    reply reaches it.  Peers 1 and 4 sit at depth 1; on the tie in
+    stability the election promotes peer 1."""
+    sim = Simulation(seed=seed)
+    if trace_path is not None:
+        sim.telemetry.attach_jsonl(trace_path)
+    network = Network(
+        sim,
+        Topology.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+        reliability=ReliabilityConfig() if hardened else None,
+    )
+    network.assign_items(
+        {peer: LocalItemSet.from_pairs(pairs) for peer, pairs in ITEMS.items()}
+    )
+    hierarchy = Hierarchy.build(network, root=0)
+    if hardened:
+        enable_maintenance(hierarchy, BEATS)
+    engine = AggregationEngine(hierarchy, child_timeout=40.0, hardened=hardened)
+    reply_kind = "CoverageAggReplyPayload" if hardened else "AggReplyPayload"
+    scenario = FaultScenario(
+        name="root-dies-mid-query",
+        actions=(
+            CrashPeer(
+                peer=0,
+                on_match=MessageMatch(recipient=0, payload_kind=reply_kind),
+            ),
+        ),
+    )
+    FaultInjector(network, scenario).install()
+    netfilter = NetFilter(
+        CONFIG,
+        recovery=RecoveryPolicy(reissue_delay=60.0) if hardened else None,
+    )
+    result = netfilter.run(engine)
+    if trace_path is not None:
+        sim.telemetry.close()
+    return result, network
+
+
+def test_unhardened_reports_root_death_honestly():
+    result, network = run_scenario(hardened=False)
+    assert not result.complete
+    assert result.coverage == 0.0
+    assert result.frequent.to_dict() == {}  # empty, never silently wrong
+    registry = network.sim.telemetry.registry
+    assert registry.counter("aggregation.root_lost_sessions").value >= 1
+    # No maintenance: nobody promotes a successor.
+    assert registry.counter("hierarchy.root_failovers").value == 0
+
+
+def test_hardened_fails_over_and_recovers_the_exact_answer():
+    result, network = run_scenario(hardened=True)
+    assert result.frequent.to_dict() == {100: 80}
+    assert result.complete
+    assert result.coverage == 1.0
+    assert result.reissues >= 1
+    registry = network.sim.telemetry.registry
+    assert registry.counter("hierarchy.root_failovers").value == 1
+    # The fence discarded old-generation traffic instead of acting on it.
+    assert registry.counter("hierarchy.cross_gen_drops").value > 0
+
+
+def test_failed_over_run_replays_bit_for_bit(tmp_path):
+    for hardened in (False, True):
+        name = "hardened" if hardened else "baseline"
+        first_path = str(tmp_path / f"{name}-1.jsonl")
+        second_path = str(tmp_path / f"{name}-2.jsonl")
+        first, _ = run_scenario(hardened, trace_path=first_path)
+        second, _ = run_scenario(hardened, trace_path=second_path)
+        assert first.frequent.to_dict() == second.frequent.to_dict()
+        a = strip_wall_clock(read_trace(first_path))
+        b = strip_wall_clock(read_trace(second_path))
+        assert len(a) == len(b)
+        for index, (left, right) in enumerate(zip(a, b)):
+            assert left == right, f"{name} trace diverges at record {index}"
+        kinds = {record["kind"] for record in a}
+        assert "aggregation.root_lost" in kinds
+        if hardened:
+            assert "hierarchy.root_promoted" in kinds
+            assert "hierarchy.cross_gen_drop" in kinds
+            assert "request.reissued" in kinds
+
+
+def test_live_population_reconverges_under_the_new_root():
+    sim = Simulation(seed=7)
+    network = Network(
+        sim,
+        Topology.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+        reliability=ReliabilityConfig(),
+    )
+    hierarchy = Hierarchy.build(network, root=0)
+    enable_maintenance(hierarchy, BEATS)
+    network.fail_peer(0)
+    sim.run(until=sim.now + 200.0)
+    assert hierarchy.root == 1
+    assert check_invariants(hierarchy) == []
+    assert sorted(hierarchy.participants()) == sorted(network.live_peers())

@@ -1,10 +1,13 @@
 """Seeded fault-matrix smoke tests (the CI fault-matrix job).
 
-Each cell of {loss, crash, partition} × {seed 1, 2, 3} runs a hardened
-netFilter trial with fault injection active — twice — and asserts the
-determinism replay gate: identical JSONL traces, identical results.  The
-CI job selects one cell per matrix entry with
-``-k "<scenario> and seed<N>"``.
+Each cell of {loss, crash, partition, failover, delayburst} × {seed 1, 2,
+3} runs a hardened netFilter trial with fault injection active — twice —
+and asserts the determinism replay gate: identical JSONL traces,
+identical results.  The ``failover`` and ``delayburst`` cells run with
+hierarchy maintenance enabled: the first crashes the *root* mid-query
+(recovery re-aims at the promoted successor), the second jitters the
+heartbeat plane without any real failure.  The CI job selects one cell
+per matrix entry with ``-k "<scenario> and seed<N>"``.
 """
 
 from __future__ import annotations
@@ -18,12 +21,16 @@ from repro.core.recovery import RecoveryPolicy
 from repro.faults import (
     BurstLoss,
     CrashPeer,
+    DelayMessages,
     FaultInjector,
     FaultScenario,
+    MessageMatch,
     PartitionLinks,
     RevivePeer,
 )
 from repro.hierarchy.builder import Hierarchy
+from repro.hierarchy.maintenance import enable_maintenance
+from repro.net.heartbeat import HeartbeatConfig
 from repro.net.network import Network
 from repro.net.overlay import Topology
 from repro.net.transport import ReliabilityConfig, TransportConfig
@@ -32,6 +39,9 @@ from repro.telemetry.sink import read_trace
 from repro.workload.workload import Workload
 
 from tests.test_determinism import strip_wall_clock
+
+#: Scenarios that need the repair plane (heartbeats + failover) running.
+MAINTAINED = ("failover", "delayburst")
 
 
 def make_scenario(kind: str, network: Network) -> FaultScenario:
@@ -49,6 +59,24 @@ def make_scenario(kind: str, network: Network) -> FaultScenario:
                 CrashPeer(peer=7, at=520.0),
                 RevivePeer(peer=3, at=640.0),
                 RevivePeer(peer=7, at=660.0),
+            ),
+        )
+    if kind == "failover":
+        # The root itself dies mid-query and never returns; maintenance
+        # promotes the deterministic successor and recovery re-aims.
+        return FaultScenario(
+            name="smoke-failover",
+            actions=(CrashPeer(peer=0, at=505.0),),
+        )
+    if kind == "delayburst":
+        # No failures at all: heartbeat copies get held back in bursts,
+        # exercising the adaptive detector under delivery jitter.
+        beats = MessageMatch(payload_kind="HeartbeatPayload")
+        return FaultScenario(
+            name="smoke-delayburst",
+            actions=(
+                DelayMessages(match=beats, count=200, extra_delay=6.0, start=505.0),
+                DelayMessages(match=beats, count=200, extra_delay=9.0, start=700.0),
             ),
         )
     assert kind == "partition"
@@ -76,6 +104,10 @@ def run_smoke(kind: str, seed: int, trace_path: str) -> dict[int, float]:
     )
     network.assign_items(workload.item_sets)
     hierarchy = Hierarchy.build(network, root=0)
+    if kind in MAINTAINED:
+        enable_maintenance(
+            hierarchy, HeartbeatConfig(interval=5.0, timeout=16.0, jitter=0.5)
+        )
     engine = AggregationEngine(hierarchy, child_timeout=120.0, hardened=True)
     FaultInjector(network, make_scenario(kind, network)).install()
     result = NetFilter(
@@ -87,7 +119,9 @@ def run_smoke(kind: str, seed: int, trace_path: str) -> dict[int, float]:
 
 
 @pytest.mark.parametrize("seed", [1, 2, 3], ids=lambda s: f"seed{s}")
-@pytest.mark.parametrize("scenario", ["loss", "crash", "partition"])
+@pytest.mark.parametrize(
+    "scenario", ["loss", "crash", "partition", "failover", "delayburst"]
+)
 def test_fault_matrix_replays_identically(scenario, seed, tmp_path):
     first_path = str(tmp_path / "first.jsonl")
     second_path = str(tmp_path / "second.jsonl")

@@ -142,6 +142,141 @@ def test_invalidate_cascade_mid_aggregation_then_correct_next_session():
     assert second.complete
 
 
+def test_crashed_peer_service_retired_and_emits_nothing():
+    """The crash listener must stop a dead peer's heartbeat machinery:
+    no timer ticks, no watchdog verdicts, no traffic from the corpse."""
+    topology = Topology.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    sim = Simulation(seed=0)
+    network = Network(sim, topology)
+    hierarchy = Hierarchy.build(network, root=0)
+    services = enable_maintenance(hierarchy, FAST_BEATS)
+    victim = 3
+    victim_service = services[victim]
+    sim.run(until=sim.now + 20.0)
+
+    sent_by_victim: list[float] = []
+    downs_seen_by_victim: list[float] = []
+    sim.trace.subscribe(
+        "msg.sent",
+        lambda record: sent_by_victim.append(record.time)
+        if record.fields["sender"] == victim
+        else None,
+    )
+    sim.trace.subscribe(
+        "heartbeat.neighbor_down",
+        lambda record: downs_seen_by_victim.append(record.time)
+        if record.fields["peer"] == victim
+        else None,
+    )
+    network.fail_peer(victim)
+    assert victim not in services  # retired by the crash listener
+    assert not victim_service.heartbeats.active
+    sim.run(until=sim.now + 100.0)
+    assert sent_by_victim == []  # a corpse does not beat...
+    assert downs_seen_by_victim == []  # ...and does not judge its neighbours
+
+    # Revival installs a *fresh* service, not the retired one.
+    network.revive_peer(victim)
+    assert victim in services
+    assert services[victim] is not victim_service
+    assert services[victim].heartbeats.active
+    sim.run(until=sim.now + 100.0)
+    assert victim in hierarchy.participants()
+    assert_consistent_over_live(hierarchy)
+
+
+def test_build_stamps_generation_on_every_participant():
+    network, hierarchy = build_maintained(Topology.star(6))
+    assert hierarchy.generation == 1
+    for peer in hierarchy.participants():
+        assert hierarchy.generation_of(peer) == 1
+    # The network's per-tree counter stays monotone across rebuilds.
+    assert network.next_hierarchy_generation(hierarchy.tag) == 2
+    assert network.next_hierarchy_generation(hierarchy.tag) == 3
+
+
+def test_root_failover_promotes_lowest_id_orphan():
+    # Cycle 0-1-2-3-4-0, root 0: BFS puts 1 and 4 at depth 1.  When the
+    # root dies, both orphans are equally stable (up since t=0), so the
+    # tie-break elects peer 1.
+    topology = Topology.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    network, hierarchy = build_maintained(topology)
+    assert hierarchy.root == 0
+    old_generation = hierarchy.generation
+    network.fail_peer(0)
+    network.sim.run(until=network.sim.now + 200.0)
+
+    assert hierarchy.root == 1
+    assert hierarchy.depth_of(1) == 0
+    assert hierarchy.generation == old_generation + 1
+    assert sorted(hierarchy.participants()) == sorted(network.live_peers())
+    assert_consistent_over_live(hierarchy)  # includes generation agreement
+    registry = network.sim.telemetry.registry
+    assert registry.counter("hierarchy.root_failovers").value == 1
+
+
+def test_root_failover_prefers_most_stable_orphan():
+    # Same cycle, but peer 1 crashed and revived before the root died:
+    # its up_since is later than peer 4's, so stability outranks its
+    # lower id and peer 4 wins the election.
+    topology = Topology.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    network, hierarchy = build_maintained(topology)
+    network.fail_peer(1)
+    network.sim.run(until=network.sim.now + 100.0)
+    network.revive_peer(1)
+    network.sim.run(until=network.sim.now + 100.0)
+    assert 1 in hierarchy.participants()
+    assert network.node(1).up_since > network.node(4).up_since
+
+    network.fail_peer(0)
+    network.sim.run(until=network.sim.now + 300.0)
+    assert hierarchy.root == 4
+    assert sorted(hierarchy.participants()) == sorted(network.live_peers())
+    assert_consistent_over_live(hierarchy)
+
+
+def test_wrongly_dropped_child_is_readopted_from_its_heartbeat():
+    """A false suspicion drops a live child from its parent's downstream
+    set; the child never learns.  The child's next heartbeat still claims
+    the parent as upstream, and the parent must re-adopt it instead of
+    leaving the tree permanently asymmetric."""
+    topology = Topology.star(5)
+    network, hierarchy = build_maintained(topology)
+    child = 3
+    assert hierarchy.parent_of(child) == 0
+    # Simulate the false-suspicion drop (the detector path is exercised
+    # end-to-end by the jitter benchmark; here we drive the repair hook).
+    hierarchy.services[0].drop_child(child)
+    assert child not in hierarchy.children_of(0)
+
+    network.sim.run(until=network.sim.now + 3 * FAST_BEATS.interval)
+    assert child in hierarchy.children_of(0)
+    registry = network.sim.telemetry.registry
+    assert registry.counter("hierarchy.child_readoptions").value >= 1
+    assert_consistent_over_live(hierarchy)
+
+
+def test_stale_child_entry_dropped_on_contrary_upstream_claim():
+    """The inverse staleness: a parent lists a child whose heartbeats
+    claim a different upstream (e.g. a delayed pre-move heartbeat
+    re-adopted it after its unregister was processed).  The claim is
+    current evidence, so the stale entry must go."""
+    topology = Topology.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    network, hierarchy = build_maintained(topology)
+    # Peer 2's parent is 1 (or 3) in the cycle; forge a stale entry on a
+    # non-parent neighbour of 2.
+    parent = hierarchy.parent_of(2)
+    other = 1 if parent == 3 else 3
+    hierarchy.services[other].state.downstream.add(2)
+    assert 2 in hierarchy.children_of(other)
+
+    network.sim.run(until=network.sim.now + 3 * FAST_BEATS.interval)
+    assert 2 not in hierarchy.children_of(other)
+    registry = network.sim.telemetry.registry
+    assert registry.counter("hierarchy.stale_children_dropped").value >= 1
+    assert_consistent_over_live(hierarchy)
+
+
 def test_repair_traffic_is_control_only():
     from repro.net.wire import CostCategory
 

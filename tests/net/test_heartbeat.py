@@ -23,7 +23,7 @@ def wire_up(network: Network, config: HeartbeatConfig = FAST, depths: dict[int, 
             node,
             config,
             depth_provider=(lambda p=peer: (depths or {}).get(p, INFINITE_DEPTH)),
-            on_heartbeat=lambda n, d, p=peer: events.append(("beat", p, n)),
+            on_heartbeat=lambda n, d, g, u, p=peer: events.append(("beat", p, n)),
             on_neighbor_down=lambda n, p=peer: events.append(("down", p, n)),
         )
     return services, events
@@ -90,6 +90,104 @@ def test_invalid_config_rejected():
         HeartbeatConfig(interval=0.0)
     with pytest.raises(ValueError):
         HeartbeatConfig(interval=5.0, timeout=5.0)
+    with pytest.raises(ValueError):
+        HeartbeatConfig(suspicion_threshold=0.0)
+    with pytest.raises(ValueError):
+        HeartbeatConfig(min_history=0)
+    with pytest.raises(ValueError):
+        HeartbeatConfig(history_window=2, min_history=3)
+
+
+def test_generation_carried_in_heartbeat():
+    network = Network(Simulation(seed=0), Topology.line(2))
+    generations = []
+    services = {}
+    for peer in (0, 1):
+        services[peer] = HeartbeatService(
+            network.node(peer),
+            FAST,
+            generation_provider=(lambda p=peer: 7 if p == 0 else 0),
+            on_heartbeat=lambda n, d, g, u: generations.append((n, g)),
+        )
+    network.sim.run(until=3.0)
+    assert (0, 7) in generations
+    assert services[1].last_known_generation[0] == 7
+    assert services[0].last_known_generation[1] == 0
+
+
+def test_suspicion_deadline_is_fixed_timeout_until_history_accrues():
+    network = Network(Simulation(seed=0), Topology.line(2))
+    services, _ = wire_up(network)
+    # Before any heartbeat arrives there is no gap history at all.
+    assert services[0].suspicion_deadline(1) == FAST.timeout
+    # min_history=3 needs 4 arrivals; two intervals in is still bootstrap.
+    network.sim.run(until=2.5)
+    assert services[0].suspicion_deadline(1) == FAST.timeout
+
+
+def test_quiet_network_deadline_stays_at_the_floor():
+    # Regular gaps: mean + threshold*spread stays far below the fixed
+    # timeout, so the floor wins and adaptive == fixed behaviour.
+    network = Network(Simulation(seed=0), Topology.line(2))
+    services, events = wire_up(network)
+    network.sim.run(until=50.0)
+    assert services[0].suspicion_deadline(1) == FAST.timeout
+    assert not [event for event in events if event[0] == "down"]
+
+
+def test_jittery_network_stretches_the_deadline():
+    config = HeartbeatConfig(
+        interval=1.0, timeout=3.5, jitter=0.3, suspicion_threshold=10.0
+    )
+    network = Network(Simulation(seed=3), Topology.line(2))
+    services, _ = wire_up(network, config=config)
+    network.sim.run(until=60.0)
+    # spread is floored by the jitter, so mean + 10*spread > 1 + 3 > 3.5.
+    assert services[0].suspicion_deadline(1) > config.timeout
+
+
+def test_fixed_mode_ignores_gap_history():
+    config = HeartbeatConfig(
+        interval=1.0, timeout=3.5, jitter=0.3, adaptive=False, suspicion_threshold=10.0
+    )
+    network = Network(Simulation(seed=3), Topology.line(2))
+    services, _ = wire_up(network, config=config)
+    network.sim.run(until=60.0)
+    assert services[0].suspicion_deadline(1) == config.timeout
+
+
+def test_false_suspicion_counted_when_no_crash_behind_the_silence():
+    # Fixed-timeout detector with a timeout barely above the interval:
+    # jitter alone eventually stretches a gap past it.  The victim is
+    # alive, so the suspicion is false and must be counted as such.
+    config = HeartbeatConfig(interval=1.0, timeout=1.05, jitter=0.3, adaptive=False)
+    network = Network(Simulation(seed=2), Topology.line(2))
+    _, events = wire_up(network, config=config)
+    network.sim.run(until=60.0)
+    downs = [event for event in events if event[0] == "down"]
+    assert downs  # the tight timeout did fire on live neighbours
+    registry = network.sim.telemetry.registry
+    assert registry.counter("heartbeat.false_suspicions").value == len(downs)
+
+
+def test_beat_now_sends_immediately():
+    network = Network(Simulation(seed=0), Topology.line(2))
+    services, events = wire_up(network)
+    network.sim.run(until=0.5)  # before the first scheduled beat
+    assert not events
+    services[0].beat_now()
+    network.sim.run(until=1.6)  # one link latency later, before the
+    assert ("beat", 1, 0) in events  # first *scheduled* beat can land
+
+
+def test_active_reflects_lifecycle():
+    network = Network(Simulation(seed=0), Topology.line(2))
+    services, _ = wire_up(network)
+    assert services[0].active
+    network.fail_peer(0)
+    assert not services[0].active  # failure hook stopped the service
+    services[1].stop()
+    assert not services[1].active
 
 
 def test_heartbeat_bytes_charged_to_control():
