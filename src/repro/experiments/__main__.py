@@ -30,8 +30,8 @@ from repro.experiments.report import render_rows, render_table
 RowsByTable = dict[str, list[dict[str, Any]]]
 
 
-def _fig5(scale: ExperimentScale, seed: int) -> RowsByTable:
-    rows = run_figure5(scale, seed)
+def _fig5(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
+    rows = run_figure5(scale, seed, jobs=jobs)
     print(render_rows(rows, title=f"Figure 5 — effect of filter size g (f=3, {scale.name})"))
     predicted = predicted_optimal_g(scale, seed)
     print(f"\nFormula 3 predicted g_opt = {predicted}")
@@ -40,8 +40,8 @@ def _fig5(scale: ExperimentScale, seed: int) -> RowsByTable:
     return {"fig5": [row.as_dict() for row in rows]}
 
 
-def _fig6(scale: ExperimentScale, seed: int) -> RowsByTable:
-    rows = run_figure6(scale, seed)
+def _fig6(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
+    rows = run_figure6(scale, seed, jobs=jobs)
     print(render_rows(rows, title=f"Figure 6 — effect of number of filters f (g=100, {scale.name})"))
     predicted = predicted_optimal_f(scale, seed)
     print(f"\nFormula 6 predicted f_opt = {predicted}")
@@ -50,9 +50,9 @@ def _fig6(scale: ExperimentScale, seed: int) -> RowsByTable:
     return {"fig6": [row.as_dict() for row in rows]}
 
 
-def _fig7(scale: ExperimentScale, seed: int) -> RowsByTable:
+def _fig7(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
     num_filters = 5 if scale.n_items >= 1_000_000 else 3
-    rows = run_figure7(scale, seed, num_filters=num_filters)
+    rows = run_figure7(scale, seed, num_filters=num_filters, jobs=jobs)
     print(
         render_rows(
             rows,
@@ -65,8 +65,8 @@ def _fig7(scale: ExperimentScale, seed: int) -> RowsByTable:
     return {"fig7": [row.as_dict() for row in rows]}
 
 
-def _fig8(scale: ExperimentScale, seed: int) -> RowsByTable:
-    rows = run_figure8(scale, seed)
+def _fig8(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
+    rows = run_figure8(scale, seed, jobs=jobs)
     print(
         render_rows(
             rows,
@@ -76,7 +76,10 @@ def _fig8(scale: ExperimentScale, seed: int) -> RowsByTable:
     return {"fig8": [row.as_dict() for row in rows]}
 
 
-def _model(scale: ExperimentScale, seed: int) -> RowsByTable:
+def _model(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
+    # Model validation shares one trial across its sweep, so it stays
+    # sequential regardless of --jobs.
+    del jobs
     from repro.experiments.model_validation import run_model_validation
 
     rows = run_model_validation(scale, seed)
@@ -94,10 +97,10 @@ def _model(scale: ExperimentScale, seed: int) -> RowsByTable:
     return {"model_validation": [row.as_dict() for row in rows]}
 
 
-def _robustness(scale: ExperimentScale, seed: int) -> RowsByTable:
+def _robustness(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
     from repro.experiments.robustness import run_robustness
 
-    rows = run_robustness(scale, seed)
+    rows = run_robustness(scale, seed, jobs=jobs)
     print(
         render_table(
             [row.as_dict() for row in rows],
@@ -110,9 +113,9 @@ def _robustness(scale: ExperimentScale, seed: int) -> RowsByTable:
     return {"robustness": [row.as_dict() for row in rows]}
 
 
-def _ablations(scale: ExperimentScale, seed: int) -> RowsByTable:
+def _ablations(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
     collected: RowsByTable = {}
-    for title, rows in run_all_ablations(scale, seed).items():
+    for title, rows in run_all_ablations(scale, seed, jobs=jobs).items():
         print(render_table([row.as_dict() for row in rows], title=f"Ablation — {title}"))
         print()
         collected[f"ablation: {title}"] = [row.as_dict() for row in rows]
@@ -149,6 +152,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent experiment cells on N worker processes "
+        "(results are identical to --jobs 1; see repro.experiments.parallel)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -172,6 +183,12 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = ExperimentScale.by_name(args.scale)
     selected = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    jobs = args.jobs
+    if args.trace_dir and jobs > 1:
+        # Per-trial traces are collected from in-process globals; pool
+        # workers cannot populate them, so tracing forces sequential runs.
+        print("--trace-dir requires sequential execution; ignoring --jobs", file=sys.stderr)
+        jobs = 1
     if args.trace_dir:
         set_trace_dir(args.trace_dir, sample_every=args.trace_sample)
     exported: dict[str, Any] = {
@@ -185,7 +202,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in selected:
             # Progress line for humans; wall time never enters results.
             started = time.perf_counter()  # repro-lint: disable=DET001
-            exported["tables"].update(COMMANDS[name](scale, args.seed))
+            exported["tables"].update(COMMANDS[name](scale, args.seed, jobs))
             elapsed = time.perf_counter() - started  # repro-lint: disable=DET001
             print(f"\n[{name} completed in {elapsed:.1f}s]\n")
             if args.trace_dir:

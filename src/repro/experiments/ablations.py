@@ -17,6 +17,7 @@ Four studies, each isolating one design decision that DESIGN.md calls out:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.core.optimizer import ParameterEstimates, derive_optimal_settings
 from repro.core.sampling import ParameterEstimator, SamplingConfig
 from repro.aggregation.hierarchical import AggregationEngine
 from repro.experiments.harness import ExperimentScale, PaperDefaults, build_trial
+from repro.experiments.parallel import TrialSpec, run_trials
 from repro.hierarchy.builder import Hierarchy
 from repro.net.network import Network
 from repro.net.overlay import Topology
@@ -511,29 +513,39 @@ def ablation_header_overhead(
 
 
 def run_all_ablations(
-    scale: ExperimentScale | None = None, seed: int = 0
+    scale: ExperimentScale | None = None, seed: int = 0, jobs: int = 1
 ) -> dict[str, list[AblationRow]]:
-    """All four ablations; keys are the study names."""
+    """All ablation studies; keys are the study names.
+
+    Each study is independent (fresh simulation, fresh RNG registry), so
+    ``jobs > 1`` runs them study-per-worker; key order never changes.
+    """
     small = scale or ExperimentScale.small()
     paper_or_scaled = scale or ExperimentScale.medium()
-    return {
-        "multi-filter split (fixed f*g budget)": ablation_multi_filter(
-            paper_or_scaled, seed
+    studies: tuple[tuple[str, Any, ExperimentScale], ...] = (
+        ("multi-filter split (fixed f*g budget)", ablation_multi_filter, paper_or_scaled),
+        ("hierarchical vs gossip aggregation", ablation_gossip, small),
+        (
+            "sampling-tuned vs oracle-tuned settings",
+            ablation_parameter_estimation,
+            paper_or_scaled,
         ),
-        "hierarchical vs gossip aggregation": ablation_gossip(small, seed),
-        "sampling-tuned vs oracle-tuned settings": ablation_parameter_estimation(
-            paper_or_scaled, seed
+        ("overlay topology sensitivity", ablation_topology, small),
+        (
+            "exact netFilter vs eps-tolerant sketch",
+            ablation_exact_vs_approximate,
+            paper_or_scaled,
         ),
-        "overlay topology sensitivity": ablation_topology(small, seed),
-        "exact netFilter vs eps-tolerant sketch": ablation_exact_vs_approximate(
-            paper_or_scaled, seed
-        ),
-        "root selection (random vs central)": ablation_root_selection(small, seed),
-        "hierarchical vs gossip netFilter (future work)": ablation_gossip_netfilter(
-            small, seed
-        ),
-        "continuous monitoring: delta vs dense filtering": (
-            ablation_continuous_monitoring(small, seed)
-        ),
-        "per-message header overhead": ablation_header_overhead(small, seed),
-    }
+        ("root selection (random vs central)", ablation_root_selection, small),
+        ("hierarchical vs gossip netFilter (future work)", ablation_gossip_netfilter, small),
+        ("continuous monitoring: delta vs dense filtering", ablation_continuous_monitoring, small),
+        ("per-message header overhead", ablation_header_overhead, small),
+    )
+    results = run_trials(
+        [
+            TrialSpec(fn=fn, kwargs=dict(scale=study_scale, seed=seed), label=name)
+            for name, fn, study_scale in studies
+        ],
+        jobs=jobs,
+    )
+    return {name: rows for (name, _, _), rows in zip(studies, results)}

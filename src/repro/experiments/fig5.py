@@ -20,6 +20,7 @@ from repro.core.config import NetFilterConfig
 from repro.core.netfilter import NetFilter
 from repro.core.optimizer import optimal_filter_size
 from repro.experiments.harness import ExperimentScale, build_trial
+from repro.experiments.parallel import TrialSpec, run_trials
 
 #: The paper's sweep (x-axis of Figure 5).
 DEFAULT_G_VALUES: tuple[int, ...] = (25, 50, 75, 100, 150, 200, 250, 300, 400, 500)
@@ -58,14 +59,66 @@ class Fig5Row:
         }
 
 
+def _figure5_cell(
+    scale: ExperimentScale, seed: int, filter_size: int, num_filters: int
+) -> Fig5Row:
+    """One Figure 5 cell from a fresh trial (the parallel worker).
+
+    netFilter runs consume no trial RNG, so a fresh trial per cell yields
+    the same row as sweeping all cells over one shared trial — the
+    equivalence ``tests/experiments/test_parallel.py`` pins.
+    """
+    trial = build_trial(scale, seed=seed)
+    config = NetFilterConfig(
+        filter_size=filter_size,
+        num_filters=num_filters,
+        threshold_ratio=trial.defaults.threshold_ratio,
+    )
+    result = NetFilter(config).run(trial.engine)
+    return Fig5Row(
+        filter_size=filter_size,
+        avg_candidates_per_peer=result.avg_candidates_per_peer,
+        heavy_groups_total=result.heavy_groups.total_count,
+        candidate_count=result.candidate_count,
+        false_positives=result.false_positive_count,
+        filtering_cost=result.breakdown.filtering,
+        dissemination_cost=result.breakdown.dissemination,
+        aggregation_cost=result.breakdown.aggregation,
+    )
+
+
 def run_figure5(
     scale: ExperimentScale | None = None,
     seed: int = 0,
     g_values: tuple[int, ...] = DEFAULT_G_VALUES,
     num_filters: int = DEFAULT_NUM_FILTERS,
+    jobs: int = 1,
 ) -> list[Fig5Row]:
-    """Reproduce Figure 5: sweep ``g`` at fixed ``f`` over one workload."""
-    trial = build_trial(scale or ExperimentScale.paper(), seed=seed)
+    """Reproduce Figure 5: sweep ``g`` at fixed ``f`` over one workload.
+
+    ``jobs > 1`` runs the cells on a process pool (results in sweep
+    order); ``jobs = 1`` keeps the historical shared-trial sequential
+    path.
+    """
+    scale = scale or ExperimentScale.paper()
+    if jobs > 1:
+        return run_trials(
+            [
+                TrialSpec(
+                    fn=_figure5_cell,
+                    kwargs=dict(
+                        scale=scale,
+                        seed=seed,
+                        filter_size=g,
+                        num_filters=num_filters,
+                    ),
+                    label=f"fig5 g={g}",
+                )
+                for g in g_values
+            ],
+            jobs=jobs,
+        )
+    trial = build_trial(scale, seed=seed)
     ratio = trial.defaults.threshold_ratio
     rows = []
     for filter_size in g_values:

@@ -18,6 +18,7 @@ from repro.core.config import NetFilterConfig
 from repro.core.netfilter import NetFilter
 from repro.core.optimizer import optimal_filter_count
 from repro.experiments.harness import ExperimentScale, build_trial
+from repro.experiments.parallel import TrialSpec, run_trials
 
 DEFAULT_F_VALUES: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
 DEFAULT_FILTER_SIZE = 100
@@ -55,14 +56,60 @@ class Fig6Row:
         }
 
 
+def _figure6_cell(
+    scale: ExperimentScale, seed: int, num_filters: int, filter_size: int
+) -> Fig6Row:
+    """One Figure 6 cell from a fresh trial (the parallel worker)."""
+    trial = build_trial(scale, seed=seed)
+    config = NetFilterConfig(
+        filter_size=filter_size,
+        num_filters=num_filters,
+        threshold_ratio=trial.defaults.threshold_ratio,
+    )
+    result = NetFilter(config).run(trial.engine)
+    return Fig6Row(
+        num_filters=num_filters,
+        avg_candidates_per_peer=result.avg_candidates_per_peer,
+        heavy_groups_total=result.heavy_groups.total_count,
+        candidate_count=result.candidate_count,
+        false_positives=result.false_positive_count,
+        filtering_cost=result.breakdown.filtering,
+        dissemination_cost=result.breakdown.dissemination,
+        aggregation_cost=result.breakdown.aggregation,
+    )
+
+
 def run_figure6(
     scale: ExperimentScale | None = None,
     seed: int = 0,
     f_values: tuple[int, ...] = DEFAULT_F_VALUES,
     filter_size: int = DEFAULT_FILTER_SIZE,
+    jobs: int = 1,
 ) -> list[Fig6Row]:
-    """Reproduce Figure 6: sweep ``f`` at fixed ``g`` over one workload."""
-    trial = build_trial(scale or ExperimentScale.paper(), seed=seed)
+    """Reproduce Figure 6: sweep ``f`` at fixed ``g`` over one workload.
+
+    ``jobs > 1`` fans the cells out to a process pool; see
+    :mod:`repro.experiments.parallel`.
+    """
+    scale = scale or ExperimentScale.paper()
+    if jobs > 1:
+        return run_trials(
+            [
+                TrialSpec(
+                    fn=_figure6_cell,
+                    kwargs=dict(
+                        scale=scale,
+                        seed=seed,
+                        num_filters=f,
+                        filter_size=filter_size,
+                    ),
+                    label=f"fig6 f={f}",
+                )
+                for f in f_values
+            ],
+            jobs=jobs,
+        )
+    trial = build_trial(scale, seed=seed)
     ratio = trial.defaults.threshold_ratio
     rows = []
     for num_filters in f_values:

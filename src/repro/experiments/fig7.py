@@ -19,6 +19,7 @@ from repro.core.config import NetFilterConfig
 from repro.core.naive import NaiveProtocol
 from repro.core.netfilter import NetFilter
 from repro.experiments.harness import ExperimentScale, build_trial
+from repro.experiments.parallel import TrialSpec, run_trials
 
 #: The paper's x-axis ticks are not recoverable from the available text
 #: (the "0..5" sequence near the axis label is the log-scale *y* axis).
@@ -59,33 +60,62 @@ class Fig7Row:
         }
 
 
+def _figure7_cell(
+    scale: ExperimentScale,
+    seed: int,
+    skew: float,
+    filter_size: int,
+    num_filters: int,
+) -> Fig7Row:
+    """One Figure 7 skew point (the parallel worker).
+
+    The sequential sweep already builds one fresh trial per skew, so this
+    is the loop body verbatim — ``jobs=1`` and ``jobs=N`` share it.
+    """
+    trial = build_trial(scale, seed=seed, skew=skew)
+    config = NetFilterConfig(
+        filter_size=filter_size,
+        num_filters=num_filters,
+        threshold_ratio=trial.defaults.threshold_ratio,
+    )
+    net_result = NetFilter(config).run(trial.engine)
+    naive_result = NaiveProtocol(config).run(trial.engine)
+    return Fig7Row(
+        skew=skew,
+        netfilter_total=net_result.breakdown.total,
+        naive_total=naive_result.breakdown.naive,
+        netfilter_filtering=net_result.breakdown.filtering,
+        netfilter_dissemination=net_result.breakdown.dissemination,
+        netfilter_aggregation=net_result.breakdown.aggregation,
+        frequent_count=len(net_result.frequent),
+    )
+
+
 def run_figure7(
     scale: ExperimentScale | None = None,
     seed: int = 0,
     skews: tuple[float, ...] = DEFAULT_SKEWS,
     filter_size: int = DEFAULT_FILTER_SIZE,
     num_filters: int = DEFAULT_NUM_FILTERS,
+    jobs: int = 1,
 ) -> list[Fig7Row]:
     """Reproduce one panel of Figure 7 (the scale chooses the panel:
     ``paper`` ≈ 7(a) with n=1e5, ``large`` ≈ 7(b) with n=1e6)."""
-    rows = []
-    for skew in skews:
-        trial = build_trial(scale or ExperimentScale.paper(), seed=seed, skew=skew)
-        ratio = trial.defaults.threshold_ratio
-        config = NetFilterConfig(
-            filter_size=filter_size, num_filters=num_filters, threshold_ratio=ratio
-        )
-        net_result = NetFilter(config).run(trial.engine)
-        naive_result = NaiveProtocol(config).run(trial.engine)
-        rows.append(
-            Fig7Row(
-                skew=skew,
-                netfilter_total=net_result.breakdown.total,
-                naive_total=naive_result.breakdown.naive,
-                netfilter_filtering=net_result.breakdown.filtering,
-                netfilter_dissemination=net_result.breakdown.dissemination,
-                netfilter_aggregation=net_result.breakdown.aggregation,
-                frequent_count=len(net_result.frequent),
+    scale = scale or ExperimentScale.paper()
+    return run_trials(
+        [
+            TrialSpec(
+                fn=_figure7_cell,
+                kwargs=dict(
+                    scale=scale,
+                    seed=seed,
+                    skew=skew,
+                    filter_size=filter_size,
+                    num_filters=num_filters,
+                ),
+                label=f"fig7 alpha={skew}",
             )
-        )
-    return rows
+            for skew in skews
+        ],
+        jobs=jobs,
+    )

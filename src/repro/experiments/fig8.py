@@ -19,6 +19,7 @@ from repro.core.config import NetFilterConfig
 from repro.core.naive import NaiveProtocol
 from repro.core.netfilter import NetFilter
 from repro.experiments.harness import ExperimentScale, build_trial
+from repro.experiments.parallel import TrialSpec, run_trials
 
 #: The paper's tuned (ρ → (g, f)) settings for Figure 8.
 PAPER_SETTINGS: tuple[tuple[float, int, int], ...] = (
@@ -46,32 +47,50 @@ class Fig8Row:
         return row
 
 
+def _figure8_cell(
+    scale: ExperimentScale,
+    seed: int,
+    skew: float,
+    settings: tuple[tuple[float, int, int], ...],
+) -> Fig8Row:
+    """One Figure 8 skew point: all three ρ curves plus naive (the
+    parallel worker; identical to the sequential loop body)."""
+    trial = build_trial(scale, seed=seed, skew=skew)
+    cost_by_ratio: dict[float, float] = {}
+    for ratio, filter_size, num_filters in settings:
+        config = NetFilterConfig(
+            filter_size=filter_size,
+            num_filters=num_filters,
+            threshold_ratio=ratio,
+        )
+        result = NetFilter(config).run(trial.engine)
+        cost_by_ratio[ratio] = result.breakdown.total
+    naive_config = NetFilterConfig(filter_size=1, threshold_ratio=settings[0][0])
+    naive_result = NaiveProtocol(naive_config).run(trial.engine)
+    return Fig8Row(
+        skew=skew,
+        cost_by_ratio=cost_by_ratio,
+        naive_total=naive_result.breakdown.naive,
+    )
+
+
 def run_figure8(
     scale: ExperimentScale | None = None,
     seed: int = 0,
     skews: tuple[float, ...] = DEFAULT_SKEWS,
     settings: tuple[tuple[float, int, int], ...] = PAPER_SETTINGS,
+    jobs: int = 1,
 ) -> list[Fig8Row]:
     """Reproduce Figure 8 (the paper uses the ``large`` scale, n=1e6)."""
-    rows = []
-    for skew in skews:
-        trial = build_trial(scale or ExperimentScale.large(), seed=seed, skew=skew)
-        cost_by_ratio: dict[float, float] = {}
-        for ratio, filter_size, num_filters in settings:
-            config = NetFilterConfig(
-                filter_size=filter_size,
-                num_filters=num_filters,
-                threshold_ratio=ratio,
+    scale = scale or ExperimentScale.large()
+    return run_trials(
+        [
+            TrialSpec(
+                fn=_figure8_cell,
+                kwargs=dict(scale=scale, seed=seed, skew=skew, settings=settings),
+                label=f"fig8 alpha={skew}",
             )
-            result = NetFilter(config).run(trial.engine)
-            cost_by_ratio[ratio] = result.breakdown.total
-        naive_config = NetFilterConfig(filter_size=1, threshold_ratio=settings[0][0])
-        naive_result = NaiveProtocol(naive_config).run(trial.engine)
-        rows.append(
-            Fig8Row(
-                skew=skew,
-                cost_by_ratio=cost_by_ratio,
-                naive_total=naive_result.breakdown.naive,
-            )
-        )
-    return rows
+            for skew in skews
+        ],
+        jobs=jobs,
+    )

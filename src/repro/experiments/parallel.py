@@ -1,0 +1,79 @@
+"""Seed-parallel execution of independent experiment trials.
+
+Every figure sweep decomposes into independent cells — one
+``(parameters, seed)`` trial each, with no shared mutable state — so they
+parallelise trivially across processes.  This module provides the one
+primitive the figure modules share:
+
+* :class:`TrialSpec` — a picklable description of one cell: a top-level
+  worker function plus its keyword arguments;
+* :func:`run_trials` — run a list of specs either sequentially
+  (``jobs=1``, the default: identical to the historical code path) or on
+  a :class:`~concurrent.futures.ProcessPoolExecutor` with ``jobs``
+  workers.
+
+Determinism contract
+--------------------
+Results are returned **in spec order**, never in completion order
+(`ProcessPoolExecutor.map` preserves input order), and each worker builds
+its trial from its own ``(scale, seed, parameters)`` alone — fresh
+:class:`~repro.sim.engine.Simulation`, fresh RNG registry — so a cell's
+result is a pure function of its spec.  ``jobs=1`` and ``jobs=N``
+therefore produce identical rows; ``tests/experiments/test_parallel.py``
+pins that equivalence.
+
+Workers must be *module-level* functions (pickled by reference) and every
+kwarg must be picklable — frozen dataclasses like
+:class:`~repro.experiments.harness.ExperimentScale` are fine.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent experiment cell.
+
+    Attributes
+    ----------
+    fn:
+        Top-level callable executed for this cell (must be picklable by
+        reference, i.e. importable from its module).
+    kwargs:
+        Keyword arguments for ``fn``; must be picklable.
+    label:
+        Human-readable cell name, used in error messages.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+
+def _call(spec: TrialSpec) -> Any:
+    """Top-level trampoline so specs travel to workers by reference."""
+    return spec.fn(**spec.kwargs)
+
+
+def run_trials(specs: Sequence[TrialSpec], jobs: int = 1) -> list[Any]:
+    """Run every spec and return their results in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The cells to run.
+    jobs:
+        Worker process count.  ``jobs <= 1`` runs sequentially in-process
+        (no executor, no pickling — the exact historical behaviour); the
+        pool is never wider than ``len(specs)``.
+    """
+    if jobs <= 1 or len(specs) <= 1:
+        return [_call(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        # map() yields results in submission order regardless of which
+        # worker finishes first — the determinism contract above.
+        return list(pool.map(_call, specs))

@@ -31,6 +31,7 @@ from repro.core.recovery import RecoveryPolicy
 from repro.aggregation.hierarchical import AggregationEngine
 from repro.experiments.ablations import AblationRow
 from repro.experiments.harness import ExperimentScale, PaperDefaults
+from repro.experiments.parallel import TrialSpec, run_trials
 from repro.hierarchy.builder import Hierarchy
 from repro.hierarchy.maintenance import enable_maintenance
 from repro.items.itemset import LocalItemSet
@@ -108,11 +109,55 @@ def _run_cell(
         return None, network
 
 
+def _robustness_cell(
+    scale: ExperimentScale,
+    seed: int,
+    loss: float,
+    churn_rate: float,
+    hardened: bool,
+) -> AblationRow:
+    """One sweep cell as a finished row (the parallel worker).
+
+    Both the sequential and the process-pool path run exactly this
+    function, so ``--jobs`` can never change a row.
+    """
+    result, network = _run_cell(scale, seed, loss, churn_rate, hardened)
+    label = (
+        f"loss={loss:.0%} churn={churn_rate:g} "
+        f"{'hardened' if hardened else 'baseline'}"
+    )
+    if result is None:
+        return AblationRow(
+            label,
+            {
+                "recall": 0.0,
+                "coverage": 0.0,
+                "complete": 0.0,
+                "reissues": 0.0,
+                "B/peer": 0.0,
+            },
+        )
+    # Recall against the oracle over the population the answer claims to
+    # describe: every currently-live peer's data.
+    truth = oracle_frequent_items(network, result.threshold)
+    return AblationRow(
+        label,
+        {
+            "recall": _recall(result, truth),
+            "coverage": result.coverage,
+            "complete": 1.0 if result.complete else 0.0,
+            "reissues": float(result.reissues),
+            "B/peer": result.breakdown.total,
+        },
+    )
+
+
 def run_robustness(
     scale: ExperimentScale | None = None,
     seed: int = 0,
     loss_probabilities: tuple[float, ...] = (0.0, 0.02, 0.05),
     churn_rates: tuple[float, ...] = (0.0, 0.005),
+    jobs: int = 1,
 ) -> list[AblationRow]:
     """The loss × churn × hardening sweep.
 
@@ -120,45 +165,25 @@ def run_robustness(
     :class:`~repro.net.churn.ChurnConfig` exists for.
     """
     scale = scale or ExperimentScale.small()
-    rows: list[AblationRow] = []
-    for loss in loss_probabilities:
-        for churn_rate in churn_rates:
-            for hardened in (False, True):
-                result, network = _run_cell(scale, seed, loss, churn_rate, hardened)
-                label = (
-                    f"loss={loss:.0%} churn={churn_rate:g} "
-                    f"{'hardened' if hardened else 'baseline'}"
-                )
-                if result is None:
-                    rows.append(
-                        AblationRow(
-                            label,
-                            {
-                                "recall": 0.0,
-                                "coverage": 0.0,
-                                "complete": 0.0,
-                                "reissues": 0.0,
-                                "B/peer": 0.0,
-                            },
-                        )
-                    )
-                    continue
-                # Recall against the oracle over the population the answer
-                # claims to describe: every currently-live peer's data.
-                truth = oracle_frequent_items(network, result.threshold)
-                rows.append(
-                    AblationRow(
-                        label,
-                        {
-                            "recall": _recall(result, truth),
-                            "coverage": result.coverage,
-                            "complete": 1.0 if result.complete else 0.0,
-                            "reissues": float(result.reissues),
-                            "B/peer": result.breakdown.total,
-                        },
-                    )
-                )
-    return rows
+    return run_trials(
+        [
+            TrialSpec(
+                fn=_robustness_cell,
+                kwargs=dict(
+                    scale=scale,
+                    seed=seed,
+                    loss=loss,
+                    churn_rate=churn_rate,
+                    hardened=hardened,
+                ),
+                label=f"robustness loss={loss} churn={churn_rate} hardened={hardened}",
+            )
+            for loss in loss_probabilities
+            for churn_rate in churn_rates
+            for hardened in (False, True)
+        ],
+        jobs=jobs,
+    )
 
 
 def _recall(result: NetFilterResult, truth: LocalItemSet) -> float:

@@ -150,7 +150,7 @@ class HierarchyService:
                 depth=depth,
             )
         else:
-            trace.counters["hierarchy.attached"] += 1
+            trace.count("hierarchy.attached")
         old_upstream = self.state.upstream
         if old_upstream is not None and old_upstream != parent:
             self.node.send(old_upstream, self._unregister_cls())

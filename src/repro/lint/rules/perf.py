@@ -1,0 +1,116 @@
+"""Performance rules: PERF001 (unguarded telemetry payload construction).
+
+The telemetry fast path (docs/PERFORMANCE.md) makes a disabled
+``trace.emit(...)`` cost one predicate — but only if the *arguments* are
+also free.  A dict literal, list literal, or f-string built at the call
+site is paid before ``emit`` can decline it, so hot-path emits must hide
+payload construction behind ``if trace.active:``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.facts import ProjectFacts
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, rule
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _is_trace_emit(node: ast.Call) -> bool:
+    """``trace.emit(...)`` / ``sim.trace.emit(...)`` / ``self._sim.trace.emit(...)``."""
+    dotted = _dotted_name(node.func)
+    if dotted is None:
+        return False
+    parts = dotted.split(".")
+    return len(parts) >= 2 and parts[-1] == "emit" and "trace" in parts[:-1]
+
+
+def _expensive_kind(node: ast.expr) -> str | None:
+    """A constant-cost description if building ``node`` allocates."""
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list literal"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension"
+    if isinstance(node, ast.JoinedStr) and any(
+        isinstance(part, ast.FormattedValue) for part in node.values
+    ):
+        return "f-string"
+    return None
+
+
+def _guard_tests_active(test: ast.expr) -> bool:
+    """Whether an ``if`` test reads ``<...>trace.active`` (or ``.active``
+    on any name ending in ``trace``/``tracer``)."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "active":
+            owner = _dotted_name(node.value)
+            if owner is not None and owner.split(".")[-1] in ("trace", "tracer"):
+                return True
+    return False
+
+
+def _is_guarded(node: ast.Call) -> bool:
+    current = getattr(node, "parent", None)
+    while current is not None:
+        if isinstance(current, ast.If) and _guard_tests_active(current.test):
+            return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False  # a guard outside the enclosing function never helps
+        current = getattr(current, "parent", None)
+    return False
+
+
+@rule
+class UnguardedTracePayloadRule(Rule):
+    """PERF001: allocating payloads for a possibly-disabled trace emit.
+
+    ``trace.emit(...)`` with telemetry off costs one predicate — unless a
+    dict/list literal, comprehension, or f-string argument is built
+    first, which Python evaluates *before* the call can bail out.  Either
+    pass scalars (``emit`` only formats when a sink is attached) or wrap
+    the whole emit in ``if trace.active:``.
+    """
+
+    id = "PERF001"
+    summary = "dict/list/f-string built for trace.emit() without an `if trace.active` guard"
+
+    def applies_to(self, path: str) -> bool:
+        # Hot-path discipline is for library code; tests and fixtures
+        # trade a few allocations for readable assertions.
+        parts = path.replace("\\", "/").split("/")
+        return "tests" not in parts
+
+    def check(
+        self, tree: ast.Module, source: str, path: str, facts: ProjectFacts
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not _is_trace_emit(node):
+                continue
+            if _is_guarded(node):
+                continue
+            values = list(node.args) + [keyword.value for keyword in node.keywords]
+            for value in values:
+                kind = _expensive_kind(value)
+                if kind is not None:
+                    yield self.finding(
+                        path,
+                        value,
+                        f"{kind} built unconditionally for trace.emit(); guard "
+                        "the emit with `if trace.active:` so disabled telemetry "
+                        "costs one predicate (docs/PERFORMANCE.md)",
+                    )

@@ -8,10 +8,25 @@ attributed to the *sender*, matching the paper's definition of
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from typing import Iterable
 
 from repro.net.wire import NETFILTER_CATEGORIES, CostCategory
+
+
+class MessageCell:
+    """A mutable per-category message count.
+
+    Handed out by :meth:`CostAccounting.message_cell` so the transport can
+    count a sent message with one attribute increment instead of a dict
+    walk.  The cell object is stable across :meth:`CostAccounting.reset`
+    (the count is zeroed in place), so cached references never go stale.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
 
 
 class CostAccounting:
@@ -32,7 +47,7 @@ class CostAccounting:
         self._bytes: dict[CostCategory, dict[int, int]] = defaultdict(
             lambda: defaultdict(int)
         )
-        self._messages: Counter[CostCategory] = Counter()
+        self._messages: dict[CostCategory, MessageCell] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -40,12 +55,36 @@ class CostAccounting:
     def record(self, peer: int, category: CostCategory, size: int) -> None:
         """Charge ``size`` bytes sent by ``peer`` to ``category``."""
         self._bytes[category][peer] += size
-        self._messages[category] += 1
+        self.message_cell(category).n += 1
+
+    def bucket(self, category: CostCategory) -> dict[int, int]:
+        """The live per-peer byte map for one category.
+
+        Hot-path handle for the transport: charging a message becomes
+        ``bucket[peer] += size`` on the returned (default-)dict.  The
+        mapping is stable across :meth:`reset` — it is emptied in place —
+        so callers may cache it for the lifetime of the accounting.
+        """
+        return self._bytes[category]
+
+    def message_cell(self, category: CostCategory) -> MessageCell:
+        """The live :class:`MessageCell` for one category (see
+        :meth:`bucket` for the caching contract)."""
+        cell = self._messages.get(category)
+        if cell is None:
+            cell = self._messages[category] = MessageCell()
+        return cell
 
     def reset(self) -> None:
-        """Forget everything recorded so far."""
-        self._bytes.clear()
-        self._messages.clear()
+        """Forget everything recorded so far.
+
+        Buckets and message cells are cleared *in place* rather than
+        dropped, so handles interned by the transport stay live.
+        """
+        for per_peer in self._bytes.values():
+            per_peer.clear()
+        for cell in self._messages.values():
+            cell.n = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -78,11 +117,21 @@ class CostAccounting:
     ) -> int:
         """Total messages over the given categories (all if none given)."""
         selected = self._select(categories, self._messages)
-        return sum(self._messages.get(cat, 0) for cat in selected)
+        total = 0
+        for cat in selected:
+            cell = self._messages.get(cat)
+            if cell is not None:
+                total += cell.n
+        return total
 
     def bytes_by_category(self) -> dict[CostCategory, int]:
-        """Total bytes per category."""
-        return {cat: sum(per_peer.values()) for cat, per_peer in self._bytes.items()}
+        """Total bytes per category (categories with no recorded bytes —
+        e.g. right after :meth:`reset` — are omitted)."""
+        return {
+            cat: sum(per_peer.values())
+            for cat, per_peer in self._bytes.items()
+            if per_peer
+        }
 
     def per_peer_bytes(
         self, *categories: CostCategory | Iterable[CostCategory]

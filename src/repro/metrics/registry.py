@@ -109,7 +109,17 @@ class HistogramMetric:
     (4, 103.5)
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name",
+        "bounds",
+        "bucket_counts",
+        "count",
+        "total",
+        "min",
+        "max",
+        "_last_value",
+        "_last_index",
+    )
 
     def __init__(
         self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
@@ -128,9 +138,21 @@ class HistogramMetric:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        # Memoized bucket index for the most recent value: metrics like
+        # message latency observe long runs of identical values (zero
+        # jitter), making the bisect redundant.  NaN never equals itself,
+        # so the cache starts cold.
+        self._last_value = math.nan
+        self._last_index = 0
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        if value == self._last_value:
+            index = self._last_index
+        else:
+            index = bisect_left(self.bounds, value)
+            self._last_value = value
+            self._last_index = index
+        self.bucket_counts[index] += 1
         self.count += 1
         self.total += value
         if value < self.min:

@@ -12,7 +12,6 @@ rather than in the transport.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 
 from repro.net.wire import CostCategory, SizeModel
 
@@ -31,21 +30,55 @@ class Payload(abc.ABC):
         """Size of the payload body in bytes under the given size model."""
 
     def size_bytes(self, model: SizeModel) -> int:
-        """Total wire size: body plus the model's per-message header."""
-        return self.body_bytes(model) + model.header_bytes
+        """Total wire size: body plus the model's per-message header.
+
+        The result is cached per instance, keyed by the size-model
+        *identity*: payloads are immutable and a simulation prices every
+        message against one model, so repeated sends of the same payload
+        (heartbeats, shared control singletons, retransmissions) price it
+        once.  ``object.__setattr__`` is used because most payloads are
+        frozen dataclasses.
+        """
+        cache: tuple[SizeModel, int] | None = getattr(self, "_size_cache", None)
+        if cache is not None and cache[0] is model:
+            return cache[1]
+        size = self.body_bytes(model) + model.header_bytes
+        object.__setattr__(self, "_size_cache", (model, size))
+        return size
 
 
-@dataclass(frozen=True)
 class Message:
-    """A payload in flight, as seen by the receiving node."""
+    """A payload in flight, as seen by the receiving node.
 
-    sender: int
-    recipient: int
-    payload: Payload
-    sent_at: float
-    delivered_at: float
+    A plain ``__slots__`` class rather than a dataclass: the transport
+    builds one per delivered message, and the generated dataclass
+    ``__init__`` roughly doubles that cost at production scale.
+    """
+
+    __slots__ = ("sender", "recipient", "payload", "sent_at", "delivered_at")
+
+    def __init__(
+        self,
+        sender: int,
+        recipient: int,
+        payload: Payload,
+        sent_at: float,
+        delivered_at: float,
+    ) -> None:
+        self.sender = sender
+        self.recipient = recipient
+        self.payload = payload
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
 
     @property
     def kind(self) -> str:
         """Short payload-class name, for traces and debugging."""
         return type(self.payload).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(sender={self.sender}, recipient={self.recipient}, "
+            f"payload={self.payload!r}, sent_at={self.sent_at}, "
+            f"delivered_at={self.delivered_at})"
+        )

@@ -66,17 +66,21 @@ class Network:
         #: detector report its detection latency.
         self.failed_at: dict[int, float] = {}
         self.size_model = size_model or SizeModel()
+        self.nodes: dict[int, Node] = {}
         self.transport = Transport(
             sim,
-            self._resolve,
+            # Bound dict.get: resolving a recipient on the delivery hot
+            # path is a C-level lookup, not a Python frame.  The dict is
+            # filled (and mutated as peers join) in place, so the binding
+            # never stales.
+            self.nodes.get,
             transport_config or TransportConfig(),
             self.size_model,
             self.accounting,
             reliability=reliability,
         )
-        self.nodes: dict[int, Node] = {
-            peer_id: Node(self, peer_id) for peer_id in range(topology.n_peers)
-        }
+        for peer_id in range(topology.n_peers):
+            self.nodes[peer_id] = Node(self, peer_id)
         self._join_listeners: list[Callable[[int], None]] = []
         self._crash_listeners: list[Callable[[int], None]] = []
         #: Highest hierarchy generation issued per tree tag — the fencing

@@ -34,6 +34,17 @@ class Node:
         hooks.
     """
 
+    __slots__ = (
+        "network",
+        "peer_id",
+        "items",
+        "alive",
+        "up_since",
+        "_handlers",
+        "_failure_hooks",
+        "_transport_send",
+    )
+
     def __init__(self, network: "Network", peer_id: int) -> None:
         self.network = network
         self.peer_id = peer_id
@@ -43,6 +54,9 @@ class Node:
         #: successor election prefers the most stable (longest-up) peer.
         self.up_since: float = 0.0
         self._handlers: dict[type[Payload], Callable[[Message], None]] = {}
+        # Bound once: node.send is called for every outgoing message and
+        # the transport's send entry point never changes after wiring.
+        self._transport_send = network.transport.send
         self._failure_hooks: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
@@ -61,7 +75,7 @@ class Node:
         (a dead peer cannot transmit)."""
         if not self.alive:
             return
-        self.network.transport.send(self.peer_id, recipient, payload)
+        self._transport_send(self.peer_id, recipient, payload)
 
     def register_handler(
         self, payload_type: type[Payload], handler: Callable[[Message], None]

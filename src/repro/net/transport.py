@@ -31,12 +31,15 @@ was lost.
 
 from __future__ import annotations
 
+import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import NetworkError
-from repro.metrics.accounting import CostAccounting
+from repro.metrics.accounting import CostAccounting, MessageCell
+from repro.metrics.registry import CounterMetric
 from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
 from repro.net.wire import CostCategory, SizeModel
@@ -161,6 +164,28 @@ class _PendingSend:
     attempts: int = 0
 
 
+class _Batch:
+    """Deliveries coalesced onto one (sender, recipient) link for one
+    arrival instant.
+
+    The transport schedules a single event per batch; messages whose
+    computed arrival time matches an open batch on the same link are
+    appended instead of scheduling their own event.  Draining preserves
+    send order, and each entry keeps its own ``(payload, sent_at,
+    msg_id)`` so per-message semantics (latency, ACKs, fault accounting)
+    are untouched — see docs/PERFORMANCE.md for the exact transparency
+    boundary.
+    """
+
+    __slots__ = ("time", "entries")
+
+    def __init__(
+        self, time: float, entries: "deque[tuple[Payload, float, int | None]]"
+    ) -> None:
+        self.time = time
+        self.entries = entries
+
+
 class Transport:
     """Delivers payloads between nodes with latency, jitter and loss.
 
@@ -181,7 +206,45 @@ class Transport:
     reliability:
         Optional ACK/retransmit configuration.  ``None`` (the default)
         keeps the paper's fire-and-forget semantics.
+
+    Notes
+    -----
+    ``send`` is an instance attribute bound at construction — straight to
+    :meth:`_transmit` for fire-and-forget links, through the reliable
+    entry point when an ACK scheme is active — and the class is
+    ``__slots__``-only so the per-message attribute reads skip the
+    instance-dict hash lookups.
     """
+
+    __slots__ = (
+        "_sim",
+        "_resolve",
+        "_config",
+        "_latency",
+        "_jitter",
+        "_loss_p",
+        "size_model",
+        "accounting",
+        "reliability",
+        "send",
+        "_fault_hook",
+        "_msg_ids",
+        "_pending",
+        "_delivered_reliable",
+        "_bytes_sent",
+        "_msgs_in_flight",
+        "_latency_hist",
+        "_retransmits",
+        "_retransmit_failures",
+        "_duplicates",
+        "_n_sent",
+        "_n_delivered",
+        "_cost_handles",
+        "_drop_counters",
+        "_batches",
+    )
+
+    send: Callable[[int, int, Payload], None]
 
     def __init__(
         self,
@@ -194,10 +257,14 @@ class Transport:
     ) -> None:
         self._sim = sim
         self._resolve = resolve
-        self.config = config
+        self.config = config  # property: also hoists the link scalars
         self.size_model = size_model
         self.accounting = accounting
         self.reliability = reliability
+        # Fire-and-forget configuration routes sends straight into
+        # _transmit, skipping one Python frame per message; the reliable
+        # entry point takes over whenever an ACK scheme is active.
+        self.send = self._transmit if reliability is None else self._send_reliable
         self._fault_hook: FaultHook | None = None
         # Reliable-delivery state: monotonically increasing message ids,
         # unacknowledged sends, and the receiver-side duplicate filter.
@@ -215,6 +282,46 @@ class Transport:
         self._retransmits = registry.counter("transport.retransmits")
         self._retransmit_failures = registry.counter("transport.retransmit_exhausted")
         self._duplicates = registry.counter("transport.duplicates_suppressed")
+        # Quiet-path trace counts: with the tracer inactive, msg.sent /
+        # msg.delivered are plain integer adds here, flushed into the
+        # tracer's Counter whenever someone reads `tracer.counters`.
+        self._n_sent = 0
+        self._n_delivered = 0
+        sim.trace.register_flush(self._flush_counts)
+        # Interned accounting handles, one per cost category seen: the
+        # per-message charge becomes two attribute/dict updates instead of
+        # two defaultdict walks through CostAccounting.record.
+        self._cost_handles: dict[
+            CostCategory, tuple[dict[int, int], MessageCell]
+        ] = {}
+        self._drop_counters: dict[tuple[str, CostCategory], CounterMetric] = {}
+        # Open delivery batches keyed by link; see _Batch.
+        self._batches: dict[tuple[int, int], _Batch] = {}
+
+    @property
+    def config(self) -> TransportConfig:
+        """Link characteristics.  Reassignable: experiments swap in a new
+        :class:`TransportConfig` to change loss/latency mid-setup."""
+        return self._config
+
+    @config.setter
+    def config(self, config: TransportConfig) -> None:
+        self._config = config
+        # Hot-path scalars hoisted onto the instance: read per message
+        # without a dataclass attribute walk.  Kept in sync here, which is
+        # why ``config`` is a property rather than a plain attribute.
+        self._latency = config.latency
+        self._jitter = config.latency_jitter
+        self._loss_p = config.loss_probability
+
+    def _flush_counts(self) -> None:
+        """Move quiet-path send/deliver tallies into the tracer."""
+        if self._n_sent:
+            self._sim.trace.count("msg.sent", self._n_sent)
+            self._n_sent = 0
+        if self._n_delivered:
+            self._sim.trace.count("msg.delivered", self._n_delivered)
+            self._n_delivered = 0
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -236,8 +343,9 @@ class Transport:
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    def send(self, sender: int, recipient: int, payload: Payload) -> None:
-        """Charge the sender and schedule delivery.
+    def _send_reliable(self, sender: int, recipient: int, payload: Payload) -> None:
+        """Charge the sender and schedule delivery (``send`` with an ACK
+        scheme active).
 
         Bytes are charged at send time whether or not the message survives:
         a sender pays for what it puts on the wire.  With reliability
@@ -270,7 +378,7 @@ class Transport:
         timeout = self.reliability.ack_timeout * (
             self.reliability.backoff_factor ** (pending.attempts - 1)
         )
-        self._sim.schedule(timeout, self._on_ack_timeout, msg_id)
+        self._sim.post(timeout, self._on_ack_timeout, msg_id)
         self._transmit(pending.sender, pending.recipient, pending.payload, msg_id)
 
     def _on_ack_timeout(self, msg_id: int) -> None:
@@ -306,17 +414,34 @@ class Transport:
         self._attempt(msg_id)
 
     def _transmit(
-        self, sender: int, recipient: int, payload: Payload, msg_id: int | None
+        self, sender: int, recipient: int, payload: Payload, msg_id: int | None = None
     ) -> None:
         """One wire attempt: charge, trace, inject faults, lose, delay."""
-        size = payload.size_bytes(self.size_model)
+        sim = self._sim
+        # Inlined payload-size cache hit (see Payload.size_bytes): payloads
+        # are repriced thousands of times against the same model.
+        model = self.size_model
+        cache = payload.__dict__.get("_size_cache")
+        if cache is not None and cache[0] is model:
+            size = cache[1]
+        else:
+            size = payload.size_bytes(model)
         category = payload.category
-        self.accounting.record(sender, category, size)
+        handles = self._cost_handles.get(category)
+        if handles is None:
+            handles = (
+                self.accounting.bucket(category),
+                self.accounting.message_cell(category),
+            )
+            self._cost_handles[category] = handles
+        bucket, cell = handles
+        bucket[sender] += size
+        cell.n += 1
         self._bytes_sent.value += size
-        trace = self._sim.trace
+        trace = sim.trace
         if trace.active:
             trace.emit(
-                self._sim.now,
+                sim.now,
                 "msg.sent",
                 sender=sender,
                 recipient=recipient,
@@ -325,14 +450,14 @@ class Transport:
                 size=size,
             )
         else:
-            trace.counters["msg.sent"] += 1
+            self._n_sent += 1
         extra_delay = 0.0
         if self._fault_hook is not None:
             verdict, extra = self._fault_hook(sender, recipient, payload)
             if verdict == DROP:
                 self._count_drop("fault", category)
-                self._sim.trace.emit(
-                    self._sim.now,
+                trace.emit(
+                    sim.now,
                     "msg.dropped_fault",
                     sender=sender,
                     recipient=recipient,
@@ -342,88 +467,133 @@ class Transport:
                 return
             if verdict == DELAY:
                 extra_delay = extra
-                self._sim.trace.emit(
-                    self._sim.now,
+                trace.emit(
+                    sim.now,
                     "msg.delayed_fault",
                     sender=sender,
                     recipient=recipient,
                     extra=extra,
                 )
-        if self.config.loss_probability > 0.0:
-            rng = self._sim.rng.stream("transport.loss")
-            if rng.random() < self.config.loss_probability:
+        if self._loss_p > 0.0:
+            rng = sim.rng.stream("transport.loss")
+            if rng.random() < self._loss_p:
                 self._count_drop("loss", category)
-                self._sim.trace.emit(self._sim.now, "msg.lost", sender=sender)
+                trace.emit(sim.now, "msg.lost", sender=sender)
                 return
-        delay = self.config.latency + extra_delay
-        if self.config.latency_jitter > 0.0:
-            rng = self._sim.rng.stream("transport.latency")
-            delay += float(rng.uniform(0.0, self.config.latency_jitter))
-        sent_at = self._sim.now
+        delay = self._latency + extra_delay
+        if self._jitter > 0.0:
+            rng = sim.rng.stream("transport.latency")
+            delay += float(rng.uniform(0.0, self._jitter))
+        sent_at = sim._now
         # Inlined gauge update: this runs once per message.
         inflight = self._msgs_in_flight
-        inflight.value += 1.0
-        if inflight.value > inflight.max_value:
-            inflight.max_value = inflight.value
-        self._sim.schedule(
-            delay, self._deliver, sender, recipient, payload, sent_at, msg_id
+        value = inflight.value + 1.0
+        inflight.value = value
+        if value > inflight.max_value:
+            inflight.max_value = value
+        # Coalesce same-arrival-instant deliveries on the same link into
+        # one scheduled event; entries drain in send order, so each
+        # message keeps its exact unbatched delivery time and ordering
+        # relative to its link.
+        deliver_at = sent_at + delay
+        key = (sender, recipient)
+        batch = self._batches.get(key)
+        if batch is not None and batch.time == deliver_at:
+            batch.entries.append((payload, sent_at, msg_id))
+            return
+        batch = _Batch(deliver_at, deque(((payload, sent_at, msg_id),)))
+        self._batches[key] = batch
+        # sim.post inlined (delay is never negative here): one scheduling
+        # frame per batch is the remaining per-message engine cost.
+        heapq.heappush(
+            sim._heap,
+            (deliver_at, next(sim._seq), self._deliver_batch, (sender, recipient, batch)),
         )
 
     def _count_drop(self, reason: str, category: CostCategory) -> None:
         """Count one silently dropped message, keyed by cost category."""
-        self._sim.telemetry.registry.counter(
-            f"net.msgs_dropped.{reason}.{category.value}"
-        ).inc()
+        key = (reason, category)
+        counter = self._drop_counters.get(key)
+        if counter is None:
+            counter = self._sim.telemetry.registry.counter(
+                f"net.msgs_dropped.{reason}.{category.value}"
+            )
+            self._drop_counters[key] = counter
+        counter.inc()
 
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
-    def _deliver(
-        self,
-        sender: int,
-        recipient: int,
-        payload: Payload,
-        sent_at: float,
-        msg_id: int | None,
-    ) -> None:
-        self._msgs_in_flight.value -= 1.0
+    def _deliver_batch(self, sender: int, recipient: int, batch: _Batch) -> None:
+        """Drain one link batch, delivering each entry in send order.
+
+        The per-message delivery logic is inlined into the drain loop (one
+        Python frame per *batch*, not per message) and every loop-invariant
+        handle — clock, tracer, resolver result, histogram — is hoisted
+        once.
+        """
+        key = (sender, recipient)
+        # A newer batch may have replaced us in the index (later arrival
+        # instant on the same link); only the current batch un-indexes.
+        if self._batches.get(key) is batch:
+            del self._batches[key]
+        sim = self._sim
+        now = sim._now
+        trace = sim.trace
+        inflight = self._msgs_in_flight
         node = self._resolve(recipient)
-        if node is None or not node.alive:
-            self._count_drop("dead", payload.category)
-            self._sim.trace.emit(
-                self._sim.now, "msg.dropped_dead_recipient", recipient=recipient
-            )
-            return
-        if isinstance(payload, TransportAckPayload):
-            # Transport-internal: complete the pending send, never dispatch.
-            self._pending.pop(payload.msg_id, None)
-            return
-        if msg_id is not None:
-            # Reliable data: acknowledge every copy (the first ACK may have
-            # been lost), dispatch only the first.
-            self._transmit(recipient, sender, TransportAckPayload(msg_id), msg_id=None)
-            if msg_id in self._delivered_reliable:
-                self._duplicates.inc()
-                return
-            self._delivered_reliable.add(msg_id)
-        latency = self._sim.now - sent_at
-        self._latency_hist.observe(latency)
-        trace = self._sim.trace
-        if trace.active:
-            trace.emit(
-                self._sim.now,
-                "msg.delivered",
-                sender=sender,
-                recipient=recipient,
-                latency=latency,
-            )
-        else:
-            trace.counters["msg.delivered"] += 1
-        message = Message(
-            sender=sender,
-            recipient=recipient,
-            payload=payload,
-            sent_at=sent_at,
-            delivered_at=self._sim.now,
-        )
-        node.deliver(message)
+        # Bound handler lookup: Node.deliver's dispatch is inlined below
+        # (one frame per message saved).  The handler dict's identity is
+        # stable — fail() clears it in place — so the bound .get always
+        # sees current registrations.
+        handler_for = node._handlers.get if node is not None else None
+        observe = self._latency_hist.observe
+        entries = batch.entries
+        while entries:
+            payload, sent_at, msg_id = entries.popleft()
+            inflight.value -= 1.0
+            # alive is re-read per entry: an earlier delivery in this very
+            # batch may have crashed the recipient.
+            if node is None or not node.alive:
+                self._count_drop("dead", payload.category)
+                trace.emit(now, "msg.dropped_dead_recipient", recipient=recipient)
+                continue
+            if type(payload) is TransportAckPayload:
+                # Transport-internal: complete the pending send, never
+                # dispatch.  Exact type check: isinstance on an ABC
+                # descendant goes through ABCMeta.__instancecheck__,
+                # measurably slow at one call per delivered message.
+                self._pending.pop(payload.msg_id, None)
+                continue
+            if msg_id is not None:
+                # Reliable data: acknowledge every copy (the first ACK may
+                # have been lost), dispatch only the first.
+                self._transmit(recipient, sender, TransportAckPayload(msg_id))
+                if msg_id in self._delivered_reliable:
+                    self._duplicates.inc()
+                    continue
+                self._delivered_reliable.add(msg_id)
+            latency = now - sent_at
+            observe(latency)
+            if trace.active:
+                trace.emit(
+                    now,
+                    "msg.delivered",
+                    sender=sender,
+                    recipient=recipient,
+                    latency=latency,
+                )
+            else:
+                self._n_delivered += 1
+            # Inlined Node.deliver (alive was already checked above):
+            # dispatch to the registered handler or trace the orphan.
+            handler = handler_for(type(payload))  # type: ignore[misc]
+            if handler is None:
+                trace.emit(
+                    now,
+                    "msg.unhandled",
+                    peer=recipient,
+                    payload_kind=type(payload).__name__,
+                )
+            else:
+                handler(Message(sender, recipient, payload, sent_at, now))

@@ -4,27 +4,67 @@ Events are ordered by ``(time, sequence_number)`` so that two events
 scheduled for the same instant fire in scheduling order.  This determinism
 matters: the whole evaluation of the paper is reproduced from fixed seeds,
 and a heap that broke ties arbitrarily would make runs non-repeatable.
+
+Both classes here are deliberately *not* dataclasses: a dataclass
+``__init__`` and its tuple-building ``__lt__`` cost roughly a microsecond
+per event, and at production scale the engine creates millions of them.
+:class:`Event` instances are recycled through the simulation's free-list
+pool (see :class:`~repro.sim.engine.Simulation`); the ``generation``
+counter fences stale :class:`EventHandle` objects off their recycled
+successors — a handle to an event that already fired can never cancel
+the unrelated event that happens to reuse the same object.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.engine import Simulation
 
 
-@dataclass(order=True)
+def _noop() -> None:  # pragma: no cover - placeholder for recycled events
+    """Callback installed on pooled events between uses."""
+
+
 class Event:
     """A single scheduled callback.
 
-    Instances are created by :meth:`repro.sim.engine.Simulation.schedule`
-    and should not normally be constructed by user code.
+    Instances are created (and recycled) by
+    :meth:`repro.sim.engine.Simulation.schedule` and should not normally
+    be constructed by user code.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "generation")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        #: Bumped every time this object is released back to the event
+        #: pool; handles remember the generation they were issued for.
+        self.generation = 0
+
+    def __lt__(self, other: "Event") -> bool:
+        # Manual comparison instead of dataclass(order=True): the heap
+        # performs O(log n) comparisons per push/pop and the generated
+        # dataclass __lt__ allocates two tuples per comparison.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq}{state}>"
 
     def fire(self) -> None:
         """Invoke the callback unless the event has been cancelled."""
@@ -37,24 +77,42 @@ class EventHandle:
 
     Cancellation is lazy: the event stays in the heap but is skipped when
     popped.  This keeps ``cancel`` O(1), which matters for failure-detector
-    timers that are re-armed on every heartbeat.
+    timers that are re-armed on every heartbeat.  (The engine compacts the
+    heap when cancelled entries dominate it; see
+    :attr:`~repro.sim.engine.Simulation.live_events`.)
+
+    Handles are generation-fenced against the event pool: once the
+    underlying event has fired (and been recycled), :meth:`cancel` is a
+    guaranteed no-op on whatever event reuses the object.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_sim", "_event", "_generation", "_time", "_cancelled")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, sim: "Simulation", event: Event) -> None:
+        self._sim = sim
         self._event = event
+        self._generation = event.generation
+        self._time = event.time
+        self._cancelled = False
 
     @property
     def time(self) -> float:
-        """The simulated time at which the event is due to fire."""
-        return self._event.time
+        """The simulated time at which the event is (was) due to fire."""
+        return self._time
 
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called."""
-        return self._event.cancelled
+        return self._cancelled
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        """Prevent the event from firing.  Idempotent, and a no-op once
+        the event has already fired (even if the event object has since
+        been recycled for an unrelated schedule)."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        event = self._event
+        if event.generation == self._generation and not event.cancelled:
+            event.cancelled = True
+            self._sim._note_cancelled()

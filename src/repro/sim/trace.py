@@ -4,6 +4,20 @@ Protocols emit trace records (``tracer.emit("hierarchy.repair", peer=12)``)
 instead of printing; tests subscribe to assert on protocol behaviour and
 experiments read the counters.  Recording full records is opt-in because a
 million-message run should not accumulate a million dictionaries by default.
+
+The tracer is on the simulation hot path, so its quiet configuration is
+engineered to cost almost nothing:
+
+* :attr:`Tracer.active` is a compile-once predicate — recomputed only when
+  recording starts/stops or a subscriber is added/removed, never per emit.
+  Hot call sites check it before building per-event field dicts.
+* Per-kind handler chains are compiled into a dispatch cache on first
+  emit of each kind, so a steady-state emit does one dict lookup instead
+  of three.
+* Components that count at very high frequency (the transport) keep plain
+  integer accumulators and register a *flush hook*; reading
+  :attr:`Tracer.counters` flushes those accumulators in, so readers always
+  see exact totals while the hot path never touches the ``Counter``.
 """
 
 from __future__ import annotations
@@ -13,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One emitted trace event."""
 
@@ -34,17 +48,62 @@ class Tracer:
     """
 
     def __init__(self) -> None:
-        self.counters: Counter[str] = Counter()
+        self._counters: Counter[str] = Counter()
         self._subscribers: dict[str, list[Callable[[TraceRecord], None]]] = {}
         self._records: list[TraceRecord] | None = None
+        #: Per-kind compiled handler chains (kind-specific plus wildcard),
+        #: built lazily and invalidated whenever the subscriber table
+        #: changes.
+        self._dispatch: dict[str, tuple[Callable[[TraceRecord], None], ...]] = {}
+        self._flush_hooks: list[Callable[[], None]] = []
         #: True while anything (recording or a subscriber) consumes full
-        #: records.  Hot paths may check this before building expensive
+        #: records.  Hot paths must check this before building expensive
         #: per-event detail; when False, an emit is one counter increment.
         self.active: bool = False
 
     def _update_active(self) -> None:
         self.active = self._records is not None or bool(self._subscribers)
+        self._dispatch.clear()
 
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> Counter[str]:
+        """Exact per-kind emit counts.
+
+        Reading this flushes every registered accumulator hook first, so
+        the totals include counts taken on the quiet fast path.  The
+        returned object is the live ``Counter`` (not a copy): callers on
+        hot paths may increment it directly via :meth:`count`.
+        """
+        for hook in self._flush_hooks:
+            hook()
+        return self._counters
+
+    def count(self, kind: str, n: int = 1) -> None:
+        """Add ``n`` to a counter without building a trace record.
+
+        The quiet-path companion to :meth:`emit`: call it when
+        :attr:`active` is ``False`` and the event carries no fields worth
+        recording.
+        """
+        self._counters[kind] += n
+
+    def register_flush(self, hook: Callable[[], None]) -> None:
+        """Register an accumulator flush hook.
+
+        The hook must move privately accumulated counts into this tracer
+        (via :meth:`count`) and zero its accumulators; it runs every time
+        :attr:`counters` is read and on :meth:`reset`.  Hooks survive
+        :meth:`reset` — they are structural wiring, like the component
+        that registered them.
+        """
+        self._flush_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
     def start_recording(self) -> None:
         """Keep every subsequent record in memory (for tests)."""
         self._records = []
@@ -63,6 +122,9 @@ class Tracer:
         recording)."""
         return list(self._records or [])
 
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
     def subscribe(self, kind: str, handler: Callable[[TraceRecord], None]) -> None:
         """Invoke ``handler`` for every record of the given ``kind``.
 
@@ -89,31 +151,40 @@ class Tracer:
         self._update_active()
 
     def reset(self) -> None:
-        """Forget all counters, captured records, and subscribers.
+        """Forget all counters, captured records, and subscribers, and
+        invalidate the compiled dispatch/active caches.
 
         Lets experiment sweeps reuse one simulation factory without
-        telemetry state leaking between runs.
+        telemetry state leaking between runs.  Flush hooks run first (so
+        component accumulators are zeroed along with the counters) and
+        stay registered afterwards.
         """
-        self.counters.clear()
+        for hook in self._flush_hooks:
+            hook()
+        self._counters.clear()
         self._subscribers.clear()
         self._records = None
         self._update_active()
 
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record one trace event."""
-        self.counters[kind] += 1
+        self._counters[kind] += 1
         if not self.active:
             return
-        if (
-            self._records is None
-            and kind not in self._subscribers
-            and "" not in self._subscribers
-        ):
+        handlers = self._dispatch.get(kind)
+        if handlers is None:
+            handlers = tuple(self._subscribers.get(kind, ())) + tuple(
+                self._subscribers.get("", ())
+            )
+            self._dispatch[kind] = handlers
+        records = self._records
+        if records is None and not handlers:
             return
         record = TraceRecord(time=time, kind=kind, fields=fields)
-        if self._records is not None:
-            self._records.append(record)
-        for handler in self._subscribers.get(kind, ()):
-            handler(record)
-        for handler in self._subscribers.get("", ()):
+        if records is not None:
+            records.append(record)
+        for handler in handlers:
             handler(record)

@@ -124,13 +124,15 @@ class Telemetry:
             yield extra
         finally:
             sim_elapsed = self._sim.now - sim_started
+            merged = dict(fields)
+            merged.update(extra)
             self.tracer.emit(
                 self._sim.now,
                 kind,
                 ev="end",
                 sim_elapsed=sim_elapsed,
                 wall_elapsed=perf_counter() - wall_started,
-                **{**fields, **extra},
+                **merged,
             )
             self.registry.timer(f"span.{kind}", DEFAULT_TIME_BUCKETS).observe(
                 sim_elapsed

@@ -19,13 +19,14 @@ FIXTURES = pathlib.Path(__file__).parent / "fixtures"
 #: skips telemetry, PROTO002 skips tests) treat them as protocol code.
 SRC_LIKE = "src/repro/core/fixture.py"
 
-RULES = ["DET001", "DET002", "DET003", "PROTO001", "PROTO002", "API001"]
+RULES = ["DET001", "DET002", "DET003", "PERF001", "PROTO001", "PROTO002", "API001"]
 
 #: Findings expected from each rule's flagged fixture.
 EXPECTED_COUNTS = {
     "DET001": 2,  # time.time() + bare perf_counter()
     "DET002": 3,  # random.shuffle + np.random.random + bare default_rng()
     "DET003": 3,  # for over set param, .keys() comp, list(a - b) comp
+    "PERF001": 3,  # unguarded f-string, dict literal, list comprehension
     "PROTO001": 4,  # Unregistered: 1 aspect; Bare: all 3 aspects
     "PROTO002": 2,  # typo'd emit kind + typo'd span kind
     "API001": 3,  # two mutable defaults + one float-time equality

@@ -116,3 +116,65 @@ def test_unhandled_payload_traced_not_raised():
     network.node(0).send(1, Ping())
     network.sim.run()
     assert network.sim.trace.counters["msg.unhandled"] == 1
+
+
+# ----------------------------------------------------------------------
+# Same-tick delivery batching (hot path) must be semantically invisible
+# ----------------------------------------------------------------------
+def test_batched_deliveries_keep_per_message_semantics():
+    """k same-tick sends to one recipient coalesce into one heap event,
+    but every message is still delivered individually, in send order,
+    with its own sent_at/delivered_at."""
+    network = make_network(config=TransportConfig(latency=2.0))
+    received = []
+    network.node(1).register_handler(Ping, received.append)
+    for size in (3, 5, 7):
+        network.node(0).send(1, Ping(size=size))
+    network.sim.run()
+    assert [message.payload.size for message in received] == [3, 5, 7]
+    assert all(message.sent_at == 0.0 for message in received)
+    assert all(message.delivered_at == 2.0 for message in received)
+
+
+def test_batching_is_byte_and_counter_transparent():
+    """Batched (same tick) and unbatched (distinct ticks) runs of the
+    same k messages account identical bytes and identical counters."""
+
+    def run(spread: bool) -> tuple[int, dict[str, int]]:
+        network = make_network(config=TransportConfig(latency=1.0))
+        network.node(1).register_handler(Ping, lambda message: None)
+        sizes = (3, 5, 7, 11)
+        for i, size in enumerate(sizes):
+            delay = float(i) if spread else 0.0
+            network.sim.post(delay, network.node(0).send, 1, Ping(size=size))
+        network.sim.run()
+        counters = network.sim.telemetry.tracer.counters
+        return (
+            network.accounting.peer_bytes(0, CostCategory.CONTROL),
+            {kind: counters[kind] for kind in ("msg.sent", "msg.delivered")},
+        )
+
+    batched_bytes, batched_counts = run(spread=False)
+    spread_bytes, spread_counts = run(spread=True)
+    assert batched_bytes == spread_bytes == 3 + 5 + 7 + 11
+    assert batched_counts == spread_counts == {"msg.sent": 4, "msg.delivered": 4}
+
+
+def test_batch_respects_mid_batch_crash():
+    """A delivery callback that crashes the recipient stops the rest of
+    the same batch from being delivered (per-entry liveness check)."""
+    network = make_network(config=TransportConfig(latency=1.0))
+    received = []
+
+    def crash_after_first(message: Message) -> None:
+        received.append(message)
+        network.fail_peer(1)
+
+    network.node(1).register_handler(Ping, crash_after_first)
+    for size in (1, 2, 3):
+        network.node(0).send(1, Ping(size=size))
+    network.sim.run()
+    assert [message.payload.size for message in received] == [1]
+    counters = network.sim.telemetry.tracer.counters
+    assert counters["msg.delivered"] == 1
+    assert counters["msg.dropped_dead_recipient"] == 2

@@ -161,3 +161,82 @@ def test_reentrant_run_rejected():
 
     sim.schedule(1.0, inner)
     sim.run()
+
+
+# ----------------------------------------------------------------------
+# Hot-path machinery: event pool, heap compaction, run(until=...) clock
+# ----------------------------------------------------------------------
+def test_run_until_clock_is_monotone():
+    """The clock never moves backwards across repeated bounded runs,
+    including runs whose window contains no events at all."""
+    sim = Simulation()
+    seen: list[float] = []
+    for delay in (1.0, 4.0, 9.0):
+        sim.schedule(delay, lambda: seen.append(sim.now))
+    observed: list[float] = []
+    for until in (0.5, 1.0, 2.0, 2.0, 6.5, 20.0):
+        sim.run(until=until)
+        observed.append(sim.now)
+        assert sim.now == until
+    assert observed == sorted(observed)
+    assert seen == [1.0, 4.0, 9.0]
+
+
+def test_fired_handle_cannot_cancel_recycled_successor():
+    """Generation fencing: once an event fires, its (recycled) handle
+    must not be able to cancel whichever future event reuses the slot."""
+    sim = Simulation()
+    fired: list[str] = []
+    first = sim.schedule(1.0, fired.append, "first")
+    sim.run()
+    assert fired == ["first"]
+    # The pool hands the same Event object to the next schedule.
+    second = sim.schedule(1.0, fired.append, "second")
+    first.cancel()  # stale handle; must be a no-op
+    assert not second.cancelled
+    sim.run()
+    assert fired == ["first", "second"]
+    second.cancel()  # firing already recycled it; still a no-op
+    third = sim.schedule(1.0, fired.append, "third")
+    assert not third.cancelled
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_heap_compaction_under_timer_churn():
+    """A watchdog-style cancel/re-arm loop keeps the heap bounded: the
+    engine compacts cancelled entries in place instead of letting them
+    accumulate until their deadlines."""
+    from repro.sim.engine import _COMPACT_MIN_HEAP
+
+    sim = Simulation()
+    handle_box: list = []
+
+    def rearm() -> None:
+        # Cancel the previous long deadline and arm a fresh one — the
+        # failure-detector pattern that floods the heap with tombstones.
+        if handle_box:
+            handle_box[-1].cancel()
+        handle_box.append(sim.schedule(10_000.0, lambda: None))
+
+    ticker_count = 40 * _COMPACT_MIN_HEAP
+    for i in range(ticker_count):
+        sim.schedule(float(i + 1), rearm)
+    sim.run(until=float(ticker_count))
+    assert sim.heap_compactions > 0
+    # All but the last watchdog are cancelled and must have been swept:
+    # the heap holds the one live deadline, not thousands of tombstones.
+    assert sim.live_events == 1
+    assert sim.pending_events < _COMPACT_MIN_HEAP
+    handle_box[-1].cancel()
+
+
+def test_live_events_excludes_cancelled():
+    sim = Simulation()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    assert sim.live_events == 2
+    drop.cancel()
+    assert sim.live_events == 1
+    assert sim.pending_events == 2  # heap size still counts the tombstone
+    assert not keep.cancelled

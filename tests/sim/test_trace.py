@@ -105,3 +105,47 @@ def test_active_reflects_consumers():
     assert tracer.active
     tracer.unsubscribe("a", handler)
     assert not tracer.active
+
+
+def test_subscriber_added_after_emits_sees_later_events():
+    """The compiled dispatch cache must be invalidated when a subscriber
+    arrives late — after the kind has already been emitted (and its
+    handler chain compiled as empty)."""
+    tracer = Tracer()
+    for _ in range(100):
+        tracer.emit(0.0, "msg.sent", size=4)
+    seen = []
+    tracer.subscribe("msg.sent", seen.append)
+    tracer.emit(1.0, "msg.sent", size=8)
+    assert len(seen) == 1
+    assert seen[0].fields == {"size": 8}
+
+
+def test_emit_does_not_copy_handler_chain_per_event():
+    """Steady-state emits reuse one compiled handler tuple (identity
+    check) instead of rebuilding the subscriber list per emit."""
+    tracer = Tracer()
+    tracer.subscribe("msg.sent", lambda record: None)
+    tracer.emit(0.0, "msg.sent")
+    first = tracer._dispatch["msg.sent"]
+    tracer.emit(1.0, "msg.sent")
+    assert tracer._dispatch["msg.sent"] is first
+
+
+def test_reset_clears_dispatch_and_active_caches():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("msg.sent", seen.append)
+    tracer.emit(0.0, "msg.sent")
+    assert tracer.active
+    tracer.reset()
+    assert not tracer.active
+    assert tracer._dispatch == {}
+    # Emits after reset take the quiet path and reach no old subscriber.
+    tracer.emit(1.0, "msg.sent")
+    assert len(seen) == 1
+    # A fresh subscription recompiles dispatch from the clean table.
+    late = []
+    tracer.subscribe("msg.sent", late.append)
+    tracer.emit(2.0, "msg.sent")
+    assert len(late) == 1 and len(seen) == 1
