@@ -54,31 +54,43 @@ TRACE_SAMPLE_EVERY = 100
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
-#: Cells measured: the acceptance cell is (2000, telemetry off).
-CELLS: tuple[tuple[int, bool], ...] = (
-    (400, False),
-    (400, True),
-    (2000, False),
-    (2000, True),
-    (10000, False),
+#: Cells measured as (N, telemetry mode): "off" = no subscribers,
+#: "on" = JSONL sink attached, "spans" = JSONL sink + causal spans.
+#: The acceptance cell is (2000, "off").
+CELLS: tuple[tuple[int, str], ...] = (
+    (400, "off"),
+    (400, "on"),
+    (2000, "off"),
+    (2000, "on"),
+    (2000, "spans"),
+    (10000, "off"),
 )
 
 #: Events/sec and peak RSS measured at the commit immediately preceding
 #: the hot-path overhaul (dataclass events, no pool, no run_fast, no
 #: delivery batching, unguarded telemetry), same workload constants, same
-#: machine as the committed "after" column of BENCH_hotpath.json.
-BASELINE: dict[tuple[int, bool], dict[str, float]] = {
-    (400, False): {"events_per_sec": 152402.0, "peak_rss_mb": 44.0},
-    (400, True): {"events_per_sec": 108522.0, "peak_rss_mb": 43.9},
-    (2000, False): {"events_per_sec": 132864.0, "peak_rss_mb": 57.4},
-    (2000, True): {"events_per_sec": 85412.0, "peak_rss_mb": 57.4},
-    (10000, False): {"events_per_sec": 96158.0, "peak_rss_mb": 125.6},
+#: machine as the committed "after" column of BENCH_hotpath.json.  Spans
+#: did not exist pre-overhaul, so the "spans" cell is compared against
+#: the telemetry-on baseline — the configuration it is an extension of.
+BASELINE: dict[tuple[int, str], dict[str, float]] = {
+    (400, "off"): {"events_per_sec": 152402.0, "peak_rss_mb": 44.0},
+    (400, "on"): {"events_per_sec": 108522.0, "peak_rss_mb": 43.9},
+    (2000, "off"): {"events_per_sec": 132864.0, "peak_rss_mb": 57.4},
+    (2000, "on"): {"events_per_sec": 85412.0, "peak_rss_mb": 57.4},
+    (2000, "spans"): {"events_per_sec": 85412.0, "peak_rss_mb": 57.4},
+    (10000, "off"): {"events_per_sec": 96158.0, "peak_rss_mb": 125.6},
 }
 
 #: CI smoke floor: committed BENCH_hotpath.json records ~5.5x on the
 #: acceptance cell on the reference machine; the in-test assertion only
 #: requires 2x so shared, noisy CI runners do not flake.
 MIN_SMOKE_SPEEDUP = 2.0
+
+#: Recording causal spans may cost at most this factor over plain
+#: telemetry-on, measured in the same run on the same machine (the two
+#: cells are interleaved in one sweep, so the ratio is machine
+#: independent).
+SPANS_MAX_OVERHEAD = 1.25
 
 
 class HotpathPingPayload(Payload):
@@ -122,12 +134,15 @@ class PingService:
         pass
 
 
-def run_cell(n_peers: int, telemetry_on: bool, trace_path: str | None = None) -> dict:
+def run_cell(n_peers: int, mode: str, trace_path: str | None = None) -> dict:
     """One benchmark cell; returns deterministic counts plus wall time."""
+    telemetry_on = mode != "off"
     sim = Simulation(seed=7)
     if telemetry_on:
         assert trace_path is not None
         sim.telemetry.attach_jsonl(trace_path, sample_every=TRACE_SAMPLE_EVERY)
+        if mode == "spans":
+            sim.telemetry.enable_spans(sample_every=TRACE_SAMPLE_EVERY)
     topology = Topology.random_connected(n_peers, 4.0, sim.rng.stream("topology"))
     network = Network(sim, topology)
     services = [
@@ -151,21 +166,23 @@ def run_cell(n_peers: int, telemetry_on: bool, trace_path: str | None = None) ->
     }
 
 
-def _cell_child(conn, n_peers: int, telemetry_on: bool, trace_path: str | None) -> None:
-    result = run_cell(n_peers, telemetry_on, trace_path)
+def _cell_child(conn, n_peers: int, mode: str, trace_path: str | None) -> None:
+    result = run_cell(n_peers, mode, trace_path)
     result["peak_rss_mb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
     conn.send(result)
     conn.close()
 
 
-def measure_cell(n_peers: int, telemetry_on: bool, tmpdir: str) -> dict:
+def measure_cell(n_peers: int, mode: str, tmpdir: str) -> dict:
     """Run one cell in a forked child so peak RSS is per-cell."""
     trace_path = (
-        os.path.join(tmpdir, f"hotpath-{n_peers}.jsonl") if telemetry_on else None
+        os.path.join(tmpdir, f"hotpath-{n_peers}-{mode}.jsonl")
+        if mode != "off"
+        else None
     )
     ctx = get_context("fork")
     parent, child = ctx.Pipe(duplex=False)
-    proc = ctx.Process(target=_cell_child, args=(child, n_peers, telemetry_on, trace_path))
+    proc = ctx.Process(target=_cell_child, args=(child, n_peers, mode, trace_path))
     proc.start()
     child.close()
     result = parent.recv()
@@ -181,13 +198,13 @@ def sweep_cells() -> list[dict]:
 
     rows = []
     with tempfile.TemporaryDirectory() as tmpdir:
-        for n_peers, telemetry_on in CELLS:
-            result = measure_cell(n_peers, telemetry_on, tmpdir)
-            base = BASELINE[(n_peers, telemetry_on)]
+        for n_peers, mode in CELLS:
+            result = measure_cell(n_peers, mode, tmpdir)
+            base = BASELINE[(n_peers, mode)]
             rows.append(
                 {
                     "N": n_peers,
-                    "telemetry": "on" if telemetry_on else "off",
+                    "telemetry": mode,
                     **result,
                     "baseline_events_per_sec": base["events_per_sec"],
                     "baseline_peak_rss_mb": base["peak_rss_mb"],
@@ -208,8 +225,8 @@ def test_hotpath_throughput(benchmark) -> None:
     rows = benchmark.pedantic(sweep_cells, rounds=1, iterations=1)
     emit(render_table(rows, title="Hot path: events/sec and peak RSS by cell"))
     by_cell = {(row["N"], row["telemetry"]) : row for row in rows}
-    for (n_peers, telemetry_on) in CELLS:
-        row = by_cell[(n_peers, "on" if telemetry_on else "off")]
+    for (n_peers, mode) in CELLS:
+        row = by_cell[(n_peers, mode)]
         # The workload is closed-form: every peer sends PINGS_PER_TICK
         # messages on each of MAX_TICKS ticks, every message is delivered
         # (quiet network), and each tick is one unit of timer work.
@@ -217,24 +234,34 @@ def test_hotpath_throughput(benchmark) -> None:
         assert row["msgs_delivered"] == PINGS_PER_TICK * MAX_TICKS * n_peers
     acceptance = by_cell[(2000, "off")]
     assert acceptance["speedup"] >= MIN_SMOKE_SPEEDUP
+    # Spans overhead, measured against telemetry-on *in the same sweep*
+    # so the ratio does not depend on the machine.
+    spans_overhead = (
+        by_cell[(2000, "on")]["events_per_sec"]
+        / by_cell[(2000, "spans")]["events_per_sec"]
+    )
+    assert spans_overhead <= SPANS_MAX_OVERHEAD, (
+        f"spans-enabled cell is {spans_overhead:.2f}x slower than "
+        f"telemetry-on (allowed {SPANS_MAX_OVERHEAD}x)"
+    )
     if os.environ.get("REPRO_BENCH_WRITE") == "1":
         BENCH_PATH.write_text(json.dumps(rows, indent=2) + "\n")
 
 
 def test_cells_are_deterministic() -> None:
     """Same seed, same counts: the bench itself replays exactly."""
-    first = run_cell(400, False)
-    second = run_cell(400, False)
+    first = run_cell(400, "off")
+    second = run_cell(400, "off")
     for key in ("fired", "work_events", "msgs_delivered"):
         assert first[key] == second[key]
 
 
 def test_n2000_run_replays_trace_identically(tmp_path) -> None:
-    """The replay gate at benchmark scale: the N=2000 telemetry-on cell
-    run twice produces byte-identical traces (minus wall-clock span
-    durations, which vary by design)."""
+    """The replay gate at benchmark scale: the N=2000 spans-enabled cell
+    run twice produces byte-identical traces — span ids and causal links
+    included (minus wall-clock span durations, which vary by design)."""
     paths = [str(tmp_path / name) for name in ("first.jsonl", "second.jsonl")]
-    counts = [run_cell(2000, True, path) for path in paths]
+    counts = [run_cell(2000, "spans", path) for path in paths]
     assert counts[0]["work_events"] == counts[1]["work_events"]
 
     def load(path: str) -> list[dict]:

@@ -132,6 +132,8 @@ class SessionHandle:
         #: before the aggregate arrived — the value is unusable and the
         #: caller must re-issue against the new root.
         self.failed: bool = False
+        #: Causal span id of this session (0 when span tracking is off).
+        self.span: int = 0
 
     @property
     def coverage(self) -> float:
@@ -170,6 +172,9 @@ class _NodeSessionState:
     # rather than silently ignored.
     reply_value: Any = None
     reply_covered: int = 0
+    # Causal span of this node's convergecast participation (0 when span
+    # tracking is off); owned by the node's peer id, so a crash closes it.
+    span: int = 0
 
 
 class AggregationService:
@@ -240,6 +245,18 @@ class AggregationService:
             waiting_on=children,
         )
         self._sessions[session_id] = state
+        # The convergecast span parents to the causal context that started
+        # it: the session span on the root, the delivering request's wire
+        # span elsewhere.  It closes in _reply (or via the crash sweep /
+        # shutdown sweep if this node never gets to reply).
+        spans = network.sim.telemetry.spans
+        state.span = spans.open(
+            "agg.node",
+            peer=self._node.peer_id,
+            session=session_id,
+            depth=hierarchy.depth_of(self._node.peer_id),
+        )
+        previous = spans.activate(state.span) if state.span else 0
         if children:
             request = self._engine.request_cls(
                 session_id=session_id,
@@ -264,6 +281,8 @@ class AggregationService:
             state.timeout.reset()
         else:
             self._reply(session_id)
+        if state.span:
+            spans.restore(previous)
 
     # ------------------------------------------------------------------
     # Reply handling (up-sweep)
@@ -319,8 +338,14 @@ class AggregationService:
                 request_data=state.request_data,
                 generation=state.generation,
             )
+            # Re-probe copies are caused by this node's convergecast span
+            # (the timer fired outside any delivery context).
+            spans = sim.telemetry.spans
+            previous = spans.activate(state.span) if state.span else 0
             for child in sorted(state.waiting_on):
                 self._node.send(child, request)
+            if state.span:
+                spans.restore(previous)
             assert state.timeout is not None
             state.timeout.reset()
             return
@@ -341,10 +366,26 @@ class AggregationService:
         covered = 1 + sum(state.received_covered)
         state.reply_value = value
         state.reply_covered = covered
+        # The input that completed this merge (the last child reply's wire
+        # span, or 0 when a timeout forced the merge) becomes the span's
+        # ``cause``; the outgoing reply is sent with this node's span as
+        # context so its wire span parents here.
+        spans = self._node.network.sim.telemetry.spans
+        cause = spans.current
+        if cause == state.span:
+            # A leaf replies synchronously inside begin_session, where its
+            # own span is already current: no separate input caused it.
+            cause = 0
+        previous = spans.activate(state.span) if state.span else 0
         if state.parent is None:
             self._engine._complete(session_id, value, covered)
         else:
             self._send_reply(session_id, state)
+        if state.span:
+            spans.restore(previous)
+            spans.close(
+                state.span, cause=cause, covered=covered, missing=len(state.waiting_on)
+            )
         # Free the merged child contributions; keep the entry (and the
         # combined reply) so duplicate requests stay idempotent and
         # re-probes can be answered.
@@ -449,6 +490,17 @@ class AggregationEngine:
         root_service = self._services.get(self.hierarchy.root)
         if root_service is None:
             raise AggregationError("root has no aggregation service (is it alive?)")
+        # The session span parents to whatever phase span is current (the
+        # netFilter phase that issued it); it is owned by the root peer so
+        # a root crash error-closes it even if the caller never notices.
+        spans = self.sim.telemetry.spans
+        handle.span = spans.open(
+            "agg.session",
+            peer=self.hierarchy.root,
+            session=session_id,
+            spec=spec.name,
+        )
+        previous = spans.activate(handle.span) if handle.span else 0
         root_service.begin_session(
             session_id,
             spec,
@@ -456,6 +508,8 @@ class AggregationEngine:
             parent=None,
             generation=self.hierarchy.generation_of(self.hierarchy.root),
         )
+        if handle.span:
+            spans.restore(previous)
         return handle
 
     def run(
@@ -542,6 +596,8 @@ class AggregationEngine:
             root=root,
             reason=reason,
         )
+        # No-op if the root's crash sweep already error-closed the span.
+        self.sim.telemetry.spans.close(handle.span, status="error", reason=reason)
 
     def _complete(self, session_id: int, value: Any, covered: int) -> None:
         handle = self._handles.get(session_id)
@@ -571,6 +627,12 @@ class AggregationEngine:
                 covered=covered,
                 expected=handle.expected,
             )
+        # The session's cause is the current causal context: the root's
+        # convergecast span, whose final merge delivered the aggregate.
+        spans = self.sim.telemetry.spans
+        spans.close(
+            handle.span, cause=spans.current, covered=covered, expected=handle.expected
+        )
         callback = self._callbacks.pop(session_id, None)
         if callback is not None:
             callback(value)

@@ -208,4 +208,23 @@ class ContinuousNetFilter:
         )
         self.epoch += 1
         self.reports.append(report)
+        self._record_probes(report)
         return report
+
+    def _record_probes(self, report: EpochReport) -> None:
+        """Feed the windowed epoch timeseries, when one is enabled.
+
+        Staleness (sim time from epoch start to the exact result),
+        changed-group count, frequent-set size, and session coverage land
+        as probes in the telemetry epoch grid, so continuous runs can plot
+        recall/staleness over time from the ring buffer or the
+        ``epoch.snapshot`` trace events.
+        """
+        epochs = self.engine.sim.telemetry.epochs
+        if epochs is None:
+            return
+        result = report.result
+        epochs.record("monitor.staleness", result.elapsed_time)
+        epochs.record("monitor.changed_groups", float(report.changed_groups))
+        epochs.record("monitor.frequent_items", float(len(result.frequent)))
+        epochs.record("monitor.filtering_savings", report.filtering_savings)

@@ -179,6 +179,13 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="keep 1 in K high-frequency trace events (msg.*, heartbeat.*)",
     )
+    parser.add_argument(
+        "--trace-spans",
+        action="store_true",
+        help="record causal spans in each trace (requires --trace-dir); "
+        "enables critical-path and attribution views in the run reports "
+        "and `python -m repro.telemetry export-chrome`",
+    )
     args = parser.parse_args(argv)
 
     scale = ExperimentScale.by_name(args.scale)
@@ -189,8 +196,12 @@ def main(argv: list[str] | None = None) -> int:
         # workers cannot populate them, so tracing forces sequential runs.
         print("--trace-dir requires sequential execution; ignoring --jobs", file=sys.stderr)
         jobs = 1
+    if args.trace_spans and not args.trace_dir:
+        parser.error("--trace-spans requires --trace-dir")
     if args.trace_dir:
-        set_trace_dir(args.trace_dir, sample_every=args.trace_sample)
+        set_trace_dir(
+            args.trace_dir, sample_every=args.trace_sample, spans=args.trace_spans
+        )
     exported: dict[str, Any] = {
         "scale": scale.name,
         "n_peers": scale.n_peers,

@@ -118,17 +118,24 @@ class TrialSetup:
 # ----------------------------------------------------------------------
 _trace_dir: str | None = None
 _trace_sample_every = 1
+_trace_spans = False
 _trace_seq = itertools.count()
 _open_trials: list[TrialSetup] = []
 
 
-def set_trace_dir(path: str | None, sample_every: int = 1) -> None:
-    """Enable (or, with None, disable) automatic per-trial JSONL tracing."""
-    global _trace_dir, _trace_sample_every
+def set_trace_dir(path: str | None, sample_every: int = 1, spans: bool = False) -> None:
+    """Enable (or, with None, disable) automatic per-trial JSONL tracing.
+
+    With ``spans=True`` every traced trial also records causal spans
+    (:mod:`repro.telemetry.spans`), so its trace feeds the run report's
+    critical-path and attribution views and the Chrome exporter.
+    """
+    global _trace_dir, _trace_sample_every, _trace_spans
     if path is not None:
         os.makedirs(path, exist_ok=True)
     _trace_dir = path
     _trace_sample_every = sample_every
+    _trace_spans = spans
 
 
 def flush_traces() -> list[str]:
@@ -149,6 +156,7 @@ def build_trial(
     defaults: PaperDefaults | None = None,
     trace_path: str | None = None,
     trace_sample_every: int = 1,
+    trace_spans: bool = False,
 ) -> TrialSetup:
     """Assemble a trial: overlay, network, Zipf workload, hierarchy, engine.
 
@@ -174,8 +182,11 @@ def build_trial(
             f"trial-{scale.name}-seed{seed}-{next(_trace_seq):03d}.jsonl",
         )
         trace_sample_every = max(trace_sample_every, _trace_sample_every)
+        trace_spans = trace_spans or _trace_spans
     if trace_path is not None:
         sim.telemetry.attach_jsonl(trace_path, sample_every=trace_sample_every)
+        if trace_spans:
+            sim.telemetry.enable_spans(sample_every=trace_sample_every)
     topology = Topology.random_connected(
         base.n_peers, float(base.branching + 1), sim.rng.stream("topology")
     )

@@ -1,0 +1,113 @@
+"""Observability rules: OBS001 (span opened without a guaranteed close).
+
+A causal span (:mod:`repro.telemetry.spans`) that is opened but never
+closed survives to the shutdown sweep as status ``unclosed`` — the trace
+stays well-formed, but the span's duration and causal links are lost and
+the leak points at a protocol path that forgot its bookkeeping.  The
+rule enforces the two patterns that guarantee closure:
+
+* **deferred close** — the span id is stored on an object
+  (``state.span = spans.open(...)``) whose lifecycle closes it later
+  (a reply path, the owner-peer crash sweep);
+* **scoped close** — the opening function contains a ``finally`` block
+  that calls ``spans.close(...)`` (the ``Telemetry.span`` context
+  manager shape).
+
+Anything else — a discarded open, a local variable with no ``finally``
+close in sight — is flagged.  Call sites that genuinely hand the id
+through a side channel (the transport carries it in batch entries)
+suppress with ``# repro-lint: disable=OBS001`` and a comment saying
+where the close happens.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.facts import ProjectFacts
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, rule
+from repro.lint.rules.perf import _dotted_name
+
+
+def _is_spans_call(node: ast.Call, method: str) -> bool:
+    """``<owner>.{method}(...)`` where the owner path names a span
+    tracker (a segment containing ``spans``, e.g. ``spans``, ``_spans``,
+    ``telemetry.spans``)."""
+    dotted = _dotted_name(node.func)
+    if dotted is None:
+        return False
+    parts = dotted.split(".")
+    if len(parts) < 2 or parts[-1] != method:
+        return False
+    return any("spans" in part for part in parts[:-1])
+
+
+def _assigns_to_attribute(node: ast.Call) -> bool:
+    """``obj.attr = spans.open(...)`` — the deferred-close pattern."""
+    parent = getattr(node, "parent", None)
+    if isinstance(parent, ast.Assign):
+        return all(isinstance(target, ast.Attribute) for target in parent.targets)
+    if isinstance(parent, ast.AnnAssign):
+        return isinstance(parent.target, ast.Attribute)
+    return False
+
+
+def _enclosing_function(node: ast.AST) -> ast.AST | None:
+    current = getattr(node, "parent", None)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = getattr(current, "parent", None)
+    return None
+
+
+def _has_finally_close(scope: ast.AST) -> bool:
+    """Whether any ``finally`` block in ``scope`` closes a span."""
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for final_stmt in node.finalbody:
+            for sub in ast.walk(final_stmt):
+                if isinstance(sub, ast.Call) and _is_spans_call(sub, "close"):
+                    return True
+    return False
+
+
+@rule
+class UnclosedSpanRule(Rule):
+    """OBS001: a span opened without a guaranteed close on all paths.
+
+    ``spans.open(...)`` must either store its id on an object attribute
+    (closed later by the owner's lifecycle or the crash sweep) or sit in
+    a function that closes a span in a ``finally`` block.  A discarded
+    or loosely-held span id leaks to the shutdown sweep as ``unclosed``.
+    """
+
+    id = "OBS001"
+    summary = "spans.open() without an attribute store or a finally-block close"
+
+    def applies_to(self, path: str) -> bool:
+        # Library discipline; tests open ad-hoc spans to assert on sweeps.
+        parts = path.replace("\\", "/").split("/")
+        return "tests" not in parts
+
+    def check(
+        self, tree: ast.Module, source: str, path: str, facts: ProjectFacts
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not _is_spans_call(node, "open"):
+                continue
+            if _assigns_to_attribute(node):
+                continue
+            scope = _enclosing_function(node) or tree
+            if _has_finally_close(scope):
+                continue
+            yield self.finding(
+                path,
+                node,
+                "span opened without a guaranteed close: store the id on an "
+                "object attribute (deferred close) or close it in a `finally` "
+                "block, or it leaks to the shutdown sweep as `unclosed`",
+            )

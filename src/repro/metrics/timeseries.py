@@ -1,0 +1,232 @@
+"""Windowed epoch timeseries over the metrics registry.
+
+The registry answers "how much, total"; continuous monitoring
+(ROADMAP item 3) needs "how much, *per window*": staleness between
+epochs, recall over time, changed-groups per monitoring round.  An
+:class:`EpochTimeseries` slices simulated time into fixed-length epochs
+and, at each boundary, snapshots
+
+* **counter deltas** — the increase of every tracked registry counter
+  since the previous boundary, and
+* **probe values** — gauge-style values recorded explicitly via
+  :meth:`record` (latest value wins within an epoch) or accumulated via
+  :meth:`add`,
+
+into a bounded ring buffer (:class:`EpochSnapshot` rows, oldest evicted
+first), so a week-long continuous run costs ``capacity`` rows of memory,
+not one row per epoch.
+
+Epochs roll *lazily*: every :meth:`record`/:meth:`add`/:meth:`roll` call
+first closes any epochs the clock has passed.  There is no periodic
+timer on the simulation — a scheduled ticker would keep
+``sim.run()``-to-exhaustion from ever draining, and lazy rolling is
+exactly as accurate because nothing can be observed between calls.
+Empty gap epochs (no activity at all) are materialised on the next call,
+so rows are contiguous and "no change this epoch" is distinguishable
+from "series not yet started".
+
+Each closed epoch also emits one ``epoch.snapshot`` trace event (guarded
+by the tracer's ``active`` predicate), so JSONL traces carry the full
+timeseries for offline plots and the run-report CLI.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.metrics.registry import MetricsRegistry
+    from repro.sim.trace import Tracer
+
+#: Default ring capacity: enough for a long continuous run's recent
+#: history while keeping worst-case memory trivially bounded.
+DEFAULT_CAPACITY = 512
+
+
+@dataclass
+class EpochSnapshot:
+    """One closed epoch: ``[start, start + length)`` in simulated time."""
+
+    index: int
+    start: float
+    length: float
+    #: Per-counter increase over this epoch (tracked counters only).
+    deltas: dict[str, int] = field(default_factory=dict)
+    #: Probe values recorded during this epoch (latest / accumulated).
+    probes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.length
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "epoch": self.index,
+            "start": self.start,
+            "length": self.length,
+            "deltas": dict(self.deltas),
+            "probes": dict(self.probes),
+        }
+
+
+class EpochTimeseries:
+    """Fixed-length sim-time epochs over counters and explicit probes.
+
+    Examples
+    --------
+    >>> from repro.sim.engine import Simulation
+    >>> sim = Simulation(seed=0)
+    >>> ts = sim.telemetry.enable_epochs(epoch_length=10.0)
+    >>> ts.track_counter(sim.telemetry.registry.counter("hits").name)
+    >>> sim.telemetry.registry.counter("hits").inc(3)
+    >>> ts.record("staleness", 2.5)
+    >>> _ = sim.schedule(25.0, lambda: None); _ = sim.run()
+    >>> ts.roll()
+    >>> [s.deltas["hits"] for s in ts.epochs()]
+    [3, 0]
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        tracer: "Tracer",
+        clock,
+        epoch_length: float,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if epoch_length <= 0.0:
+            raise ValueError(f"epoch_length must be positive, got {epoch_length}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._registry = registry
+        self._tracer = tracer
+        self._clock = clock  # zero-arg callable returning sim time
+        self.epoch_length = float(epoch_length)
+        self.capacity = capacity
+        self._ring: deque[EpochSnapshot] = deque(maxlen=capacity)
+        self._tracked: list[str] = []
+        self._marks: dict[str, int] = {}
+        self._probes: dict[str, float] = {}
+        self._epoch_start = float(clock())
+        self._epoch_index = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def track_counter(self, name: str) -> None:
+        """Snapshot this registry counter's per-epoch delta from now on.
+
+        The counter's current value becomes the baseline — history before
+        tracking starts is not attributed to the first epoch.
+        """
+        if name in self._marks:
+            return
+        self._tracked.append(name)
+        self._marks[name] = self._counter_value(name)
+
+    def _counter_value(self, name: str) -> int:
+        metric = self._registry.get(name)
+        value = getattr(metric, "value", 0)
+        return int(value) if isinstance(value, (int, float)) else 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, name: str, value: float) -> None:
+        """Set probe ``name`` for the current epoch (latest value wins)."""
+        self.roll()
+        self._probes[name] = float(value)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Accumulate into probe ``name`` within the current epoch."""
+        self.roll()
+        self._probes[name] = self._probes.get(name, 0.0) + float(amount)
+
+    # ------------------------------------------------------------------
+    # Rolling
+    # ------------------------------------------------------------------
+    def roll(self) -> None:
+        """Close every epoch the simulated clock has fully passed."""
+        now = self._clock()
+        while now >= self._epoch_start + self.epoch_length:
+            self._close_epoch()
+
+    def _close_epoch(self) -> None:
+        deltas: dict[str, int] = {}
+        for name in self._tracked:
+            current = self._counter_value(name)
+            deltas[name] = current - self._marks[name]
+            self._marks[name] = current
+        snapshot = EpochSnapshot(
+            index=self._epoch_index,
+            start=self._epoch_start,
+            length=self.epoch_length,
+            deltas=deltas,
+            probes=self._probes,
+        )
+        self._ring.append(snapshot)
+        # The snapshot dicts exist for the ring either way, so this emit
+        # needs no active-guard: quiet, it is one counter increment.
+        self._tracer.emit(
+            snapshot.end,
+            "epoch.snapshot",
+            epoch=snapshot.index,
+            start=snapshot.start,
+            length=snapshot.length,
+            deltas=deltas,
+            probes=snapshot.probes,
+        )
+        self._probes = {}
+        self._epoch_start += self.epoch_length
+        self._epoch_index += 1
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def epochs(self) -> tuple[EpochSnapshot, ...]:
+        """Closed epochs currently held in the ring, oldest first."""
+        return tuple(self._ring)
+
+    @property
+    def current_epoch(self) -> int:
+        """Index of the (still open) current epoch."""
+        return self._epoch_index
+
+    def series(self, probe: str) -> list[tuple[int, float]]:
+        """``(epoch index, value)`` pairs for one probe across the ring,
+        skipping epochs where the probe was not recorded."""
+        return [
+            (snap.index, snap.probes[probe])
+            for snap in self._ring
+            if probe in snap.probes
+        ]
+
+    def delta_series(self, counter: str) -> list[tuple[int, int]]:
+        """``(epoch index, delta)`` pairs for one tracked counter."""
+        return [
+            (snap.index, snap.deltas[counter])
+            for snap in self._ring
+            if counter in snap.deltas
+        ]
+
+    def latest(self, probe: str) -> float | None:
+        """Most recent closed-epoch value of ``probe`` (None if never)."""
+        for snap in reversed(self._ring):
+            if probe in snap.probes:
+                return snap.probes[probe]
+        return None
+
+    def reset(self) -> None:
+        """Drop history and restart epoch numbering at the current time.
+
+        Tracked counter names persist; their baselines re-mark at the
+        counters' current values.
+        """
+        self._ring.clear()
+        self._probes = {}
+        self._epoch_start = float(self._clock())
+        self._epoch_index = 0
+        for name in self._tracked:
+            self._marks[name] = self._counter_value(name)

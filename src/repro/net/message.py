@@ -55,7 +55,7 @@ class Message:
     ``__init__`` roughly doubles that cost at production scale.
     """
 
-    __slots__ = ("sender", "recipient", "payload", "sent_at", "delivered_at")
+    __slots__ = ("sender", "recipient", "payload", "sent_at", "delivered_at", "span")
 
     def __init__(
         self,
@@ -64,12 +64,18 @@ class Message:
         payload: Payload,
         sent_at: float,
         delivered_at: float,
+        span: int = 0,
     ) -> None:
         self.sender = sender
         self.recipient = recipient
         self.payload = payload
         self.sent_at = sent_at
         self.delivered_at = delivered_at
+        #: Causal span id of this wire message (0 when span tracking is
+        #: off).  The transport stamps it at send and makes it the current
+        #: causal context while the handler runs, so protocol work caused
+        #: by this delivery parents to it (see repro.telemetry.spans).
+        self.span = span
 
     @property
     def kind(self) -> str:

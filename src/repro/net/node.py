@@ -137,9 +137,12 @@ class Node:
         # re-installed from scratch by the network's join listeners.
         self._handlers.clear()
         self._failure_hooks.clear()
-        self.network.sim.trace.emit(
-            self.network.sim.now, "node.failed", peer=self.peer_id
-        )
+        sim = self.network.sim
+        # Error-close any causal spans this peer still owns (in-flight
+        # convergecast participations, root-side sessions): a crashed
+        # peer's spans must end as error-tagged trees, not leak.
+        sim.telemetry.spans.close_peer(self.peer_id)
+        sim.trace.emit(sim.now, "node.failed", peer=self.peer_id)
 
     def revive(self) -> None:
         """Bring a failed node back up (a rejoin with the same identity).

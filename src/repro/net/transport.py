@@ -172,15 +172,15 @@ class _Batch:
     computed arrival time matches an open batch on the same link are
     appended instead of scheduling their own event.  Draining preserves
     send order, and each entry keeps its own ``(payload, sent_at,
-    msg_id)`` so per-message semantics (latency, ACKs, fault accounting)
-    are untouched — see docs/PERFORMANCE.md for the exact transparency
-    boundary.
+    msg_id, span)`` so per-message semantics (latency, ACKs, fault
+    accounting, causal spans) are untouched — see docs/PERFORMANCE.md
+    for the exact transparency boundary.
     """
 
     __slots__ = ("time", "entries")
 
     def __init__(
-        self, time: float, entries: "deque[tuple[Payload, float, int | None]]"
+        self, time: float, entries: "deque[tuple[Payload, float, int | None, int]]"
     ) -> None:
         self.time = time
         self.entries = entries
@@ -239,6 +239,7 @@ class Transport:
         "_duplicates",
         "_n_sent",
         "_n_delivered",
+        "_spans",
         "_cost_handles",
         "_drop_counters",
         "_batches",
@@ -288,6 +289,9 @@ class Transport:
         self._n_sent = 0
         self._n_delivered = 0
         sim.trace.register_flush(self._flush_counts)
+        # Causal span tracker handle (opt-in; `.enabled` is False by
+        # default, so the per-message checks below are one attribute read).
+        self._spans = sim.telemetry.spans
         # Interned accounting handles, one per cost category seen: the
         # per-message charge becomes two attribute/dict updates instead of
         # two defaultdict walks through CostAccounting.record.
@@ -439,6 +443,7 @@ class Transport:
         cell.n += 1
         self._bytes_sent.value += size
         trace = sim.trace
+        span_sid = 0
         if trace.active:
             trace.emit(
                 sim.now,
@@ -449,6 +454,21 @@ class Transport:
                 category=category.value,
                 size=size,
             )
+            spans_ = self._spans
+            if spans_.enabled:
+                # The wire span parents to the sender's current causal
+                # context and travels with the message through the batch
+                # queue; every exit below (fault drop, loss, dead
+                # recipient, delivery) closes it.  Owner stays None: a
+                # sender crash does not recall bytes already on the wire.
+                span_sid = spans_.open(  # repro-lint: disable=OBS001
+                    "wire.msg",
+                    sender=sender,
+                    recipient=recipient,
+                    payload_kind=type(payload).__name__,
+                    category=category.value,
+                    size=size,
+                )
         else:
             self._n_sent += 1
         extra_delay = 0.0
@@ -464,6 +484,8 @@ class Transport:
                     payload_kind=type(payload).__name__,
                     category=category.value,
                 )
+                if span_sid:
+                    self._spans.close(span_sid, status="dropped", reason="fault")
                 return
             if verdict == DELAY:
                 extra_delay = extra
@@ -479,6 +501,8 @@ class Transport:
             if rng.random() < self._loss_p:
                 self._count_drop("loss", category)
                 trace.emit(sim.now, "msg.lost", sender=sender)
+                if span_sid:
+                    self._spans.close(span_sid, status="lost")
                 return
         delay = self._latency + extra_delay
         if self._jitter > 0.0:
@@ -499,9 +523,9 @@ class Transport:
         key = (sender, recipient)
         batch = self._batches.get(key)
         if batch is not None and batch.time == deliver_at:
-            batch.entries.append((payload, sent_at, msg_id))
+            batch.entries.append((payload, sent_at, msg_id, span_sid))
             return
-        batch = _Batch(deliver_at, deque(((payload, sent_at, msg_id),)))
+        batch = _Batch(deliver_at, deque(((payload, sent_at, msg_id, span_sid),)))
         self._batches[key] = batch
         # sim.post inlined (delay is never negative here): one scheduling
         # frame per batch is the remaining per-message engine cost.
@@ -548,15 +572,18 @@ class Transport:
         # sees current registrations.
         handler_for = node._handlers.get if node is not None else None
         observe = self._latency_hist.observe
+        spans_ = self._spans
         entries = batch.entries
         while entries:
-            payload, sent_at, msg_id = entries.popleft()
+            payload, sent_at, msg_id, span = entries.popleft()
             inflight.value -= 1.0
             # alive is re-read per entry: an earlier delivery in this very
             # batch may have crashed the recipient.
             if node is None or not node.alive:
                 self._count_drop("dead", payload.category)
                 trace.emit(now, "msg.dropped_dead_recipient", recipient=recipient)
+                if span:
+                    spans_.close(span, status="error", reason="dead_recipient")
                 continue
             if type(payload) is TransportAckPayload:
                 # Transport-internal: complete the pending send, never
@@ -564,13 +591,23 @@ class Transport:
                 # descendant goes through ABCMeta.__instancecheck__,
                 # measurably slow at one call per delivered message.
                 self._pending.pop(payload.msg_id, None)
+                if span:
+                    spans_.close(span)
                 continue
             if msg_id is not None:
                 # Reliable data: acknowledge every copy (the first ACK may
-                # have been lost), dispatch only the first.
-                self._transmit(recipient, sender, TransportAckPayload(msg_id))
+                # have been lost), dispatch only the first.  The ACK's own
+                # wire span parents to this delivery's span.
+                if span:
+                    previous = spans_.activate(span)
+                    self._transmit(recipient, sender, TransportAckPayload(msg_id))
+                    spans_.restore(previous)
+                else:
+                    self._transmit(recipient, sender, TransportAckPayload(msg_id))
                 if msg_id in self._delivered_reliable:
                     self._duplicates.inc()
+                    if span:
+                        spans_.close(span, duplicate=True)
                     continue
                 self._delivered_reliable.add(msg_id)
             latency = now - sent_at
@@ -595,5 +632,16 @@ class Transport:
                     peer=recipient,
                     payload_kind=type(payload).__name__,
                 )
+                if span:
+                    spans_.close(span, status="error", reason="unhandled")
+            elif span:
+                # The delivery's span is the causal context while the
+                # handler runs, so protocol work (and replies) it triggers
+                # parents to this message; it closes when the handler — and
+                # everything synchronous it caused — returns.
+                previous = spans_.activate(span)
+                handler(Message(sender, recipient, payload, sent_at, now, span))
+                spans_.restore(previous)
+                spans_.close(span, latency=latency)
             else:
                 handler(Message(sender, recipient, payload, sent_at, now))

@@ -26,5 +26,13 @@ event, so it stays on in benchmarks and large sweeps.
 
 from repro.telemetry.core import Telemetry
 from repro.telemetry.sink import JsonlTraceSink, iter_trace, read_trace
+from repro.telemetry.spans import NO_SPAN, SpanTracker
 
-__all__ = ["JsonlTraceSink", "Telemetry", "iter_trace", "read_trace"]
+__all__ = [
+    "JsonlTraceSink",
+    "NO_SPAN",
+    "SpanTracker",
+    "Telemetry",
+    "iter_trace",
+    "read_trace",
+]

@@ -2,14 +2,18 @@
 
 Usage::
 
-    python -m repro.telemetry report trace.jsonl [--top 5]
+    python -m repro.telemetry run-report trace.jsonl [--top 5]
     python -m repro.telemetry kinds trace.jsonl
+    python -m repro.telemetry export-chrome trace.jsonl -o trace.chrome.json
 
-``report`` prints the full run report: per-phase simulated/wall time,
-bytes and messages by cost category (the paper's Figure 5-style cost
-split), a message-latency histogram, and the heaviest senders.  ``kinds``
+``run-report`` (alias ``report``) prints the full run report: per-phase
+simulated/wall time, bytes and messages by cost category (the paper's
+Figure 5-style cost split), a message-latency histogram, the heaviest
+senders, and — when the trace carries causal spans — per-session
+critical paths with per-phase and per-level attribution.  ``kinds``
 lists every event kind in the trace with its count — a quick way to see
-what a run actually did.
+what a run actually did.  ``export-chrome`` converts the spans into a
+Chrome trace-event file loadable in https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -28,7 +32,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    report_parser = sub.add_parser("report", help="print the full run report")
+    report_parser = sub.add_parser(
+        "run-report", aliases=["report"], help="print the full run report"
+    )
     report_parser.add_argument("trace", nargs="+", help="JSONL trace file(s)")
     report_parser.add_argument(
         "--top", type=int, default=5, help="how many heaviest peers to list"
@@ -37,7 +43,22 @@ def main(argv: list[str] | None = None) -> int:
     kinds_parser = sub.add_parser("kinds", help="list event kinds with counts")
     kinds_parser.add_argument("trace", nargs="+", help="JSONL trace file(s)")
 
+    chrome_parser = sub.add_parser(
+        "export-chrome",
+        help="export causal spans as a Perfetto-loadable Chrome trace",
+    )
+    chrome_parser.add_argument("trace", nargs="+", help="JSONL trace file(s)")
+    chrome_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output path (default: <trace>.chrome.json; only valid with "
+        "a single input trace)",
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "export-chrome" and args.output and len(args.trace) > 1:
+        parser.error("--output requires a single input trace")
     for i, path in enumerate(args.trace):
         if i:
             print()
@@ -46,8 +67,18 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, ValueError) as error:
             print(f"cannot read {path}: {error}", file=sys.stderr)
             return 1
-        if args.command == "report":
+        if args.command in ("run-report", "report"):
             print(render_report(report, top_k=args.top))
+        elif args.command == "export-chrome":
+            from repro.telemetry.chrome import export_chrome
+
+            out = args.output or f"{path}.chrome.json"
+            try:
+                written = export_chrome(report.spans, out)
+            except OSError as error:
+                print(f"cannot write {out}: {error}", file=sys.stderr)
+                return 1
+            print(f"{out}: {written} events from {len(report.spans)} spans")
         else:
             print(f"Trace: {path} ({report.events} events)")
             width = max((len(k) for k in report.kinds), default=0)

@@ -1,0 +1,122 @@
+"""Chrome trace-event (Perfetto-loadable) export of causal spans.
+
+Converts a reconstructed span tree (:func:`repro.telemetry.critical_path.
+collect_spans`) into the Trace Event Format consumed by ``chrome://
+tracing`` and https://ui.perfetto.dev: one *complete* (``ph="X"``) event
+per closed span, laid out with one track (``tid``) per peer, plus *flow*
+arrows (``ph="s"``/``ph="f"``) for every recorded ``cause`` edge — so
+the convergecast's "last reply in" chain is visible as arrows across
+peer tracks.
+
+Simulated time has no epoch, so one simulated time unit is mapped to one
+microsecond (the format's native unit); absolute positions are
+meaningful only relative to each other, which is all a single-run view
+needs.  Spans never closed (a killed run) are exported with zero
+duration and an ``unfinished`` flag rather than dropped, so they remain
+findable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.telemetry.critical_path import SpanNode
+
+#: One simulated time unit maps to this many Trace-Event microseconds.
+TIME_SCALE = 1_000_000.0
+
+#: The single process id used for all tracks (there is one simulation).
+PID = 1
+
+#: Track for spans with no owning peer (sessions, run/phase spans).
+CONTROL_TID = 0
+
+
+def chrome_trace_events(spans: dict[int, SpanNode]) -> list[dict[str, Any]]:
+    """The Trace-Event list for a span tree (deterministic order)."""
+    events: list[dict[str, Any]] = []
+    for sid in sorted(spans):
+        node = spans[sid]
+        tid = CONTROL_TID if node.peer is None else int(node.peer) + 1
+        start_us = node.start * TIME_SCALE
+        args: dict[str, Any] = {"span": node.sid, "status": node.status}
+        args.update(node.fields)
+        args.update(node.close_fields)
+        if not node.closed:
+            args["unfinished"] = True
+        events.append(
+            {
+                "name": node.label(),
+                "cat": node.kind,
+                "ph": "X",
+                "ts": start_us,
+                "dur": node.duration * TIME_SCALE,
+                "pid": PID,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        cause = spans.get(node.cause)
+        if cause is not None and cause.closed and node.closed:
+            # A flow arrow from the cause's close to this span's close:
+            # "this input's completion is what completed me".
+            flow_id = node.sid
+            cause_tid = CONTROL_TID if cause.peer is None else int(cause.peer) + 1
+            assert cause.end is not None and node.end is not None
+            events.append(
+                {
+                    "name": "cause",
+                    "cat": "cause",
+                    "ph": "s",
+                    "id": flow_id,
+                    "ts": cause.end * TIME_SCALE,
+                    "pid": PID,
+                    "tid": cause_tid,
+                }
+            )
+            events.append(
+                {
+                    "name": "cause",
+                    "cat": "cause",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "ts": node.end * TIME_SCALE,
+                    "pid": PID,
+                    "tid": tid,
+                }
+            )
+    return events
+
+
+def thread_names(spans: dict[int, SpanNode]) -> list[dict[str, Any]]:
+    """Metadata events labelling each track with its peer id."""
+    tids = {CONTROL_TID}
+    for node in spans.values():
+        if node.peer is not None:
+            tids.add(int(node.peer) + 1)
+    return [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": PID,
+            "tid": tid,
+            "args": {
+                "name": "control" if tid == CONTROL_TID else f"peer {tid - 1}"
+            },
+        }
+        for tid in sorted(tids)
+    ]
+
+
+def export_chrome(spans: dict[int, SpanNode], path: str) -> int:
+    """Write the Perfetto-loadable JSON file; returns the event count."""
+    events = thread_names(spans) + chrome_trace_events(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"traceEvents": events, "displayTimeUnit": "ms"},
+            handle,
+            separators=(",", ":"),
+        )
+    return len(events)

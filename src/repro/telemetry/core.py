@@ -26,9 +26,11 @@ from time import perf_counter
 
 from repro.metrics.registry import DEFAULT_TIME_BUCKETS, MetricsRegistry
 from repro.sim.trace import Tracer
+from repro.telemetry.spans import SpanTracker
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.metrics.accounting import CostAccounting
+    from repro.metrics.timeseries import EpochTimeseries
     from repro.sim.engine import Simulation
     from repro.telemetry.sink import JsonlTraceSink
 
@@ -51,6 +53,8 @@ class Telemetry:
         self.tracer = Tracer()
         self.registry = MetricsRegistry()
         self.accounting: "CostAccounting | None" = None
+        self.spans = SpanTracker(sim, self.tracer)
+        self.epochs: "EpochTimeseries | None" = None
         self._sinks: list["JsonlTraceSink"] = []
 
     # ------------------------------------------------------------------
@@ -85,13 +89,64 @@ class Telemetry:
         self._sinks.append(sink)
         return sink
 
+    def enable_spans(self, sample_every: int = 1) -> SpanTracker:
+        """Turn on causal span tracking (see :mod:`repro.telemetry.spans`).
+
+        Spans only emit while the tracer is also :attr:`~repro.sim.trace.
+        Tracer.active` (a sink attached or recording on), so enabling them
+        for a run with no consumer still costs nothing on the hot path.
+
+        ``sample_every`` keeps 1 in that many per-message *wire* spans
+        (control spans are never sampled) — pass the JSONL sink's
+        sampling factor so span volume scales with the rest of the trace.
+        """
+        self.spans.enabled = True
+        self.spans.sample_every = max(int(sample_every), 1)
+        return self.spans
+
+    def enable_epochs(
+        self, epoch_length: float, capacity: int | None = None
+    ) -> "EpochTimeseries":
+        """Create (or return) the windowed epoch timeseries layer.
+
+        Repeated calls with the same ``epoch_length`` return the existing
+        instance so independent probes share one epoch grid; asking for a
+        different length once epochs exist raises.
+        """
+        from repro.metrics.timeseries import DEFAULT_CAPACITY, EpochTimeseries
+
+        existing = self.epochs
+        if existing is not None:
+            if existing.epoch_length != epoch_length:
+                raise ValueError(
+                    f"epoch timeseries already enabled with length "
+                    f"{existing.epoch_length}, not {epoch_length}"
+                )
+            return existing
+        self.epochs = EpochTimeseries(
+            self.registry,
+            self.tracer,
+            lambda: self._sim.now,
+            epoch_length=epoch_length,
+            capacity=DEFAULT_CAPACITY if capacity is None else capacity,
+        )
+        return self.epochs
+
     @property
     def sinks(self) -> tuple["JsonlTraceSink", ...]:
         """Currently attached trace sinks."""
         return tuple(self._sinks)
 
     def close(self) -> list[str]:
-        """Close every attached sink; returns the paths written."""
+        """Close every attached sink; returns the paths written.
+
+        Before detaching, any epochs the clock has passed are flushed and
+        leaked spans are swept closed (status ``unclosed``), so a finished
+        trace is always a set of *closed* span trees.
+        """
+        if self.epochs is not None:
+            self.epochs.roll()
+        self.spans.finish()
         paths = []
         for sink in self._sinks:
             sink.close()
@@ -115,7 +170,15 @@ class Telemetry:
         wall-clock (``wall_elapsed``, seconds) durations plus anything the
         body stores into the yielded dict.  The simulated duration also
         feeds the ``span.<kind>`` timer in the registry.
+
+        When causal span tracking is on (:meth:`enable_spans`), the block
+        additionally opens a tracker span of the same kind and makes it
+        the current causal context, so phases nest correctly in the span
+        tree and sessions started inside the block parent to it.
         """
+        spans = self.spans
+        sid = spans.open(kind)
+        previous = spans.activate(sid) if sid else spans.current
         self.tracer.emit(self._sim.now, kind, ev="begin", **fields)
         extra: dict[str, Any] = {}
         sim_started = self._sim.now
@@ -137,14 +200,21 @@ class Telemetry:
             self.registry.timer(f"span.{kind}", DEFAULT_TIME_BUCKETS).observe(
                 sim_elapsed
             )
+            if sid:
+                spans.restore(previous)
+                spans.close(sid)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Zero the tracer, registry, and (if attached) the accounting —
-        for experiment sweeps that reuse one simulation factory."""
+        """Zero the tracer, registry, spans, epochs, and (if attached) the
+        accounting — for experiment sweeps that reuse one simulation
+        factory."""
         self.tracer.reset()
         self.registry.reset()
+        self.spans.reset()
+        if self.epochs is not None:
+            self.epochs.reset()
         if self.accounting is not None:
             self.accounting.reset()

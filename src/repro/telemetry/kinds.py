@@ -72,6 +72,17 @@ TRACE_KINDS: dict[str, str] = {
     "gossip.filter.phase": "span: push-sum candidate filtering",
     "gossip.flood.phase": "span: heavy-group overlay flood",
     "gossip.verify.phase": "span: keyed push-sum verification",
+    # -- causal spans (repro.telemetry.spans) ---------------------------
+    "span.open": "a causal span opened (fields: span, parent, span_kind, peer)",
+    "span.close": "a causal span closed (fields: span, status, cause)",
+    # The span_kind vocabulary for tracker spans (values of the
+    # ``span_kind`` field above); phase spans reuse the kinds of the
+    # begin/end events they shadow (netfilter.run, filter.phase, ...).
+    "wire.msg": "causal span: one message on the wire, send to delivery",
+    "agg.session": "causal span: one aggregation session, root-side",
+    "agg.node": "causal span: one node's convergecast participation",
+    # -- epoch timeseries (repro.metrics.timeseries) --------------------
+    "epoch.snapshot": "a sim-time epoch closed: counter deltas + gauge/probe values",
     # -- sink framing (written by JsonlTraceSink, never emitted) -------
     "trace.meta": "first JSONL line: format version and sampling setup",
     "trace.summary": "last JSONL line: exact per-kind emit counters",

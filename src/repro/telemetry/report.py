@@ -11,6 +11,18 @@ plain-text report the ``python -m repro.telemetry`` CLI prints.
 When the trace was written with sampling, byte/message totals are scaled
 back up using the exact per-kind counters in the trailing
 ``trace.summary`` record, and the report says so.
+
+Forward compatibility: a trace written by a *newer* build may contain
+event kinds this build has never heard of.  Those records are skipped
+and counted (per kind, surfaced in the report header) instead of being
+folded into the declared-kind statistics — an old report reading a new
+trace degrades to a complete report over the kinds it understands.
+
+When the trace carries causal spans (:mod:`repro.telemetry.spans`), the
+report grows the attribution views: the critical path of every
+aggregation session (whose segment latencies sum to the session's
+end-to-end latency by construction), per-phase subtree bytes, and
+per-hierarchy-level convergecast cost.
 """
 
 from __future__ import annotations
@@ -23,6 +35,8 @@ from repro.experiments.report import format_value, render_table
 from repro.metrics.accounting import CostAccounting
 from repro.metrics.registry import DEFAULT_TIME_BUCKETS, HistogramMetric
 from repro.net.wire import CostCategory
+from repro.telemetry import critical_path as cpath
+from repro.telemetry.kinds import TRACE_KINDS
 
 
 @dataclass
@@ -57,6 +71,11 @@ class RunReport:
     n_peers_seen: int
     latency: HistogramMetric
     sample_scale: dict[str, float] = field(default_factory=dict)
+    #: Records whose kind this build does not declare, skipped and
+    #: counted per kind (forward compatibility with newer traces).
+    unknown_kinds: dict[str, int] = field(default_factory=dict)
+    #: Reconstructed causal spans (empty when the trace has none).
+    spans: dict[int, cpath.SpanNode] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -79,6 +98,8 @@ def build_report(
     latency = HistogramMetric("msg.latency", latency_buckets)
     phases: dict[str, PhaseStat] = {}
     kinds: dict[str, int] = {}
+    unknown_kinds: dict[str, int] = {}
+    span_records: list[dict[str, Any]] = []
     peers: set[int] = set()
     events = 0
     first_time = math.inf
@@ -92,13 +113,21 @@ def build_report(
         if kind == "trace.summary":
             summary = record
             continue
+        if kind not in TRACE_KINDS:
+            # A newer trace may carry kinds this build does not declare:
+            # skip them (their field conventions are unknown) but count
+            # them, so the report can say what it ignored.
+            unknown_kinds[kind] = unknown_kinds.get(kind, 0) + 1
+            continue
         events += 1
         kinds[kind] = kinds.get(kind, 0) + 1
         time = record.get("t")
         if isinstance(time, (int, float)):
             first_time = min(first_time, time)
             last_time = max(last_time, time)
-        if kind == "msg.sent":
+        if kind in ("span.open", "span.close"):
+            span_records.append(record)
+        elif kind == "msg.sent":
             sender = record.get("sender")
             if sender is not None:
                 peers.add(sender)
@@ -142,6 +171,8 @@ def build_report(
         n_peers_seen=len(peers),
         latency=latency,
         sample_scale=sample_scale,
+        unknown_kinds=unknown_kinds,
+        spans=cpath.collect_spans(span_records),
     )
 
 
@@ -173,6 +204,75 @@ def render_histogram(hist: HistogramMetric, width: int = 30) -> str:
     return "\n".join(lines)
 
 
+def render_critical_paths(report: RunReport, max_sessions: int = 8) -> str:
+    """Critical-path tables, one per aggregation session in the trace.
+
+    Each table's segment latencies sum to the session's end-to-end
+    latency (the walk telescopes by construction); the footer line states
+    both numbers so the equality is visible in the rendered report.
+    """
+    spans = report.spans
+    children = cpath.children_of(spans)
+    sessions = [s for s in cpath.sessions(spans) if s.closed]
+    if not sessions:
+        return "Critical paths\n(no closed session spans in trace)"
+    shown = sessions[:max_sessions]
+    blocks = []
+    for session in shown:
+        segments = cpath.critical_path(spans, session.sid, children)
+        rows = [
+            {
+                "at": seg.start,
+                "segment": seg.span.label(),
+                "latency": seg.duration,
+                "bytes": seg.span.size,
+            }
+            for seg in reversed(segments)  # chronological order
+        ]
+        title = (
+            f"Critical path — session {session.fields.get('session', session.sid)} "
+            f"({session.fields.get('spec', '?')}, status {session.status})"
+        )
+        path_total = sum(seg.duration for seg in segments)
+        blocks.append(
+            render_table(rows, title=title)
+            + f"\n  path total {format_value(path_total)} "
+            f"= session latency {format_value(session.duration)}, "
+            f"{cpath.path_bytes(segments)} bytes on path"
+        )
+    if len(sessions) > len(shown):
+        blocks.append(f"({len(sessions) - len(shown)} more sessions not shown)")
+    return "\n\n".join(blocks)
+
+
+def render_span_sections(report: RunReport) -> list[str]:
+    """The span-derived report sections (empty when the trace has none)."""
+    spans = report.spans
+    if not spans:
+        return []
+    children = cpath.children_of(spans)
+    sections = []
+    statuses = cpath.status_summary(spans)
+    sections.append(
+        f"Causal spans: {len(spans)} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(statuses.items()))})"
+    )
+    sections.append("")
+    sections.append(render_critical_paths(report))
+    sections.append("")
+    phase_rows = cpath.per_phase_attribution(spans, children)
+    if phase_rows:
+        sections.append(render_table(phase_rows, title="Per-phase attribution"))
+        sections.append("")
+    level_rows = cpath.per_level_attribution(spans, children)
+    if level_rows:
+        sections.append(
+            render_table(level_rows, title="Per-level convergecast attribution")
+        )
+        sections.append("")
+    return sections
+
+
 def render_report(report: RunReport, top_k: int = 5) -> str:
     """The full plain-text run report."""
     lines = [
@@ -182,6 +282,14 @@ def render_report(report: RunReport, top_k: int = 5) -> str:
         f"{format_value(report.last_time)}] "
         f"(duration {format_value(report.duration)})",
     ]
+    if report.unknown_kinds:
+        skipped = ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(report.unknown_kinds.items())
+        )
+        lines.append(
+            f"  {sum(report.unknown_kinds.values())} records of "
+            f"{len(report.unknown_kinds)} undeclared kinds skipped ({skipped})"
+        )
     if report.sample_scale:
         scaled = ", ".join(
             f"{kind} x{scale:.1f}" for kind, scale in sorted(report.sample_scale.items())
@@ -238,6 +346,8 @@ def render_report(report: RunReport, top_k: int = 5) -> str:
     lines.append("Message latency (simulated time)")
     lines.append(render_histogram(report.latency))
     lines.append("")
+
+    lines.extend(render_span_sections(report))
 
     top = report.top_peers(top_k)
     if top:

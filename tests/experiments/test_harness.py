@@ -59,3 +59,22 @@ def test_trials_deterministic_under_seed():
         first.workload.global_values(), second.workload.global_values()
     )
     assert first.network.topology.adjacency == second.network.topology.adjacency
+
+
+def test_build_trial_with_spans_traces_closed_session_trees(tmp_path):
+    import json
+
+    from repro.core.netfilter import totals_spec
+
+    path = str(tmp_path / "trial.jsonl")
+    trial = build_trial(
+        ExperimentScale.small(), seed=0, trace_path=path, trace_spans=True
+    )
+    trial.engine.run(totals_spec())
+    assert trial.finish_trace() == path
+    records = [json.loads(line) for line in open(path, encoding="utf-8")]
+    opened = {r["span"] for r in records if r["kind"] == "span.open"}
+    closed = {r["span"] for r in records if r["kind"] == "span.close"}
+    assert opened and opened == closed  # every span in the trace is closed
+    kinds = {r["span_kind"] for r in records if r["kind"] == "span.open"}
+    assert {"agg.session", "agg.node", "wire.msg"} <= kinds

@@ -8,9 +8,19 @@ hierarchy maintenance enabled: the first crashes the *root* mid-query
 (recovery re-aims at the promoted successor), the second jitters the
 heartbeat plane without any real failure.  The CI job selects one cell
 per matrix entry with ``-k "<scenario> and seed<N>"``.
+
+The trials record causal spans, so the replay gate also covers span ids
+and causal links, and a failing cell's trace carries the full span tree.
+When ``REPRO_FAULT_TRACE_DIR`` is set (the CI job sets it), traces land
+in that directory — with a rendered run report next to each — instead of
+the pytest tmpdir, so a failing cell's evidence survives as a CI
+artifact.
 """
 
 from __future__ import annotations
+
+import os
+import pathlib
 
 import pytest
 
@@ -92,6 +102,7 @@ def make_scenario(kind: str, network: Network) -> FaultScenario:
 def run_smoke(kind: str, seed: int, trace_path: str) -> dict[int, float]:
     sim = Simulation(seed=seed)
     sim.telemetry.attach_jsonl(trace_path)
+    sim.telemetry.enable_spans()
     topology = Topology.random_connected(24, 4.0, sim.rng.stream("topology"))
     network = Network(
         sim,
@@ -123,10 +134,22 @@ def run_smoke(kind: str, seed: int, trace_path: str) -> dict[int, float]:
     "scenario", ["loss", "crash", "partition", "failover", "delayburst"]
 )
 def test_fault_matrix_replays_identically(scenario, seed, tmp_path):
-    first_path = str(tmp_path / "first.jsonl")
-    second_path = str(tmp_path / "second.jsonl")
+    artifact_dir = os.environ.get("REPRO_FAULT_TRACE_DIR")
+    base = pathlib.Path(artifact_dir) if artifact_dir else tmp_path
+    base.mkdir(parents=True, exist_ok=True)
+    first_path = str(base / f"{scenario}-seed{seed}-first.jsonl")
+    second_path = str(base / f"{scenario}-seed{seed}-second.jsonl")
     first = run_smoke(scenario, seed, first_path)
     second = run_smoke(scenario, seed, second_path)
+    if artifact_dir:
+        # Render the run reports *before* the replay assertions, so a
+        # failing cell still leaves human-readable evidence to upload.
+        from repro.telemetry.report import build_report, render_report
+        from repro.telemetry.sink import iter_trace
+
+        for path in (first_path, second_path):
+            rendered = render_report(build_report(iter_trace(path), path=path))
+            pathlib.Path(path + ".report.txt").write_text(rendered, encoding="utf-8")
     assert first == second
     a = strip_wall_clock(read_trace(first_path))
     b = strip_wall_clock(read_trace(second_path))

@@ -1,0 +1,90 @@
+"""Span trees under faults: crashes and failover close, never leak.
+
+The fault-matrix runner (:mod:`tests.faults.test_smoke_matrix`) records
+causal spans; these tests assert the *shape* invariants the observability
+layer promises under failure:
+
+* every opened span is closed in the finished trace (no orphans);
+* nothing closes ``unclosed`` — crashed peers' spans are error-tagged by
+  the crash sweep, undelivered messages close ``inflight``/``lost``;
+* sessions that completed still yield exact critical paths;
+* span ids, parents and causes replay byte-identically with the seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import critical_path as cpath
+from repro.telemetry.sink import read_trace
+
+from tests.faults.test_smoke_matrix import run_smoke
+
+
+def collect(trace_path: str) -> dict[int, cpath.SpanNode]:
+    return cpath.collect_spans(read_trace(trace_path))
+
+
+def assert_closed_forest(spans: dict[int, cpath.SpanNode]) -> None:
+    assert spans, "trace carries no spans"
+    for node in spans.values():
+        assert node.closed, f"span {node.sid} ({node.kind}) has no close record"
+        assert node.status != "unclosed", (
+            f"span {node.sid} ({node.kind}) leaked to the shutdown sweep"
+        )
+
+
+def test_crash_mid_phase_produces_closed_error_tagged_trees(tmp_path):
+    trace_path = str(tmp_path / "crash.jsonl")
+    # Seed 3 times the crash inside an active convergecast: peer 3 dies
+    # holding an open span, so the crash sweep has something to close.
+    run_smoke("crash", 3, trace_path)
+    spans = collect(trace_path)
+    assert_closed_forest(spans)
+    # The crashed peers' in-flight convergecast spans were error-closed
+    # by the crash sweep, with the reason recorded.
+    swept = [
+        node
+        for node in spans.values()
+        if node.status == "error"
+        and node.close_fields.get("reason") == "peer_crashed"
+    ]
+    assert swept, "no span was closed by the crash sweep"
+    assert {node.peer for node in swept} <= {3, 7}
+
+
+def test_root_failover_produces_closed_error_tagged_trees(tmp_path):
+    trace_path = str(tmp_path / "failover.jsonl")
+    run_smoke("failover", 1, trace_path)
+    spans = collect(trace_path)
+    assert_closed_forest(spans)
+    errors = [n for n in spans.values() if n.status == "error"]
+    assert errors, "root crash left no error-tagged spans"
+    # The dead root's own spans are among them.
+    assert any(n.peer == 0 for n in errors)
+    # Recovery re-aimed at the promoted successor: some sessions still
+    # completed, and each completed session yields an exact critical path.
+    children = cpath.children_of(spans)
+    completed = [s for s in cpath.sessions(spans) if s.status == "ok"]
+    assert completed, "no session completed after failover"
+    for session in completed:
+        segments = cpath.critical_path(spans, session.sid, children)
+        assert abs(sum(s.duration for s in segments) - session.duration) <= 1e-9
+
+
+def test_same_seed_replay_yields_identical_span_jsonl(tmp_path):
+    paths = [str(tmp_path / name) for name in ("a.jsonl", "b.jsonl")]
+    for path in paths:
+        run_smoke("crash", 2, path)
+
+    def span_lines(path: str) -> list[str]:
+        with open(path, encoding="utf-8") as handle:
+            return [
+                line
+                for line in handle
+                if json.loads(line).get("kind", "").startswith("span.")
+            ]
+
+    first, second = span_lines(paths[0]), span_lines(paths[1])
+    assert first, "no span records in trace"
+    assert first == second  # byte-identical, ids and causes included

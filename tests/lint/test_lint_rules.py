@@ -19,13 +19,23 @@ FIXTURES = pathlib.Path(__file__).parent / "fixtures"
 #: skips telemetry, PROTO002 skips tests) treat them as protocol code.
 SRC_LIKE = "src/repro/core/fixture.py"
 
-RULES = ["DET001", "DET002", "DET003", "PERF001", "PROTO001", "PROTO002", "API001"]
+RULES = [
+    "DET001",
+    "DET002",
+    "DET003",
+    "OBS001",
+    "PERF001",
+    "PROTO001",
+    "PROTO002",
+    "API001",
+]
 
 #: Findings expected from each rule's flagged fixture.
 EXPECTED_COUNTS = {
     "DET001": 2,  # time.time() + bare perf_counter()
     "DET002": 3,  # random.shuffle + np.random.random + bare default_rng()
     "DET003": 3,  # for over set param, .keys() comp, list(a - b) comp
+    "OBS001": 3,  # discarded open, loose local, returned open
     "PERF001": 3,  # unguarded f-string, dict literal, list comprehension
     "PROTO001": 4,  # Unregistered: 1 aspect; Bare: all 3 aspects
     "PROTO002": 2,  # typo'd emit kind + typo'd span kind
@@ -61,6 +71,12 @@ def test_suppressed_fixture_is_silent(rule_id):
 def test_det001_exempts_telemetry_paths():
     source = (FIXTURES / "det001_flagged.pytxt").read_text(encoding="utf-8")
     findings = lint_source(source, path="src/repro/telemetry/fixture.py")
+    assert findings == []
+
+
+def test_obs001_exempts_test_paths():
+    source = (FIXTURES / "obs001_flagged.pytxt").read_text(encoding="utf-8")
+    findings = lint_source(source, path="tests/core/test_fixture.py")
     assert findings == []
 
 

@@ -1,0 +1,120 @@
+"""Tests for the windowed epoch timeseries layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.timeseries import EpochTimeseries
+from repro.sim.engine import Simulation
+
+
+def make_ts(epoch_length: float = 10.0, capacity: int = 512):
+    sim = Simulation(seed=0)
+    ts = sim.telemetry.enable_epochs(epoch_length, capacity=capacity)
+    return sim, ts
+
+
+def advance(sim: Simulation, until: float) -> None:
+    sim.schedule(until - sim.now, lambda: None)
+    sim.run()
+
+
+def test_rejects_bad_configuration():
+    sim = Simulation(seed=0)
+    with pytest.raises(ValueError):
+        EpochTimeseries(
+            sim.telemetry.registry, sim.trace, lambda: sim.now, epoch_length=0.0
+        )
+    with pytest.raises(ValueError):
+        EpochTimeseries(
+            sim.telemetry.registry, sim.trace, lambda: sim.now,
+            epoch_length=1.0, capacity=0,
+        )
+
+
+def test_enable_epochs_is_idempotent_per_length():
+    sim, ts = make_ts(10.0)
+    assert sim.telemetry.enable_epochs(10.0) is ts
+    with pytest.raises(ValueError):
+        sim.telemetry.enable_epochs(5.0)
+
+
+def test_lazy_rolling_materialises_gap_epochs():
+    sim, ts = make_ts(10.0)
+    ts.record("staleness", 2.5)
+    advance(sim, 35.0)  # clock passes epochs 0, 1, 2
+    ts.roll()
+    epochs = ts.epochs()
+    assert [e.index for e in epochs] == [0, 1, 2]
+    assert [e.start for e in epochs] == [0.0, 10.0, 20.0]
+    # The probe landed in epoch 0 only; gap epochs exist but are empty.
+    assert epochs[0].probes == {"staleness": 2.5}
+    assert epochs[1].probes == {} and epochs[2].probes == {}
+    assert ts.current_epoch == 3
+
+
+def test_counter_deltas_are_per_epoch_with_baseline():
+    sim, ts = make_ts(10.0)
+    hits = sim.telemetry.registry.counter("hits")
+    hits.inc(100)  # before tracking: not attributed to any epoch
+    ts.track_counter("hits")
+    hits.inc(3)
+    advance(sim, 12.0)
+    # Rolling is lazy: deltas are read when an epoch *closes*, so the
+    # per-round pattern is roll-then-record (what core.continuous does).
+    ts.roll()
+    hits.inc(4)
+    advance(sim, 25.0)
+    ts.roll()
+    assert ts.delta_series("hits") == [(0, 3), (1, 4)]
+
+
+def test_record_is_latest_wins_and_add_accumulates():
+    sim, ts = make_ts(10.0)
+    ts.record("staleness", 1.0)
+    ts.record("staleness", 7.0)
+    ts.add("changed", 2.0)
+    ts.add("changed", 3.0)
+    advance(sim, 10.0)
+    ts.roll()
+    (epoch,) = ts.epochs()
+    assert epoch.probes == {"staleness": 7.0, "changed": 5.0}
+    assert ts.latest("staleness") == 7.0
+    assert ts.series("changed") == [(0, 5.0)]
+
+
+def test_ring_capacity_evicts_oldest():
+    sim, ts = make_ts(1.0, capacity=3)
+    advance(sim, 10.0)
+    ts.roll()
+    assert [e.index for e in ts.epochs()] == [7, 8, 9]
+
+
+def test_each_closed_epoch_emits_one_snapshot_event():
+    sim, ts = make_ts(10.0)
+    sim.trace.start_recording()
+    ts.record("staleness", 2.0)
+    advance(sim, 21.0)
+    ts.roll()
+    records = [r for r in sim.trace.records if r.kind == "epoch.snapshot"]
+    assert [r.fields["epoch"] for r in records] == [0, 1]
+    assert records[0].fields["probes"] == {"staleness": 2.0}
+    assert records[0].fields["start"] == 0.0
+
+
+def test_reset_restarts_numbering_and_baselines():
+    sim, ts = make_ts(10.0)
+    hits = sim.telemetry.registry.counter("hits")
+    ts.track_counter("hits")
+    hits.inc(5)
+    advance(sim, 15.0)
+    ts.roll()
+    ts.reset()
+    assert ts.epochs() == ()
+    assert ts.current_epoch == 0
+    hits.inc(2)
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    ts.roll()
+    # Only the post-reset increments are attributed.
+    assert [delta for _, delta in ts.delta_series("hits")] == [2]

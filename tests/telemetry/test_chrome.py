@@ -1,0 +1,92 @@
+"""Tests for the Chrome trace-event (Perfetto) span exporter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import critical_path as cpath
+from repro.telemetry.chrome import (
+    CONTROL_TID,
+    TIME_SCALE,
+    chrome_trace_events,
+    export_chrome,
+    thread_names,
+)
+
+from tests.telemetry.test_critical_path import _close, _open, convergecast_records
+
+
+def spans():
+    return cpath.collect_spans(convergecast_records())
+
+
+def test_one_complete_event_per_span_on_the_owners_track():
+    events = chrome_trace_events(spans())
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == 8
+    by_span = {e["args"]["span"]: e for e in complete}
+    # The session has no peer: control track.  Node 6 is peer 2's work.
+    assert by_span[1]["tid"] == CONTROL_TID
+    assert by_span[6]["tid"] == 2 + 1
+    assert by_span[6]["ts"] == 3.0 * TIME_SCALE
+    assert by_span[6]["dur"] == 5.0 * TIME_SCALE
+    assert by_span[1]["args"]["status"] == "ok"
+    assert by_span[1]["args"]["spec"] == "totals"  # open + close fields kept
+    assert by_span[1]["args"]["covered"] == 3
+
+
+def test_cause_edges_export_as_flow_pairs():
+    events = chrome_trace_events(spans())
+    starts = {e["id"]: e for e in events if e["ph"] == "s"}
+    finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+    # Two recorded causes: reply 8 completed node 2, node 2 the session.
+    assert set(starts) == set(finishes) == {1, 2}
+    # The arrow runs from the cause's close to the caused span's close.
+    assert starts[2]["ts"] == 9.5 * TIME_SCALE  # wire 8 closes at 9.5
+    assert finishes[2]["ts"] == 10.0 * TIME_SCALE
+    # Wire 8 carries no ``peer`` (ownerless): its end sits on the control
+    # track; the arrow lands on node 2's owner, peer 0.
+    assert starts[2]["tid"] == CONTROL_TID
+    assert finishes[2]["tid"] == 0 + 1
+
+
+def test_unclosed_span_exports_flagged_with_zero_duration():
+    tree = cpath.collect_spans([_open(1, "agg.session", 0, 0.0)])
+    (event,) = chrome_trace_events(tree)
+    assert event["args"]["unfinished"] is True
+    assert event["dur"] == 0.0
+    # No flow arrows hang off an open span.
+
+
+def test_flow_arrows_skip_open_endpoints():
+    records = [
+        _open(1, "agg.session", 0, 0.0),
+        _open(2, "agg.node", 1, 0.0, peer=0),
+        _close(2, "agg.node", 5.0),
+        _close(1, "agg.session", 6.0, cause=2),
+        # A close naming a cause whose open was truncated away: no arrow.
+        _open(3, "agg.node", 1, 0.0, peer=1),
+        _close(3, "agg.node", 7.0, cause=99),
+    ]
+    events = chrome_trace_events(cpath.collect_spans(records))
+    flows = [e for e in events if e["ph"] in ("s", "f")]
+    assert {e["id"] for e in flows} == {1}  # only the 2 -> 1 edge
+
+
+def test_thread_names_label_control_and_peers():
+    metas = thread_names(spans())
+    names = {e["tid"]: e["args"]["name"] for e in metas}
+    assert all(e["ph"] == "M" for e in metas)
+    assert names == {0: "control", 1: "peer 0", 2: "peer 1", 3: "peer 2"}
+
+
+def test_export_chrome_writes_loadable_json(tmp_path):
+    path = str(tmp_path / "trace.json")
+    tree = spans()
+    count = export_chrome(tree, path)
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["displayTimeUnit"] == "ms"
+    assert len(payload["traceEvents"]) == count
+    # 4 thread names + 8 spans + 2 flow pairs.
+    assert count == 4 + 8 + 4

@@ -1,0 +1,153 @@
+"""Tests for span-tree reconstruction and critical-path attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import critical_path as cpath
+
+
+def _open(sid, kind, parent, t, peer=None, **fields):
+    record = {"kind": "span.open", "span": sid, "span_kind": kind,
+              "parent": parent, "t": t, "peer": peer}
+    record.update(fields)
+    return record
+
+
+def _close(sid, kind, t, status="ok", cause=0, **fields):
+    record = {"kind": "span.close", "span": sid, "span_kind": kind,
+              "t": t, "status": status, "cause": cause}
+    record.update(fields)
+    return record
+
+
+def convergecast_records():
+    """A miniature two-level convergecast with causal links.
+
+    session 1 (0..10) opens root node 2 (0..10); node 2 fans out wire
+    spans 3 (0..2, to the fast child) and 4 (0..3, to the slow child);
+    child nodes 5 (2..4) and 6 (3..8) reply over wire spans 7 (4..5)
+    and 8 (8..9.5); node 2 closes at 10 caused by the late reply 8;
+    the session closes at 10 caused by node 2.
+    """
+    return [
+        _open(1, "agg.session", 0, 0.0, spec="totals", session=11),
+        _open(2, "agg.node", 1, 0.0, peer=0, depth=0),
+        _open(3, "wire.msg", 2, 0.0, sender=0, recipient=1, size=40),
+        _open(4, "wire.msg", 2, 0.0, sender=0, recipient=2, size=40),
+        _close(3, "wire.msg", 2.0),
+        _open(5, "agg.node", 3, 2.0, peer=1, depth=1),
+        _close(4, "wire.msg", 3.0),
+        _open(6, "agg.node", 4, 3.0, peer=2, depth=1),
+        _open(7, "wire.msg", 5, 4.0, sender=1, recipient=0, size=60),
+        _close(5, "agg.node", 4.0),
+        _close(7, "wire.msg", 5.0),
+        _open(8, "wire.msg", 6, 8.0, sender=2, recipient=0, size=60),
+        _close(6, "agg.node", 8.0),
+        _close(8, "wire.msg", 9.5),
+        _close(2, "agg.node", 10.0, cause=8, covered=3),
+        _close(1, "agg.session", 10.0, cause=2, covered=3),
+    ]
+
+
+def test_collect_spans_joins_opens_and_closes():
+    spans = cpath.collect_spans(convergecast_records())
+    assert len(spans) == 8
+    session = spans[1]
+    assert session.kind == "agg.session"
+    assert session.closed and session.duration == 10.0
+    assert session.cause == 2
+    assert session.fields["spec"] == "totals"
+    assert session.close_fields["covered"] == 3
+    assert spans[3].size == 40
+    assert spans[6].peer == 2
+
+
+def test_collect_spans_tolerates_truncation():
+    records = convergecast_records()
+    # Head truncated: the opens of spans 1 and 2 are gone, so their
+    # closes (and a stray close with no open at all) are ignored.
+    spans = cpath.collect_spans(records[2:] + [_close(99, "wire.msg", 1.0)])
+    assert 99 not in spans and 1 not in spans and 2 not in spans
+    assert spans[3].closed
+    # Tail truncated: an open without its close stays status "open".
+    spans = cpath.collect_spans(records[:4])
+    assert spans[4].status == "open"
+    assert not spans[4].closed
+
+
+def test_critical_path_telescopes_to_root_duration():
+    spans = cpath.collect_spans(convergecast_records())
+    segments = cpath.critical_path(spans, 1)
+    assert sum(seg.duration for seg in segments) == pytest.approx(
+        spans[1].duration, abs=1e-9
+    )
+    # Contiguity: backward-ordered segments chain exactly.
+    for earlier, later in zip(segments[1:], segments):
+        assert earlier.end == later.start
+    assert segments[0].end == spans[1].end
+    assert segments[-1].start == spans[1].start
+
+
+def test_critical_path_follows_the_slow_chain():
+    spans = cpath.collect_spans(convergecast_records())
+    path_sids = [seg.span.sid for seg in cpath.critical_path(spans, 1)]
+    # The slow child (node 6, reply 8) dominates; the fast chain (5, 7)
+    # never appears.
+    assert 8 in path_sids and 6 in path_sids
+    assert 5 not in path_sids and 7 not in path_sids
+
+
+def test_critical_path_bytes_count_wire_spans_on_path():
+    spans = cpath.collect_spans(convergecast_records())
+    segments = cpath.critical_path(spans, 1)
+    on_path = {seg.span.sid for seg in segments}
+    expected = sum(spans[sid].size for sid in on_path if spans[sid].kind == "wire.msg")
+    assert cpath.path_bytes(segments) == expected > 0
+
+
+def test_critical_path_rejects_unclosed_root():
+    spans = cpath.collect_spans(convergecast_records()[:-1])
+    with pytest.raises(ValueError):
+        cpath.critical_path(spans, 1)
+
+
+def test_per_level_attribution_partitions_bytes_by_depth():
+    spans = cpath.collect_spans(convergecast_records())
+    rows = cpath.per_level_attribution(spans)
+    by_depth = {row["depth"]: row for row in rows}
+    assert by_depth[0]["nodes"] == 1
+    assert by_depth[1]["nodes"] == 2
+    # Depth 0 owns the two request spans (3, 4); depth 1 the replies.
+    assert by_depth[0]["bytes"] == 80
+    assert by_depth[1]["bytes"] == 120
+    assert by_depth[1]["max time"] == 5.0  # node 6: 3.0 .. 8.0
+
+
+def test_per_phase_attribution_sums_subtrees():
+    # Wrap the whole convergecast in a phase span (re-parent the session).
+    records = (
+        [_open(9, "totals.phase", 0, 0.0)]
+        + [
+            {**r, "parent": 9} if r["kind"] == "span.open" and r["span"] == 1 else r
+            for r in convergecast_records()
+        ]
+        + [_close(9, "totals.phase", 10.0)]
+    )
+    spans = cpath.collect_spans(records)
+    rows = cpath.per_phase_attribution(spans)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["phase"] == "totals.phase"
+    assert row["sessions"] == 1
+    assert row["messages"] == 4
+    assert row["bytes"] == 200
+    assert row["sim time"] == 10.0
+
+
+def test_status_summary_counts_by_status():
+    records = convergecast_records()[:-2]  # spans 1 and 2 never close
+    spans = cpath.collect_spans(records)
+    summary = cpath.status_summary(spans)
+    assert summary["open"] == 2
+    assert summary["ok"] == 6

@@ -84,6 +84,35 @@ def test_render_report_contains_all_sections():
     assert "heaviest peers" in rendered
 
 
+def test_unknown_kinds_are_skipped_and_counted():
+    # A trace written by a newer build may carry kinds this one does not
+    # declare: they must not fold into the report (their field
+    # conventions are unknown) but must be accounted for.
+    records = _records()
+    records.insert(2, {"t": 0.5, "kind": "future.kind", "payload": 1})
+    records.insert(3, {"t": 0.6, "kind": "future.kind"})
+    records.insert(4, {"t": 0.7, "kind": "future.other"})
+    report = build_report(records)
+    assert report.unknown_kinds == {"future.kind": 2, "future.other": 1}
+    assert report.events == 5  # unchanged: unknown records excluded
+    assert "future.kind" not in report.kinds
+    rendered = render_report(report)
+    assert "3 records of 2 undeclared kinds skipped" in rendered
+    assert "future.kind x2" in rendered
+
+
+def test_span_records_render_critical_path_sections():
+    from tests.telemetry.test_critical_path import convergecast_records
+
+    report = build_report(_records() + convergecast_records())
+    assert len(report.spans) == 8
+    rendered = render_report(report)
+    assert "Causal spans: 8" in rendered
+    assert "Critical path — session 11" in rendered
+    assert "path total 10.000 = session latency 10.000" in rendered
+    assert "Per-level convergecast attribution" in rendered
+
+
 def test_render_histogram_empty():
     from repro.metrics.registry import HistogramMetric
 
@@ -95,10 +124,11 @@ def test_report_round_trips_through_real_sink(tmp_path):
     path = str(tmp_path / "run.jsonl")
     sim = Simulation(seed=0)
     sink = sim.telemetry.attach_jsonl(path)
-    with sim.telemetry.span("demo.phase"):
+    # Must be a declared kind — undeclared ones are skipped by design.
+    with sim.telemetry.span("filter.phase"):
         sim.run(until=5.0)
     sink.close()
     report = build_report(iter_trace(path), path=path)
-    assert [p.kind for p in report.phases] == ["demo.phase"]
+    assert [p.kind for p in report.phases] == ["filter.phase"]
     assert report.phases[0].sim_time == 5.0
     render_report(report)  # renders without raising
