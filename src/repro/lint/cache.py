@@ -1,0 +1,123 @@
+"""On-disk cache of the parse+facts pass.
+
+Building CFGs, a call graph and the message-flow model made the lint
+pass do real work per file, and most files do not change between runs.
+The cache stores, per source file, the picklable
+:class:`~repro.lint.model.FileSummary` plus that file's parsed
+suppression directives and its per-file-rule findings, keyed by
+``(path, mtime_ns, size)``.
+
+Validity has two layers:
+
+* the **entry** (summary + suppressions) is valid whenever the file's
+  ``(mtime_ns, size)`` stat matches — it depends on nothing else;
+* the stored **findings** are additionally keyed by a *facts
+  fingerprint* covering everything a per-file rule can read from
+  outside the file: the merged cross-file fact tables, the active rule
+  ids, the declared trace kinds, and the cache schema version.  Edit
+  one module and every *other* module's findings stay reusable unless
+  the edit changed the shared facts they were computed against.
+
+Whole-program rules are never cached: they re-run from the (cached)
+summaries every time, which is the cheap part.
+
+A cache entry that fails to load for any reason — corrupt pickle, a
+schema from another version, a moved repo — is treated as a miss; the
+cache can always be deleted wholesale (`rm -rf .repro-lint-cache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+
+from repro.lint.findings import Finding
+from repro.lint.model import FileSummary
+from repro.lint.suppressions import Suppressions
+
+#: Bump when FileSummary / Suppressions / Finding shapes change.
+SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+@dataclass
+class CacheEntry:
+    """One file's cached analysis products."""
+
+    path: str
+    mtime_ns: int
+    size: int
+    summary: FileSummary
+    suppressions: Suppressions
+    facts_fingerprint: str
+    findings: list[Finding]
+    schema: int = SCHEMA_VERSION
+
+
+class LintCache:
+    """Pickle-per-file cache under ``.repro-lint-cache/``."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self._made_root = False
+
+    def _entry_path(self, path: str) -> str:
+        digest = hashlib.sha1(os.path.abspath(path).encode("utf-8")).hexdigest()
+        return os.path.join(self.root, f"{digest}.pkl")
+
+    def load(self, path: str) -> CacheEntry | None:
+        """The cached entry for ``path`` if its stat still matches."""
+        try:
+            stat = os.stat(path)
+            with open(self._entry_path(path), "rb") as handle:
+                entry = pickle.load(handle)
+        except Exception:  # any failure to load is simply a miss
+            return None
+        if (
+            not isinstance(entry, CacheEntry)
+            or entry.schema != SCHEMA_VERSION
+            or entry.path != path
+            or entry.mtime_ns != stat.st_mtime_ns
+            or entry.size != stat.st_size
+        ):
+            return None
+        return entry
+
+    def store(
+        self,
+        path: str,
+        summary: FileSummary,
+        suppressions: Suppressions,
+        facts_fingerprint: str,
+        findings: list[Finding],
+    ) -> None:
+        """Write one file's entry (atomically; failures are ignored —
+        a cache must never turn a lint run into an error)."""
+        try:
+            stat = os.stat(path)
+            if not self._made_root:
+                os.makedirs(self.root, exist_ok=True)
+                self._made_root = True
+            entry = CacheEntry(
+                path=path,
+                mtime_ns=stat.st_mtime_ns,
+                size=stat.st_size,
+                summary=summary,
+                suppressions=suppressions,
+                facts_fingerprint=facts_fingerprint,
+                findings=list(findings),
+            )
+            fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, self._entry_path(path))
+            except BaseException:
+                os.unlink(tmp_path)
+                raise
+        except Exception:
+            pass

@@ -1,0 +1,317 @@
+"""Per-function control-flow graphs for typestate rules.
+
+The CFG is deliberately small: one statement per basic block, explicit
+edges for branches, loops, ``try``/``except``/``finally`` and the abrupt
+exits (``return``/``raise``/``break``/``continue``), and a single
+virtual exit block that every way out of the function reaches.  That is
+enough for the may-analyses the lint rules run (OBS002's span
+typestate), and one-statement blocks keep exception edges honest: an
+exception can leave a ``try`` body from *any* statement in it, so each
+statement needs its own edge to the handlers.
+
+Two modelling choices worth knowing about:
+
+* **Finally clones.**  A ``finally`` suite runs on the normal path, on
+  every ``return``/``break``/``continue`` that unwinds through it, and
+  on the uncaught-exception path — and the *continuation* differs each
+  time.  Sharing one copy of the suite would merge those continuations
+  and invent paths that cannot happen (a ``return`` flowing back into
+  the loop, say).  The builder therefore instantiates the ``finally``
+  body once per continuation.
+* **Branch refinements.**  Edges out of ``if``/``while`` tests carry the
+  test expression and the branch taken, so a dataflow client can refine
+  its state (the false edge of ``if sid:`` proves ``sid`` is falsy).
+
+Exceptions are only modelled *inside* ``try`` statements; adding an
+exceptional edge from every statement to the function exit would drown
+the analyses in impossible paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One control-flow edge, optionally labelled with the branch that
+    was taken (``test``/``branch``) so analyses can refine state."""
+
+    target: int
+    test: ast.expr | None = None
+    branch: bool | None = None
+
+
+@dataclass
+class Block:
+    """One basic block: a single statement (or a pseudo-statement such
+    as the ``ast.If`` node standing in for its test) plus out-edges."""
+
+    id: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: list[Edge] = field(default_factory=list)
+
+
+#: A frontier entry: a block id plus the refinement the edge *leaving*
+#: it towards the next block should carry.
+_Frontier = list[tuple[int, "tuple[ast.expr, bool] | None"]]
+
+
+@dataclass
+class _LoopFrame:
+    head: int
+    breaks: _Frontier = field(default_factory=list)
+
+
+@dataclass
+class _TryFrame:
+    finalbody: list[ast.stmt] | None
+    protects: bool  # whether raisers should register (handlers or finally exist)
+    raisers: list[int] = field(default_factory=list)
+
+
+class CFG:
+    """Control-flow graph of one function (or module) body."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, Block] = {}
+        self.exit: int = self._new_block().id  # id 0: virtual exit
+        self.entry: int = self._new_block().id  # id 1: virtual entry
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_body(cls, body: Sequence[ast.stmt]) -> "CFG":
+        """Build the CFG of a statement list (a function body or a
+        module's top level)."""
+        cfg = cls()
+        builder = _Builder(cfg)
+        frontier = builder.stmts(list(body), [(cfg.entry, None)], [])
+        builder.join(frontier, cfg.exit)  # falling off the end returns
+        return cfg
+
+    @classmethod
+    def from_function(cls, func: ast.FunctionDef | ast.AsyncFunctionDef) -> "CFG":
+        return cls.from_body(func.body)
+
+    def _new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks[block.id] = block
+        return block
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def preds(self, block_id: int) -> list[int]:
+        return [
+            b.id for b in self.blocks.values() if any(e.target == block_id for e in b.succs)
+        ]
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    def join(self, frontier: _Frontier, target: int) -> None:
+        for block_id, refinement in frontier:
+            test, branch = refinement if refinement is not None else (None, None)
+            self.cfg.blocks[block_id].succs.append(
+                Edge(target=target, test=test, branch=branch)
+            )
+
+    def _leaf(
+        self, stmt: ast.stmt, frontier: _Frontier, frames: list[object]
+    ) -> Block:
+        """A block holding one statement, wired from the frontier and
+        registered as a potential raiser with the innermost try."""
+        block = self.cfg._new_block()
+        block.stmts.append(stmt)
+        self.join(frontier, block.id)
+        for frame in reversed(frames):
+            if isinstance(frame, _TryFrame) and frame.protects:
+                frame.raisers.append(block.id)
+                break
+        return block
+
+    def _route_exit(self, frontier: _Frontier, frames: list[object]) -> None:
+        """Wire an abrupt exit (return/uncaught raise) to the function
+        exit, running every enclosing ``finally`` suite on the way out."""
+        for index in range(len(frames) - 1, -1, -1):
+            frame = frames[index]
+            if isinstance(frame, _TryFrame) and frame.finalbody:
+                frontier = self.stmts(frame.finalbody, frontier, frames[:index])
+        self.join(frontier, self.cfg.exit)
+
+    def _unwind_to_loop(
+        self, frontier: _Frontier, frames: list[object]
+    ) -> tuple[_Frontier, _LoopFrame | None]:
+        """Run finallys between a break/continue and its loop."""
+        for index in range(len(frames) - 1, -1, -1):
+            frame = frames[index]
+            if isinstance(frame, _LoopFrame):
+                return frontier, frame
+            if isinstance(frame, _TryFrame) and frame.finalbody:
+                frontier = self.stmts(frame.finalbody, frontier, frames[:index])
+        return frontier, None
+
+    def stmts(
+        self, body: list[ast.stmt], frontier: _Frontier, frames: list[object]
+    ) -> _Frontier:
+        for stmt in body:
+            frontier = self._stmt(stmt, frontier, frames)
+        return frontier
+
+    def _stmt(
+        self, stmt: ast.stmt, frontier: _Frontier, frames: list[object]
+    ) -> _Frontier:
+        if isinstance(stmt, ast.Return):
+            block = self._leaf(stmt, frontier, frames)
+            self._route_exit([(block.id, None)], frames)
+            return []
+        if isinstance(stmt, ast.Raise):
+            # The leaf registration already wires this block to any
+            # enclosing handlers; the uncaught continuation unwinds out.
+            block = self._leaf(stmt, frontier, frames)
+            self._route_exit([(block.id, None)], frames)
+            return []
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            block = self._leaf(stmt, frontier, frames)
+            unwound, loop = self._unwind_to_loop([(block.id, None)], frames)
+            if loop is not None:
+                if isinstance(stmt, ast.Break):
+                    loop.breaks.extend(unwound)
+                else:
+                    self.join(unwound, loop.head)
+            else:  # break/continue outside a loop: syntactically invalid
+                self.join(unwound, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier, frames)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, frontier, frames)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier, frames)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier, frames)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            block = self._leaf(stmt, frontier, frames)
+            return self.stmts(stmt.body, [(block.id, None)], frames)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier, frames)
+        # Simple statements — and nested function/class definitions,
+        # which typestate analyses treat as opaque (each function body
+        # gets its own CFG).
+        block = self._leaf(stmt, frontier, frames)
+        return [(block.id, None)]
+
+    @staticmethod
+    def _const_truth(test: ast.expr) -> bool | None:
+        """The truth value of a constant test, or None if dynamic."""
+        if isinstance(test, ast.Constant):
+            return bool(test.value)
+        return None
+
+    def _if(
+        self, stmt: ast.If, frontier: _Frontier, frames: list[object]
+    ) -> _Frontier:
+        head = self._leaf(stmt, frontier, frames)
+        truth = self._const_truth(stmt.test)
+        out: _Frontier = []
+        if truth is not False:
+            out.extend(
+                self.stmts(stmt.body, [(head.id, (stmt.test, True))], frames)
+            )
+        if truth is not True:
+            false_edge: _Frontier = [(head.id, (stmt.test, False))]
+            if stmt.orelse:
+                out.extend(self.stmts(stmt.orelse, false_edge, frames))
+            else:
+                out.extend(false_edge)
+        return out
+
+    def _while(
+        self, stmt: ast.While, frontier: _Frontier, frames: list[object]
+    ) -> _Frontier:
+        head = self._leaf(stmt, frontier, frames)
+        truth = self._const_truth(stmt.test)
+        loop = _LoopFrame(head=head.id)
+        if truth is not False:
+            body_out = self.stmts(
+                stmt.body, [(head.id, (stmt.test, True))], frames + [loop]
+            )
+            self.join(body_out, head.id)  # back edge
+        out: _Frontier = []
+        if truth is not True:
+            false_edge: _Frontier = [(head.id, (stmt.test, False))]
+            if stmt.orelse:
+                out.extend(self.stmts(stmt.orelse, false_edge, frames))
+            else:
+                out.extend(false_edge)
+        out.extend(loop.breaks)
+        return out
+
+    def _for(
+        self, stmt: ast.For | ast.AsyncFor, frontier: _Frontier, frames: list[object]
+    ) -> _Frontier:
+        head = self._leaf(stmt, frontier, frames)
+        loop = _LoopFrame(head=head.id)
+        body_out = self.stmts(stmt.body, [(head.id, None)], frames + [loop])
+        self.join(body_out, head.id)
+        out: _Frontier = []
+        exhausted: _Frontier = [(head.id, None)]
+        if stmt.orelse:
+            out.extend(self.stmts(stmt.orelse, exhausted, frames))
+        else:
+            out.extend(exhausted)
+        out.extend(loop.breaks)
+        return out
+
+    def _try(
+        self, stmt: ast.Try, frontier: _Frontier, frames: list[object]
+    ) -> _Frontier:
+        frame = _TryFrame(
+            finalbody=stmt.finalbody or None,
+            protects=bool(stmt.handlers or stmt.finalbody),
+        )
+        body_out = self.stmts(stmt.body, frontier, frames + [frame])
+        if stmt.orelse:  # runs unprotected by this try's handlers
+            body_out = self.stmts(stmt.orelse, body_out, frames)
+        handler_out: _Frontier = []
+        for handler in stmt.handlers:
+            entry = self.cfg._new_block()
+            entry.stmts.append(handler)  # pseudo-statement for anchoring
+            for raiser in frame.raisers:
+                self.join([(raiser, None)], entry.id)
+            # Exceptions escaping the handler body belong to outer frames.
+            for outer in reversed(frames):
+                if isinstance(outer, _TryFrame) and outer.protects:
+                    outer.raisers.append(entry.id)
+                    break
+            handler_out.extend(self.stmts(handler.body, [(entry.id, None)], frames))
+        if stmt.finalbody:
+            normal = self.stmts(
+                stmt.finalbody, body_out + handler_out, frames
+            )
+            if frame.raisers:
+                # Uncaught-exception continuation: its own finally clone,
+                # then unwind out of the function.
+                abrupt = self.stmts(
+                    stmt.finalbody,
+                    [(raiser, None) for raiser in frame.raisers],
+                    frames,
+                )
+                self._route_exit(abrupt, frames)
+            return normal
+        return body_out + handler_out
+
+    def _match(
+        self, stmt: ast.Match, frontier: _Frontier, frames: list[object]
+    ) -> _Frontier:
+        head = self._leaf(stmt, frontier, frames)
+        out: _Frontier = [(head.id, None)]  # no case matched
+        for case in stmt.cases:
+            out.extend(self.stmts(case.body, [(head.id, None)], frames))
+        return out

@@ -7,8 +7,10 @@ import json
 import sys
 from typing import Sequence
 
+from repro.lint.cache import DEFAULT_CACHE_DIR, LintCache
 from repro.lint.engine import lint_paths
-from repro.lint.registry import all_rules
+from repro.lint.registry import all_rules, known_rule_ids
+from repro.lint.sarif import render_sarif
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -27,9 +29,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="parse every file fresh instead of using the on-disk cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache location (default: {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--list-rules",
@@ -38,14 +57,34 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    rules = all_rules()
     if args.list_rules:
-        for rule_obj in all_rules():
+        for rule_obj in rules:
             print(f"{rule_obj.id}  {rule_obj.summary}")
         return 0
 
-    findings = lint_paths(args.paths)
+    disabled = {
+        rule_id.strip()
+        for chunk in args.disable
+        for rule_id in chunk.split(",")
+        if rule_id.strip()
+    }
+    unknown = disabled - set(known_rule_ids())
+    if unknown:
+        print(
+            f"repro-lint: unknown rule id(s) in --disable: {', '.join(sorted(unknown))}",
+            file=sys.stderr,
+        )
+        return 2
+    if disabled:
+        rules = [rule_obj for rule_obj in rules if rule_obj.id not in disabled]
+
+    cache = None if args.no_cache else LintCache(args.cache_dir)
+    findings = lint_paths(args.paths, rules=rules, cache=cache)
     if args.format == "json":
         print(json.dumps([f.to_json() for f in findings], indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(render_sarif(findings, rules), indent=2))
     else:
         for finding in findings:
             print(finding.render())

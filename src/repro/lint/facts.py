@@ -34,20 +34,32 @@ class ProjectFacts:
     def merge_from(self, tree: ast.Module) -> None:
         """Fold one parsed module into the fact tables."""
         for node in ast.walk(tree):
-            if isinstance(node, ast.AnnAssign) and annotation_is_set(node.annotation):
-                target = node.target
-                if isinstance(target, ast.Attribute):
-                    # self.x: set[...] = ...
-                    self.set_attributes.add(target.attr)
-                elif isinstance(target, ast.Name) and isinstance(
-                    getattr(node, "parent", None), (ast.ClassDef, type(None))
-                ):
-                    # Class-body (incl. dataclass field) annotations only;
-                    # function locals are tracked per-scope by DET003.
-                    self.set_attributes.add(target.id)
+            if isinstance(node, ast.AnnAssign):
+                if annotation_is_set(node.annotation) or _value_is_set(node.value):
+                    self._record_target(node.target, node)
+            elif isinstance(node, ast.Assign):
+                # Unannotated stores still declare a set when the value
+                # is one: `self.x = set()`, a set literal/comprehension,
+                # or a dataclass `field(default_factory=set)`.
+                if _value_is_set(node.value):
+                    for target in node.targets:
+                        self._record_target(target, node)
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 if node.returns is not None and annotation_is_set(node.returns):
                     self.set_returning_functions.add(node.name)
+
+    def _record_target(
+        self, target: ast.expr, node: ast.Assign | ast.AnnAssign
+    ) -> None:
+        if isinstance(target, ast.Attribute):
+            # self.x: set[...] = ... / self.x = set()
+            self.set_attributes.add(target.attr)
+        elif isinstance(target, ast.Name) and isinstance(
+            getattr(node, "parent", None), (ast.ClassDef, type(None))
+        ):
+            # Class-body (incl. dataclass field) declarations only;
+            # function locals are tracked per-scope by DET003.
+            self.set_attributes.add(target.id)
 
 
 def attach_parents(tree: ast.Module) -> None:
@@ -56,6 +68,37 @@ def attach_parents(tree: ast.Module) -> None:
     for node in ast.walk(tree):
         for child in ast.iter_child_nodes(node):
             child.parent = node  # type: ignore[attr-defined]
+
+
+def _value_is_set(value: ast.expr | None) -> bool:
+    """Whether an assigned value is unmistakably a set: a set literal or
+    comprehension, a ``set()``/``frozenset()`` call, or a dataclass
+    ``field(default_factory=set)``."""
+    if value is None:
+        return False
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if name in ("set", "frozenset"):
+        return True
+    if name == "field":
+        for keyword in value.keywords:
+            if keyword.arg != "default_factory":
+                continue
+            factory = keyword.value
+            factory_name = (
+                factory.id
+                if isinstance(factory, ast.Name)
+                else factory.attr if isinstance(factory, ast.Attribute) else None
+            )
+            if factory_name in ("set", "frozenset"):
+                return True
+    return False
 
 
 def annotation_is_set(annotation: ast.expr) -> bool:

@@ -1,0 +1,130 @@
+"""The message-flow graph: send sites ↔ payload classes ↔ handlers.
+
+Built from :class:`~repro.lint.model.FileSummary` records, the graph
+links every payload-construction/send site to the payload class names it
+can denote and every ``register_handler(PayloadType, ...)`` site to the
+types it registers.  PROTO003 reads dead letters (sent, handled nowhere)
+and dead handlers (registered, never sent) straight off it; PROTO004
+joins send sites against payload declarations through it.
+
+Matching is *name-lenient*: ``tagged(Base, tag)`` subclasses collapse
+onto their base name during resolution, so a payload counts as handled
+when a handler is registered for the name itself or a payload relative
+(ancestor/descendant).  Sites whose payload expression resolution failed
+are kept in ``unresolved_sends``/``unresolved_handlers``; the rules use
+those to withdraw the completeness claims that would otherwise become
+false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.lint.model import SiteRefs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.model import ProtocolModel
+
+
+def _is_test_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return "tests" in parts
+
+
+@dataclass
+class MessageFlowGraph:
+    """Payload-name-keyed send and handler site tables."""
+
+    sends: dict[str, list[SiteRefs]] = field(default_factory=dict)
+    handlers: dict[str, list[SiteRefs]] = field(default_factory=dict)
+    unresolved_sends: list[SiteRefs] = field(default_factory=list)
+    unresolved_handlers: list[SiteRefs] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, model: "ProtocolModel") -> "MessageFlowGraph":
+        graph = cls()
+        for summary in model.summaries.values():
+            for site in summary.send_sites:
+                cls._file_site(model, site, graph.sends, graph.unresolved_sends)
+            for site in summary.handler_sites:
+                cls._file_site(model, site, graph.handlers, graph.unresolved_handlers)
+        return graph
+
+    @staticmethod
+    def _file_site(
+        model: "ProtocolModel",
+        site: SiteRefs,
+        table: dict[str, list[SiteRefs]],
+        unresolved: list[SiteRefs],
+    ) -> None:
+        """Resolve one site's refs against the global payload tables."""
+        names: set[str] = set()
+        unknown = not site.resolved
+        for kind, value in site.refs:
+            if kind == "class":
+                if value in model.payload_classes:
+                    names.add(value)
+                elif value == "Payload" or value not in model.classes:
+                    # The root class (generic forwarding — anything can
+                    # flow through) or a class the linted tree never
+                    # declares (could be a payload defined outside it):
+                    # either way, don't guess.
+                    unknown = True
+                # else: a known non-payload class; not a protocol send.
+            else:  # attr
+                resolved = model.payload_attrs.get(value)
+                if resolved:
+                    names.update(resolved)
+                else:
+                    unknown = True
+        for name in sorted(names):
+            table.setdefault(name, []).append(site)
+        if unknown and not names:
+            unresolved.append(site)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sent_names(self) -> frozenset[str]:
+        return frozenset(self.sends)
+
+    def handled_names(self) -> frozenset[str]:
+        return frozenset(self.handlers)
+
+    def has_unresolved_sends(self, include_tests: bool = False) -> bool:
+        return any(
+            include_tests or not _is_test_path(site.path)
+            for site in self.unresolved_sends
+        )
+
+    def has_unresolved_handlers(self, include_tests: bool = True) -> bool:
+        return any(
+            include_tests or not _is_test_path(site.path)
+            for site in self.unresolved_handlers
+        )
+
+    def dead_letters(self, model: "ProtocolModel") -> dict[str, list[SiteRefs]]:
+        """Payloads that are sent but that no handler (for the name or a
+        payload relative) could ever receive."""
+        dead: dict[str, list[SiteRefs]] = {}
+        for name, sites in self.sends.items():
+            if name not in model.payload_classes:
+                continue
+            related = model.related_payloads(name)
+            if related & self.handled_names():
+                continue
+            dead[name] = list(sites)
+        return dead
+
+    def dead_handlers(self, model: "ProtocolModel") -> dict[str, list[SiteRefs]]:
+        """Registered payload types that no send site ever constructs."""
+        dead: dict[str, list[SiteRefs]] = {}
+        for name, sites in self.handlers.items():
+            if name not in model.payload_classes:
+                continue
+            related = model.related_payloads(name)
+            if related & self.sent_names():
+                continue
+            dead[name] = list(sites)
+        return dead

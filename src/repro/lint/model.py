@@ -1,0 +1,902 @@
+"""The whole-program protocol-flow model.
+
+Per-file rules see one module; the protocol invariants they guard span
+modules — payloads are declared in ``repro.net``, sent from
+``repro.core``/``repro.hierarchy``, and handled by services registered
+somewhere else entirely.  This module extracts a picklable
+:class:`FileSummary` from each parsed file (so the result can live in
+the lint cache) and folds the summaries into one :class:`ProtocolModel`:
+a symbol index, a lightweight name-based call graph, the message-flow
+graph (:mod:`repro.lint.graph`), an RNG-stream table, and the taint
+seeds for the DET004 dataflow walk.
+
+Everything here is *name-based* static analysis: a payload expression is
+resolved to the set of class names it can denote (through local
+assignments, ``tagged(Base, tag)`` calls, attribute tables built from
+``self.x = SomePayload`` stores, ``A if c else B`` branches, parameter
+annotations and ``assert isinstance(v, C)`` narrowing).  When an
+expression resolves to nothing the site is recorded as *unresolved* and
+the rules that would otherwise claim completeness (PROTO003's dead
+letters/handlers) degrade gracefully instead of guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Method names that consume randomness from a Generator/Random object.
+DRAW_METHODS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "exponential",
+        "gauss",
+        "integers",
+        "normal",
+        "permutation",
+        "poisson",
+        "randint",
+        "random",
+        "sample",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: Unseeded RNG constructors (taint sources when called with no seed).
+_RNG_CONSTRUCTORS = frozenset({"Random", "RandomState", "default_rng"})
+
+#: Dotted-attribute senders whose payload is the *third* argument
+#: (``self._transmit(recipient, sender, payload)``); ``send`` itself
+#: takes the payload second.
+_TRANSPORT_SENDERS = frozenset({"_transmit", "_send_reliable", "_transport_send"})
+
+
+def _walk_shallow(root: ast.AST) -> Iterable[ast.AST]:
+    """Walk a subtree without descending into nested function/class
+    definitions (they are scanned in their own scope)."""
+    todo: list[ast.AST] = [root]
+    while todo:
+        node = todo.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            todo.append(child)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string, or None for non-name expressions."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+# Summary records (all picklable: plain strings and ints only)
+# ----------------------------------------------------------------------
+
+#: A payload-expression reference: ``("class", "BuildPayload")`` or
+#: ``("attr", "_build_cls")`` — resolved against the global model later.
+Ref = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class SiteRefs:
+    """One send or register_handler site and what its payload
+    expression may denote."""
+
+    path: str
+    line: int
+    col: int
+    scope: str  # qualname of the enclosing function ('' = module level)
+    refs: tuple[Ref, ...]
+    resolved: bool  # False when the expression defeated resolution
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class declaration (payload-ness decided globally)."""
+
+    name: str
+    path: str
+    line: int
+    col: int
+    bases: tuple[str, ...]
+    registered: bool  # carries @register_payload
+    category: str | None  # literal CostCategory member name, if declared
+    has_body_bytes: bool
+    body_bytes_line: int
+    body_bytes_uses_model: bool
+
+
+@dataclass(frozen=True)
+class RngAcquisition:
+    """One ``<something>.rng.stream(name)`` call."""
+
+    path: str
+    line: int
+    col: int
+    scope: str
+    name: str | None  # None when the stream name is dynamic
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function/method: parameters, calls, and which parameters it
+    draws randomness from (for the DET004 interprocedural step)."""
+
+    name: str  # bare name (call-graph key)
+    qualname: str
+    path: str
+    line: int
+    params: tuple[str, ...]
+    drawn_params: tuple[str, ...]
+    calls: tuple[str, ...]  # bare callee names, sorted
+
+
+@dataclass(frozen=True)
+class TaintDraw:
+    """A draw-method call on a value tainted by an unseeded RNG
+    constructed in the same file."""
+
+    path: str
+    line: int
+    col: int
+    method: str
+    origin_line: int  # where the unseeded RNG was constructed
+
+
+@dataclass(frozen=True)
+class TaintedArgCall:
+    """A call that passes a tainted value onward as an argument."""
+
+    path: str
+    line: int
+    col: int
+    callee: str  # bare function name
+    position: int  # positional index, -1 when keyword
+    keyword: str | None
+    method_call: bool  # obj.f(...) — positional params offset by self
+    origin_line: int
+
+
+@dataclass(frozen=True)
+class AccountingCall:
+    """An explicit byte-accounting call with a literal CostCategory."""
+
+    path: str
+    line: int
+    col: int
+    scope: str
+    category: str  # the literal CostCategory member name
+
+
+@dataclass
+class FileSummary:
+    """Everything the whole-program model needs from one file.
+
+    Deliberately free of AST nodes so it pickles into the lint cache.
+    """
+
+    path: str
+    set_attributes: set[str] = field(default_factory=set)
+    set_returning_functions: set[str] = field(default_factory=set)
+    classes: list[ClassInfo] = field(default_factory=list)
+    #: attribute name -> class names it may hold (``self.x = Payload``/
+    #: ``self.x = tagged(Payload, t)`` stores, merged globally later).
+    attr_classes: dict[str, set[str]] = field(default_factory=dict)
+    send_sites: list[SiteRefs] = field(default_factory=list)
+    handler_sites: list[SiteRefs] = field(default_factory=list)
+    rng_streams: list[RngAcquisition] = field(default_factory=list)
+    functions: list[FunctionInfo] = field(default_factory=list)
+    taint_draws: list[TaintDraw] = field(default_factory=list)
+    tainted_arg_calls: list[TaintedArgCall] = field(default_factory=list)
+    accounting_calls: list[AccountingCall] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+
+
+def extract_summary(path: str, tree: ast.Module) -> FileSummary:
+    """Summarise one parsed module for the whole-program model."""
+    from repro.lint.facts import ProjectFacts
+
+    summary = FileSummary(path=path)
+    facts = ProjectFacts()
+    facts.merge_from(tree)
+    summary.set_attributes = set(facts.set_attributes)
+    summary.set_returning_functions = set(facts.set_returning_functions)
+    _Extractor(summary).visit_module(tree)
+    _extract_attr_taint(summary, tree)
+    return summary
+
+
+def _extract_attr_taint(summary: FileSummary, tree: ast.Module) -> None:
+    """File-wide attribute taint: an unseeded RNG stored on an attribute
+    (``self.rng = random.Random()``) taints every ``<x>.rng.<draw>()``
+    in the file."""
+    tainted_attrs: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            origin = _unseeded_rng_line(node.value)
+            if origin is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    tainted_attrs[target.attr] = origin
+    if not tainted_attrs:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in DRAW_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr in tainted_attrs
+        ):
+            summary.taint_draws.append(
+                TaintDraw(
+                    path=summary.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    method=func.attr,
+                    origin_line=tainted_attrs[func.value.attr],
+                )
+            )
+
+
+class _Scope:
+    """One function scope: local single-assignments, isinstance asserts,
+    annotated parameters — the material payload resolution works with."""
+
+    def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef | None) -> None:
+        self.assignments: dict[str, list[ast.expr]] = {}
+        self.asserted: dict[str, set[str]] = {}
+        self.annotated: dict[str, str] = {}
+        if node is not None:
+            args = node.args
+            all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            for arg in all_args:
+                if arg.annotation is not None:
+                    name = _annotation_class(arg.annotation)
+                    if name is not None:
+                        self.annotated[arg.arg] = name
+
+    def index(self, body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            for node in _walk_shallow(stmt):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        self.assignments.setdefault(target.id, []).append(node.value)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    if isinstance(node.target, ast.Name):
+                        self.assignments.setdefault(node.target.id, []).append(
+                            node.value
+                        )
+                elif isinstance(node, ast.Assert):
+                    self._index_assert(node.test)
+
+    def _index_assert(self, test: ast.expr) -> None:
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            for value in test.values:
+                self._index_assert(value)
+            return
+        if (
+            isinstance(test, ast.Call)
+            and isinstance(test.func, ast.Name)
+            and test.func.id == "isinstance"
+            and len(test.args) == 2
+            and isinstance(test.args[0], ast.Name)
+        ):
+            classes = self.asserted.setdefault(test.args[0].id, set())
+            second = test.args[1]
+            candidates = (
+                list(second.elts) if isinstance(second, ast.Tuple) else [second]
+            )
+            for candidate in candidates:
+                name = _annotation_class(candidate)
+                if name is not None:
+                    classes.add(name)
+
+
+def _annotation_class(annotation: ast.expr) -> str | None:
+    """The class name an annotation/classref expression names."""
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_class(annotation.value)
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value.split("[", 1)[0].strip()
+        return text.rsplit(".", 1)[-1] or None
+    return None
+
+
+class _Extractor:
+    def __init__(self, summary: FileSummary) -> None:
+        self.summary = summary
+        self.qual: list[str] = []
+        self._visited: set[ast.AST] = set()
+
+    # -- traversal ------------------------------------------------------
+    def visit_module(self, tree: ast.Module) -> None:
+        module_scope = _Scope(None)
+        module_scope.index(tree.body)
+        self._visit_body(tree.body, module_scope)
+
+    def _visit_body(self, body: list[ast.stmt], scope: _Scope) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                self._visit_class(stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit_function(stmt)
+            else:
+                self._scan_statement(stmt, scope)
+                self._visit_nested_defs(stmt)
+
+    def _visit_nested_defs(self, root: ast.AST) -> None:
+        """Defs hiding inside compound statements (``if TYPE_CHECKING:``
+        blocks, loop bodies).  The visited set keeps a def from being
+        entered twice when walks overlap."""
+        for child in ast.walk(root):
+            if child is root:
+                continue
+            if isinstance(child, ast.ClassDef):
+                self._visit_class(child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit_function(child)
+
+    def _visit_class(self, node: ast.ClassDef) -> None:
+        if node in self._visited:
+            return
+        self._visited.add(node)
+        self._record_class(node)
+        self.qual.append(node.name)
+        class_scope = _Scope(None)
+        class_scope.index(
+            [
+                s
+                for s in node.body
+                if not isinstance(
+                    s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+        )
+        self._visit_body(node.body, class_scope)
+        self.qual.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if node in self._visited:
+            return
+        self._visited.add(node)
+        self.qual.append(node.name)
+        qualname = ".".join(self.qual)
+        scope = _Scope(node)
+        scope.index(node.body)
+        self._record_function(node, qualname, scope)
+        for stmt in node.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                self._scan_statement(stmt, scope, scope_name=qualname)
+        self._visit_nested_defs(node)
+        self.qual.pop()
+
+    # -- class declarations --------------------------------------------
+    def _record_class(self, node: ast.ClassDef) -> None:
+        bases = tuple(
+            name
+            for name in (_annotation_class(base) for base in node.bases)
+            if name is not None
+        )
+        registered = any(
+            _annotation_class(dec) == "register_payload" for dec in node.decorator_list
+        )
+        category: str | None = None
+        has_body_bytes = False
+        body_bytes_line = node.lineno
+        uses_model = True
+        for stmt in node.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                value = stmt.value
+                if (
+                    value is not None
+                    and any(
+                        isinstance(t, ast.Name) and t.id == "category" for t in targets
+                    )
+                    and isinstance(value, ast.Attribute)
+                ):
+                    dotted = _dotted(value)
+                    if dotted is not None and "CostCategory" in dotted.split("."):
+                        category = value.attr
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name == "category":
+                    # a @property category: declared, value not static
+                    category = category or None
+                if stmt.name == "body_bytes":
+                    has_body_bytes = True
+                    body_bytes_line = stmt.lineno
+                    uses_model = _body_bytes_uses_model(stmt)
+        self.summary.classes.append(
+            ClassInfo(
+                name=node.name,
+                path=self.summary.path,
+                line=node.lineno,
+                col=node.col_offset,
+                bases=bases,
+                registered=registered,
+                category=category,
+                has_body_bytes=has_body_bytes,
+                body_bytes_line=body_bytes_line,
+                body_bytes_uses_model=uses_model,
+            )
+        )
+
+    # -- functions, call graph, taint ----------------------------------
+    def _record_function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        scope: _Scope,
+    ) -> None:
+        args = node.args
+        params = tuple(
+            a.arg for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        drawn: set[str] = set()
+        calls: set[str] = set()
+        tainted_locals: dict[str, int] = {}  # name -> construction line
+        for stmt in node.body:
+            for sub in _walk_shallow(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                if isinstance(func, ast.Name):
+                    calls.add(func.id)
+                elif isinstance(func, ast.Attribute):
+                    calls.add(func.attr)
+                    if func.attr in DRAW_METHODS and isinstance(func.value, ast.Name):
+                        if func.value.id in params:
+                            drawn.add(func.value.id)
+        # Taint pass: unseeded constructions propagated to locals, then
+        # draws on and onward argument passing of the tainted values.
+        # (Attribute stores are handled file-wide by _extract_attr_taint.)
+        for stmt in _walk_shallow(node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                origin = _unseeded_rng_line(stmt.value)
+                if origin is None:
+                    continue
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    tainted_locals[target.id] = origin
+        if tainted_locals:
+            for stmt in _walk_shallow(node):
+                if not isinstance(stmt, ast.Call):
+                    continue
+                func = stmt.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in DRAW_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in tainted_locals
+                ):
+                    self.summary.taint_draws.append(
+                        TaintDraw(
+                            path=self.summary.path,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                            method=func.attr,
+                            origin_line=tainted_locals[func.value.id],
+                        )
+                    )
+                else:
+                    self._record_tainted_args(stmt, tainted_locals)
+        self.summary.functions.append(
+            FunctionInfo(
+                name=node.name,
+                qualname=qualname,
+                path=self.summary.path,
+                line=node.lineno,
+                params=params,
+                drawn_params=tuple(sorted(drawn)),
+                calls=tuple(sorted(calls)),
+            )
+        )
+
+    def _record_tainted_args(
+        self, call: ast.Call, tainted: dict[str, int]
+    ) -> None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            callee, method_call = func.id, False
+        elif isinstance(func, ast.Attribute):
+            callee, method_call = func.attr, True
+        else:
+            return
+        if callee in _RNG_CONSTRUCTORS or callee == "isinstance":
+            return
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Name) and arg.id in tainted:
+                self.summary.tainted_arg_calls.append(
+                    TaintedArgCall(
+                        path=self.summary.path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        callee=callee,
+                        position=position,
+                        keyword=None,
+                        method_call=method_call,
+                        origin_line=tainted[arg.id],
+                    )
+                )
+        for kw in call.keywords:
+            if (
+                kw.arg is not None
+                and isinstance(kw.value, ast.Name)
+                and kw.value.id in tainted
+            ):
+                self.summary.tainted_arg_calls.append(
+                    TaintedArgCall(
+                        path=self.summary.path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        callee=callee,
+                        position=-1,
+                        keyword=kw.arg,
+                        method_call=method_call,
+                        origin_line=tainted[kw.value.id],
+                    )
+                )
+
+    # -- statement scan: sends, handlers, attrs, streams, accounting ---
+    def _scan_statement(
+        self, stmt: ast.stmt, scope: _Scope, scope_name: str = ""
+    ) -> None:
+        for node in _walk_shallow(stmt):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._record_attr_store(node, scope)
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "send" and len(node.args) >= 2:
+                self._record_site(
+                    node, node.args[1], scope, scope_name, self.summary.send_sites
+                )
+            elif func.attr in _TRANSPORT_SENDERS and len(node.args) >= 3:
+                self._record_site(
+                    node, node.args[2], scope, scope_name, self.summary.send_sites
+                )
+            elif func.attr == "register_handler" and node.args:
+                # The first argument is a *class reference*, not an
+                # instance — a bare name there denotes the class.
+                self._record_site(
+                    node,
+                    node.args[0],
+                    scope,
+                    scope_name,
+                    self.summary.handler_sites,
+                    class_position=True,
+                )
+            elif func.attr == "stream" and node.args:
+                owner = _dotted(func.value)
+                if owner is not None and any(
+                    "rng" in part for part in owner.split(".")
+                ):
+                    arg = node.args[0]
+                    name = (
+                        arg.value
+                        if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+                        else None
+                    )
+                    self.summary.rng_streams.append(
+                        RngAcquisition(
+                            path=self.summary.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            scope=scope_name,
+                            name=name,
+                        )
+                    )
+            elif func.attr in ("record", "bucket", "charge") and node.args:
+                owner = _dotted(func.value)
+                if owner is not None and any(
+                    "accounting" in part for part in owner.split(".")
+                ):
+                    for arg in list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]:
+                        if isinstance(arg, ast.Attribute):
+                            dotted = _dotted(arg)
+                            if dotted is not None and "CostCategory" in dotted.split(
+                                "."
+                            ):
+                                self.summary.accounting_calls.append(
+                                    AccountingCall(
+                                        path=self.summary.path,
+                                        line=node.lineno,
+                                        col=node.col_offset,
+                                        scope=scope_name,
+                                        category=arg.attr,
+                                    )
+                                )
+                                break
+
+    def _record_attr_store(
+        self, node: ast.Assign | ast.AnnAssign, scope: _Scope
+    ) -> None:
+        """``self.x = <class-denoting expr>`` feeds the attr table."""
+        value = node.value
+        if value is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        attr_targets = [t.attr for t in targets if isinstance(t, ast.Attribute)]
+        if not attr_targets:
+            return
+        refs, _ = _resolve_payload_expr(value, scope, allow_bare_name=True)
+        class_names = {value for kind, value in refs if kind == "class"}
+        if not class_names:
+            return
+        for attr in attr_targets:
+            self.summary.attr_classes.setdefault(attr, set()).update(class_names)
+
+    def _record_site(
+        self,
+        call: ast.Call,
+        payload_expr: ast.expr,
+        scope: _Scope,
+        scope_name: str,
+        sink: list[SiteRefs],
+        class_position: bool = False,
+    ) -> None:
+        refs, resolved = _resolve_payload_expr(
+            payload_expr, scope, allow_bare_name=class_position
+        )
+        sink.append(
+            SiteRefs(
+                path=self.summary.path,
+                line=call.lineno,
+                col=call.col_offset,
+                scope=scope_name,
+                refs=tuple(sorted(set(refs))),
+                resolved=resolved,
+            )
+        )
+
+
+def _body_bytes_uses_model(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether ``body_bytes`` reads its SizeModel parameter (or is an
+    abstract raise, which is exempt)."""
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if len(positional) < 2:
+        return True  # unconventional signature; out of scope
+    model_name = positional[1].arg
+    for node in ast.walk(func):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Name) and node.id == model_name and isinstance(
+            node.ctx, ast.Load
+        ):
+            return True
+    return False
+
+
+def _unseeded_rng_line(value: ast.expr) -> int | None:
+    """The line of an unseeded RNG construction, else None."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = None
+    if isinstance(value.func, ast.Name):
+        name = value.func.id
+    elif isinstance(value.func, ast.Attribute):
+        name = value.func.attr
+    if name not in _RNG_CONSTRUCTORS:
+        return None
+    if value.args or value.keywords:
+        return None  # seeded (or otherwise parameterised) — DET002's beat
+    return value.lineno
+
+
+_MAX_RESOLVE_DEPTH = 6
+
+
+def _resolve_payload_expr(
+    expr: ast.expr,
+    scope: _Scope,
+    allow_bare_name: bool = False,
+    _depth: int = 0,
+    _seen: frozenset[str] = frozenset(),
+) -> tuple[list[Ref], bool]:
+    """Resolve a payload expression to class/attr references.
+
+    Returns ``(refs, resolved)``; ``resolved`` is False when the
+    expression (or a branch of it) defeated the resolver, which the
+    whole-program rules treat as "anything could flow here".
+    """
+    if _depth > _MAX_RESOLVE_DEPTH:
+        return [], False
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name):
+            if func.id == "tagged" and expr.args:
+                # tagged(Base, tag) constructs/denotes a Base subclass
+                return _resolve_payload_expr(
+                    expr.args[0], scope, True, _depth + 1, _seen
+                )
+            if func.id in scope.assignments and func.id not in _seen:
+                return _resolve_local(func.id, scope, _depth, _seen)
+            return [("class", func.id)], True
+        if isinstance(func, ast.Attribute):
+            if func.attr == "tagged" and expr.args:
+                return _resolve_payload_expr(
+                    expr.args[0], scope, True, _depth + 1, _seen
+                )
+            return [("attr", func.attr)], True
+        return [], False
+    if isinstance(expr, ast.Name):
+        name = expr.id
+        if name in scope.asserted:
+            return [("class", cls) for cls in sorted(scope.asserted[name])], True
+        if name in scope.assignments and name not in _seen:
+            return _resolve_local(name, scope, _depth, _seen)
+        if name in scope.annotated:
+            return [("class", scope.annotated[name])], True
+        if allow_bare_name:
+            # A bare name in class-denoting position (self.cls = Payload)
+            return [("class", name)], True
+        return [], False
+    if isinstance(expr, ast.Attribute):
+        return [("attr", expr.attr)], True
+    if isinstance(expr, ast.IfExp):
+        body_refs, body_ok = _resolve_payload_expr(
+            expr.body, scope, allow_bare_name, _depth + 1, _seen
+        )
+        else_refs, else_ok = _resolve_payload_expr(
+            expr.orelse, scope, allow_bare_name, _depth + 1, _seen
+        )
+        return body_refs + else_refs, body_ok and else_ok
+    return [], False
+
+
+def _resolve_local(
+    name: str, scope: _Scope, depth: int, seen: frozenset[str]
+) -> tuple[list[Ref], bool]:
+    refs: list[Ref] = []
+    resolved = True
+    for value in scope.assignments[name]:
+        sub_refs, sub_ok = _resolve_payload_expr(
+            value, scope, True, depth + 1, seen | {name}
+        )
+        refs.extend(sub_refs)
+        resolved = resolved and sub_ok
+    return refs, resolved and bool(refs)
+
+
+# ----------------------------------------------------------------------
+# The assembled model
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One entry of the symbol index."""
+
+    name: str
+    qualname: str
+    kind: str  # 'class' | 'function'
+    path: str
+    line: int
+
+
+class ProtocolModel:
+    """Project-wide view assembled from per-file summaries."""
+
+    def __init__(self, summaries: list[FileSummary]) -> None:
+        from repro.lint.graph import MessageFlowGraph
+
+        self.summaries: dict[str, FileSummary] = {s.path: s for s in summaries}
+        self.classes: dict[str, ClassInfo] = {}
+        self.symbols: dict[str, list[Symbol]] = {}
+        self.functions_by_name: dict[str, list[FunctionInfo]] = {}
+        self.call_graph: dict[str, tuple[str, ...]] = {}
+        for summary in summaries:
+            for cls in summary.classes:
+                self.classes.setdefault(cls.name, cls)
+                self.symbols.setdefault(cls.name, []).append(
+                    Symbol(cls.name, cls.name, "class", cls.path, cls.line)
+                )
+            for fn in summary.functions:
+                self.functions_by_name.setdefault(fn.name, []).append(fn)
+                self.call_graph[f"{fn.path}::{fn.qualname}"] = fn.calls
+                self.symbols.setdefault(fn.name, []).append(
+                    Symbol(fn.name, fn.qualname, "function", fn.path, fn.line)
+                )
+        self.payload_classes = self._payload_closure()
+        self.payload_attrs = self._payload_attr_table()
+        self.flow = MessageFlowGraph.build(self)
+        self.rng_streams: dict[str, list[RngAcquisition]] = {}
+        for summary in summaries:
+            for acq in summary.rng_streams:
+                if acq.name is not None:
+                    self.rng_streams.setdefault(acq.name, []).append(acq)
+
+    @classmethod
+    def build(cls, summaries: list[FileSummary]) -> "ProtocolModel":
+        return cls(summaries)
+
+    def _payload_closure(self) -> dict[str, ClassInfo]:
+        """Transitive subclasses of ``Payload`` (by base-name chains)."""
+        payload_names = {"Payload"}
+        changed = True
+        while changed:
+            changed = False
+            for cls in self.classes.values():
+                if cls.name in payload_names:
+                    continue
+                if any(base in payload_names for base in cls.bases):
+                    payload_names.add(cls.name)
+                    changed = True
+        return {
+            name: cls
+            for name, cls in self.classes.items()
+            if name in payload_names and name != "Payload"
+        }
+
+    def _payload_attr_table(self) -> dict[str, frozenset[str]]:
+        merged: dict[str, set[str]] = {}
+        for summary in self.summaries.values():
+            for attr, names in summary.attr_classes.items():
+                payloads = {n for n in names if n in self.payload_classes}
+                if payloads:
+                    merged.setdefault(attr, set()).update(payloads)
+        return {attr: frozenset(names) for attr, names in merged.items()}
+
+    # -- hierarchy helpers ---------------------------------------------
+    def related_payloads(self, name: str) -> frozenset[str]:
+        """``name`` plus its payload ancestors and descendants — the
+        leniency window PROTO003 matches within (tagged() subclasses and
+        resolution approximations collapse onto base names)."""
+        related = {name}
+        # ancestors
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            info = self.payload_classes.get(current)
+            if info is None:
+                continue
+            for base in info.bases:
+                if base in self.payload_classes and base not in related:
+                    related.add(base)
+                    frontier.append(base)
+        # descendants
+        changed = True
+        while changed:
+            changed = False
+            for cls in self.payload_classes.values():
+                if cls.name in related:
+                    continue
+                if any(base in related for base in cls.bases):
+                    related.add(cls.name)
+                    changed = True
+        return frozenset(related)

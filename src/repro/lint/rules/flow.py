@@ -1,0 +1,237 @@
+"""Whole-program protocol-flow rules: PROTO003, PROTO004, DET004.
+
+These run once over the :class:`~repro.lint.model.ProtocolModel` the
+engine assembles from every linted file, instead of per file — the
+invariants they check (every sent payload has a handler, every byte is
+priced by its declared category, every protocol module draws from its
+own named RNG stream) span modules by construction.
+
+All three degrade gracefully rather than guess: a payload expression the
+resolver could not pin down withdraws the completeness claim it would
+have fed (PROTO003 stops reporting dead letters while an unresolved
+handler registration exists anywhere, and dead handlers while an
+unresolved send does), because a finding built on "I could not see it,
+therefore it does not exist" is how whole-program linters train people
+to suppress them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.model import ProtocolModel
+
+try:  # Runtime protocol metadata; absent in a bare checkout of lint only.
+    from repro.net.codec import TRANSPORT_CONSUMED_PAYLOADS
+except ImportError:  # pragma: no cover - degrade to no exemptions
+    TRANSPORT_CONSUMED_PAYLOADS = frozenset()
+
+#: Packages whose modules make protocol decisions; DET004's stream and
+#: taint findings are scoped to these (experiments deliberately share
+#: the "topology"/"workload" streams across trials, and sim plumbing is
+#: not a protocol).
+PROTOCOL_PACKAGES = frozenset({"net", "hierarchy", "aggregation", "core", "faults"})
+
+
+def _is_test_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return "tests" in parts and "fixtures" not in parts
+
+
+def _is_protocol_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return "tests" not in parts and bool(PROTOCOL_PACKAGES.intersection(parts))
+
+
+class _NonTestProjectRule(ProjectRule):
+    def applies_to(self, path: str) -> bool:
+        return not _is_test_path(path)
+
+
+@rule
+class DeadLetterRule(_NonTestProjectRule):
+    """PROTO003: dead-letter payloads and dead handlers.
+
+    A payload that is sent but registered with no handler anywhere in
+    the linted tree is a dead letter — the transport prices and carries
+    it, delivery silently drops it.  A handler registered for a payload
+    no send site ever constructs is dead code wearing a protocol
+    surface.  Transport-internal payloads (consumed by the transport
+    itself, never dispatched) are declared in
+    ``repro.net.codec.TRANSPORT_CONSUMED_PAYLOADS`` and exempt.
+    """
+
+    id = "PROTO003"
+    summary = "message-flow graph: payload sent but handled nowhere (or registered but never sent)"
+
+    def check_project(self, model: "ProtocolModel") -> Iterator[Finding]:
+        flow = model.flow
+        if not flow.has_unresolved_handlers():
+            for name, sites in sorted(flow.dead_letters(model).items()):
+                if name in TRANSPORT_CONSUMED_PAYLOADS:
+                    continue
+                for site in sites:
+                    yield self.finding_at(
+                        site.path,
+                        site.line,
+                        site.col,
+                        f"dead-letter payload: {name} is sent here but no "
+                        f"register_handler({name}, ...) exists anywhere in "
+                        "the linted tree — delivery prices the bytes, then "
+                        "silently drops the message unhandled",
+                    )
+        if not flow.has_unresolved_sends(include_tests=True):
+            for name, sites in sorted(flow.dead_handlers(model).items()):
+                if name in TRANSPORT_CONSUMED_PAYLOADS:
+                    continue
+                for site in sites:
+                    yield self.finding_at(
+                        site.path,
+                        site.line,
+                        site.col,
+                        f"dead handler: {name} is registered here but no "
+                        "send site in the linted tree constructs it — the "
+                        "handler can never fire (stale protocol surface, "
+                        "or the send path was lost)",
+                    )
+
+
+@rule
+class ByteAccountingRule(_NonTestProjectRule):
+    """PROTO004: byte-accounting completeness.
+
+    Two ways a payload's bytes drift off the paper's cost curves:
+    a ``body_bytes`` that never reads its ``SizeModel`` parameter
+    (hard-coded sizes do not follow size-model sweeps), and an explicit
+    accounting call whose literal ``CostCategory`` disagrees with the
+    category declared by every payload the same function sends.
+    """
+
+    id = "PROTO004"
+    summary = "body_bytes ignores the SizeModel, or send-site accounting contradicts the declared CostCategory"
+
+    def check_project(self, model: "ProtocolModel") -> Iterator[Finding]:
+        for name in sorted(model.payload_classes):
+            decl = model.payload_classes[name]
+            if decl.has_body_bytes and not decl.body_bytes_uses_model:
+                yield self.finding_at(
+                    decl.path,
+                    decl.body_bytes_line,
+                    0,
+                    f"body_bytes() of {name} never reads its SizeModel "
+                    "parameter: the wire size is hard-coded and will not "
+                    "follow size-model changes, skewing the byte-cost "
+                    "curves (Section IV)",
+                )
+        # Send-site category agreement: the categories declared by the
+        # payloads each function sends, keyed by (path, function scope).
+        scope_categories: dict[tuple[str, str], set[str]] = {}
+        for name, sites in model.flow.sends.items():
+            decl = model.payload_classes.get(name)
+            category = decl.category if decl is not None else None
+            for site in sites:
+                bucket = scope_categories.setdefault((site.path, site.scope), set())
+                if category is not None:
+                    bucket.add(category)
+        for summary in model.summaries.values():
+            for call in summary.accounting_calls:
+                declared = scope_categories.get((call.path, call.scope))
+                if declared and call.category not in declared:
+                    expected = ", ".join(sorted(declared))
+                    yield self.finding_at(
+                        call.path,
+                        call.line,
+                        call.col,
+                        f"accounting records CostCategory.{call.category} "
+                        "here, but the payload(s) sent by this function "
+                        f"declare CostCategory.{expected} — declaration "
+                        "and send-site accounting disagree, so the same "
+                        "bytes land in different buckets depending on who "
+                        "counts them",
+                    )
+
+
+@rule
+class RngStreamDisciplineRule(_NonTestProjectRule):
+    """DET004: RNG-stream discipline across protocol modules.
+
+    Two findings, both dataflow rather than regex: the same named
+    ``rng.stream(...)`` consumed from two different protocol modules
+    (their draw sequences interleave, so neither component is
+    independently reproducible), and an unseeded ``random.Random()`` /
+    ``default_rng()`` whose value flows — through locals, attributes or
+    one call level — into a draw inside a protocol module.
+    """
+
+    id = "DET004"
+    summary = "RNG-stream shared across protocol modules, or an unseeded RNG flowing into protocol decisions"
+
+    def check_project(self, model: "ProtocolModel") -> Iterator[Finding]:
+        # (1) one named stream, several protocol modules.
+        for name in sorted(model.rng_streams):
+            acquisitions = [
+                acq
+                for acq in model.rng_streams[name]
+                if _is_protocol_path(acq.path)
+            ]
+            modules = sorted({acq.path for acq in acquisitions})
+            if len(modules) < 2:
+                continue
+            others = ", ".join(modules)
+            for acq in acquisitions:
+                yield self.finding_at(
+                    acq.path,
+                    acq.line,
+                    acq.col,
+                    f"RNG stream '{name}' is consumed from "
+                    f"{len(modules)} protocol modules ({others}): their "
+                    "draw sequences interleave, so neither component "
+                    "replays independently — derive a per-component "
+                    "stream name",
+                )
+        # (2) unseeded RNG reaching protocol draws (taint walk).
+        for summary in model.summaries.values():
+            for draw in summary.taint_draws:
+                if not _is_protocol_path(draw.path):
+                    continue
+                yield self.finding_at(
+                    draw.path,
+                    draw.line,
+                    draw.col,
+                    f".{draw.method}() draws from an unseeded RNG "
+                    f"constructed at line {draw.origin_line}: protocol "
+                    "decisions must come from a named, seeded "
+                    "sim.rng.stream(...) or replays diverge",
+                )
+            for call in summary.tainted_arg_calls:
+                yield from self._interprocedural(model, call)
+
+    def _interprocedural(self, model: "ProtocolModel", call) -> Iterator[Finding]:
+        for fn in model.functions_by_name.get(call.callee, ()):
+            if not _is_protocol_path(fn.path):
+                continue
+            if call.keyword is not None:
+                hit = call.keyword in fn.drawn_params
+            else:
+                offset = (
+                    1
+                    if call.method_call and fn.params and fn.params[0] in ("self", "cls")
+                    else 0
+                )
+                index = call.position + offset
+                hit = index < len(fn.params) and fn.params[index] in fn.drawn_params
+            if hit:
+                yield self.finding_at(
+                    call.path,
+                    call.line,
+                    call.col,
+                    f"an unseeded RNG constructed at line {call.origin_line} "
+                    f"is passed to {call.callee}(), which draws from it in "
+                    f"{fn.path}: protocol decisions must come from a named, "
+                    "seeded sim.rng.stream(...)",
+                )
+                return  # one finding per call site is enough

@@ -1,23 +1,30 @@
-"""Observability rules: OBS001 (span opened without a guaranteed close).
+"""Observability rules: OBS002 (CFG-based span typestate).
 
 A causal span (:mod:`repro.telemetry.spans`) that is opened but never
 closed survives to the shutdown sweep as status ``unclosed`` — the trace
 stays well-formed, but the span's duration and causal links are lost and
-the leak points at a protocol path that forgot its bookkeeping.  The
-rule enforces the two patterns that guarantee closure:
+the leak points at a protocol path that forgot its bookkeeping.
 
-* **deferred close** — the span id is stored on an object
-  (``state.span = spans.open(...)``) whose lifecycle closes it later
-  (a reply path, the owner-peer crash sweep);
-* **scoped close** — the opening function contains a ``finally`` block
-  that calls ``spans.close(...)`` (the ``Telemetry.span`` context
-  manager shape).
+OBS002 supersedes the old syntactic OBS001 check ("is there *a*
+``finally`` with *a* close somewhere in this function?") with a path
+analysis over the function's control-flow graph
+(:mod:`repro.lint.cfg`).  For every ``spans.open(...)`` bound to a
+local, the rule tracks the open obligation along every path — through
+branches, loops, ``try``/``except``/``finally`` (including the abrupt
+return/raise continuations) — and reports when some path reaches the
+function exit with the span still open.  The analysis understands:
 
-Anything else — a discarded open, a local variable with no ``finally``
-close in sight — is flagged.  Call sites that genuinely hand the id
-through a side channel (the transport carries it in batch entries)
-suppress with ``# repro-lint: disable=OBS001`` and a comment saying
-where the close happens.
+* **kill by close** — ``spans.close(sid)`` discharges ``sid``;
+* **deferred close** — ``state.span = spans.open(...)`` stores the id
+  on an attribute; a later lifecycle event owns the close;
+* **escape** — the id passed to any call, stored into a container, or
+  returned is handed off; whoever received it owns the close (the
+  transport's wire span rides in a batch entry this way);
+* **branch refinement** — on the false edge of ``if sid:`` the id is
+  provably falsy (no span was opened), so the obligation dies with it.
+
+A ``spans.open(...)`` whose result is discarded outright is reported
+immediately: nothing can ever close it.
 """
 
 from __future__ import annotations
@@ -25,10 +32,13 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.lint.cfg import CFG, Block, Edge
 from repro.lint.facts import ProjectFacts
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, rule
 from repro.lint.rules.perf import _dotted_name
+
+_State = frozenset[tuple[str, int]]
 
 
 def _is_spans_call(node: ast.Call, method: str) -> bool:
@@ -44,49 +54,119 @@ def _is_spans_call(node: ast.Call, method: str) -> bool:
     return any("spans" in part for part in parts[:-1])
 
 
-def _assigns_to_attribute(node: ast.Call) -> bool:
-    """``obj.attr = spans.open(...)`` — the deferred-close pattern."""
-    parent = getattr(node, "parent", None)
-    if isinstance(parent, ast.Assign):
-        return all(isinstance(target, ast.Attribute) for target in parent.targets)
-    if isinstance(parent, ast.AnnAssign):
-        return isinstance(parent.target, ast.Attribute)
-    return False
+def _names_in(expr: ast.expr, skip: set[int]) -> set[str]:
+    """Name loads in an expression, minus close-call arguments."""
+    names: set[str] = set()
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and id(node) not in skip
+        ):
+            names.add(node.id)
+    return names
 
 
-def _enclosing_function(node: ast.AST) -> ast.AST | None:
-    current = getattr(node, "parent", None)
-    while current is not None:
-        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            return current
-        current = getattr(current, "parent", None)
-    return None
+def _names_used_in_test(test: ast.expr, skip: set[int]) -> set[str]:
+    """Names a branch test *consumes* (escapes), excluding the bare-name
+    shapes the edge refinement understands (``if sid:``, ``if not sid:``,
+    the left side of ``sid == 0``)."""
+    if isinstance(test, ast.Name):
+        return set()
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _names_used_in_test(test.operand, skip)
+    if isinstance(test, ast.Compare) and isinstance(test.left, ast.Name):
+        names: set[str] = set()
+        for comparator in test.comparators:
+            names |= _names_in(comparator, skip)
+        return names
+    if isinstance(test, ast.BoolOp):
+        names = set()
+        for value in test.values:
+            names |= _names_used_in_test(value, skip)
+        return names
+    return _names_in(test, skip)
 
 
-def _has_finally_close(scope: ast.AST) -> bool:
-    """Whether any ``finally`` block in ``scope`` closes a span."""
-    for node in ast.walk(scope):
-        if not isinstance(node, ast.Try) or not node.finalbody:
-            continue
-        for final_stmt in node.finalbody:
-            for sub in ast.walk(final_stmt):
-                if isinstance(sub, ast.Call) and _is_spans_call(sub, "close"):
-                    return True
-    return False
+def _falsy_names(test: ast.expr, branch: bool) -> set[str]:
+    """Variables proven falsy when ``test`` evaluated to ``branch``."""
+    if isinstance(test, ast.Name):
+        return set() if branch else {test.id}
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _falsy_names(test.operand, not branch)
+    if (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and len(test.ops) == 1
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and not test.comparators[0].value  # None, 0, False, ""
+    ):
+        op = test.ops[0]
+        if isinstance(op, (ast.Is, ast.Eq)) and branch:
+            return {test.left.id}
+        if isinstance(op, (ast.IsNot, ast.NotEq)) and not branch:
+            return {test.left.id}
+        return set()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or) and not branch:
+        names: set[str] = set()
+        for value in test.values:
+            names |= _falsy_names(value, False)
+        return names
+    return set()
+
+
+def _bound_names(stmt: ast.stmt) -> set[str]:
+    """Names (re)bound by a statement — rebinding kills an obligation."""
+    names: set[str] = set()
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, ast.AnnAssign):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        targets = [
+            item.optional_vars for item in stmt.items if item.optional_vars is not None
+        ]
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    return names
+
+
+def _relevant_exprs(stmt: ast.stmt) -> tuple[list[ast.expr], bool]:
+    """The expressions a block's statement actually evaluates, and
+    whether they are a branch test (test-mode name handling)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test], True
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter], False
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items], False
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject], False
+    if isinstance(stmt, ast.ExceptHandler):
+        return [], False
+    exprs = [
+        child for child in ast.iter_child_nodes(stmt) if isinstance(child, ast.expr)
+    ]
+    return exprs, False
 
 
 @rule
-class UnclosedSpanRule(Rule):
-    """OBS001: a span opened without a guaranteed close on all paths.
+class SpanTypestateRule(Rule):
+    """OBS002: a path can exit the function with a span still open.
 
-    ``spans.open(...)`` must either store its id on an object attribute
-    (closed later by the owner's lifecycle or the crash sweep) or sit in
-    a function that closes a span in a ``finally`` block.  A discarded
-    or loosely-held span id leaks to the shutdown sweep as ``unclosed``.
+    Tracks every locally-bound ``spans.open(...)`` id through the
+    function's CFG; reports opens that some path carries to the exit
+    unclosed, and opens whose id is discarded on the spot.
     """
 
-    id = "OBS001"
-    summary = "spans.open() without an attribute store or a finally-block close"
+    id = "OBS002"
+    summary = "CFG typestate: a span can reach function exit still open"
 
     def applies_to(self, path: str) -> bool:
         # Library discipline; tests open ad-hoc spans to assert on sweeps.
@@ -96,18 +176,126 @@ class UnclosedSpanRule(Rule):
     def check(
         self, tree: ast.Module, source: str, path: str, facts: ProjectFacts
     ) -> Iterator[Finding]:
+        yield from self._check_body(tree.body, path)
         for node in ast.walk(tree):
-            if not isinstance(node, ast.Call) or not _is_spans_call(node, "open"):
-                continue
-            if _assigns_to_attribute(node):
-                continue
-            scope = _enclosing_function(node) or tree
-            if _has_finally_close(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_body(node.body, path)
+
+    # ------------------------------------------------------------------
+    def _check_body(
+        self, body: list[ast.stmt], path: str
+    ) -> Iterator[Finding]:
+        cfg = CFG.from_body(body)
+        opens: dict[int, ast.Call] = {}
+        discarded: dict[int, ast.Call] = {}
+        in_states: dict[int, _State] = {cfg.entry: frozenset()}
+        worklist: list[int] = [cfg.entry]
+        while worklist:
+            block_id = worklist.pop()
+            block = cfg.blocks[block_id]
+            out_state = self._transfer_block(block, in_states[block_id], opens, discarded)
+            for edge in block.succs:
+                refined = self._refine(out_state, edge)
+                previous = in_states.get(edge.target)
+                merged = refined if previous is None else previous | refined
+                if previous is None or merged != previous:
+                    in_states[edge.target] = merged
+                    worklist.append(edge.target)
+        leaked: dict[int, ast.Call] = {}
+        for _var, site in in_states.get(cfg.exit, frozenset()):
+            leaked[site] = opens[site]
+        for site in sorted(discarded):
+            yield self.finding(
+                path,
+                discarded[site],
+                "span id discarded: the result of spans.open(...) is never "
+                "bound, so no code can ever close this span; it leaks to "
+                "the shutdown sweep as `unclosed`",
+            )
+        for site in sorted(leaked):
+            if site in discarded:
                 continue
             yield self.finding(
                 path,
-                node,
-                "span opened without a guaranteed close: store the id on an "
-                "object attribute (deferred close) or close it in a `finally` "
-                "block, or it leaks to the shutdown sweep as `unclosed`",
+                leaked[site],
+                "span can leak: a path from this spans.open(...) reaches "
+                "the function exit without a spans.close(...) — close it "
+                "on every path (e.g. in a `finally`), store the id on an "
+                "object attribute for a deferred close, or hand it off "
+                "explicitly",
             )
+
+    def _transfer_block(
+        self,
+        block: Block,
+        state: _State,
+        opens: dict[int, ast.Call],
+        discarded: dict[int, ast.Call],
+    ) -> _State:
+        for stmt in block.stmts:
+            state = self._transfer(stmt, state, opens, discarded)
+        return state
+
+    def _transfer(
+        self,
+        stmt: ast.stmt,
+        state: _State,
+        opens: dict[int, ast.Call],
+        discarded: dict[int, ast.Call],
+    ) -> _State:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return state  # nested scopes are analysed separately
+        # Binding forms first: `sid = spans.open(...)` opens an
+        # obligation, `obj.attr = spans.open(...)` is a deferred close.
+        value = getattr(stmt, "value", None)
+        if (
+            isinstance(stmt, (ast.Assign, ast.AnnAssign))
+            and isinstance(value, ast.Call)
+            and _is_spans_call(value, "open")
+        ):
+            opens[id(value)] = value
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                name = targets[0].id
+                state = frozenset(pair for pair in state if pair[0] != name)
+                return state | {(name, id(value))}
+            return state  # attribute (deferred close) or tuple (escape)
+        exprs, test_mode = _relevant_exprs(stmt)
+        # Opens appearing anywhere else: discarded if they *are* the
+        # statement, otherwise escaping into a call/container/return.
+        close_arg_ids: set[int] = set()
+        closed_names: set[str] = set()
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _is_spans_call(node, "open"):
+                    opens[id(node)] = node
+                    if isinstance(stmt, ast.Expr) and stmt.value is node:
+                        discarded[id(node)] = node
+                elif _is_spans_call(node, "close") and node.args:
+                    first = node.args[0]
+                    if isinstance(first, ast.Name):
+                        closed_names.add(first.id)
+                        close_arg_ids.add(id(first))
+        used: set[str] = set()
+        for expr in exprs:
+            if test_mode:
+                used |= _names_used_in_test(expr, close_arg_ids)
+            else:
+                used |= _names_in(expr, close_arg_ids)
+        killed = closed_names | used | _bound_names(stmt)
+        if not killed:
+            return state
+        return frozenset(pair for pair in state if pair[0] not in killed)
+
+    @staticmethod
+    def _refine(state: _State, edge: Edge) -> _State:
+        if edge.test is None or edge.branch is None:
+            return state
+        falsy = _falsy_names(edge.test, edge.branch)
+        if not falsy:
+            return state
+        return frozenset(pair for pair in state if pair[0] not in falsy)

@@ -1,0 +1,78 @@
+"""SARIF 2.1.0 output for ``repro-lint --format=sarif``.
+
+The minimum useful subset: one run, the registered rules as
+``tool.driver.rules`` (so viewers can show summaries), one ``result``
+per finding with a physical location.  GitHub code scanning ingests
+this via ``github/codeql-action/upload-sarif`` and annotates PR diffs
+with the findings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> dict[str, Any]:
+    """Findings as a SARIF ``log`` dict (caller json.dumps it)."""
+    driver_rules = [
+        {
+            "id": rule_obj.id,
+            "shortDescription": {"text": rule_obj.summary},
+        }
+        for rule_obj in rules
+    ]
+    # PARSE findings (unreadable/unparsable files) have no Rule class.
+    if any(finding.rule == "PARSE" for finding in findings):
+        driver_rules.append(
+            {
+                "id": "PARSE",
+                "shortDescription": {"text": "file could not be read or parsed"},
+            }
+        )
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error" if finding.rule == "PARSE" else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            # SARIF columns are 1-based; AST cols are 0-based.
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": driver_rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }

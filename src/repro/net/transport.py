@@ -461,7 +461,7 @@ class Transport:
                 # queue; every exit below (fault drop, loss, dead
                 # recipient, delivery) closes it.  Owner stays None: a
                 # sender crash does not recall bytes already on the wire.
-                span_sid = spans_.open(  # repro-lint: disable=OBS001
+                span_sid = spans_.open(
                     "wire.msg",
                     sender=sender,
                     recipient=recipient,

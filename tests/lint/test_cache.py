@@ -1,0 +1,115 @@
+"""The on-disk parse/facts cache: hits, invalidation, resilience."""
+
+import os
+import subprocess
+import sys
+import time
+
+from repro.lint import LintCache, all_rules, lint_paths
+
+DIRTY = "import time\n\n\ndef f():\n    return time.time()\n"
+CLEAN = "def f(x):\n    return x + 1\n"
+
+
+def make_tree(tmp_path, n_files=8):
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    for index in range(n_files):
+        body = DIRTY if index == 0 else CLEAN
+        (src / f"mod{index}.py").write_text(body)
+    return str(tmp_path / "src")
+
+
+def test_cold_run_parses_warm_run_does_not(tmp_path):
+    root = make_tree(tmp_path)
+    cache = LintCache(str(tmp_path / ".cache"))
+
+    cold_stats: dict = {}
+    start = time.perf_counter()  # repro-lint: disable=DET001
+    cold = lint_paths([root], cache=cache, stats=cold_stats)
+    cold_elapsed = time.perf_counter() - start  # repro-lint: disable=DET001
+
+    warm_stats: dict = {}
+    start = time.perf_counter()  # repro-lint: disable=DET001
+    warm = lint_paths([root], cache=cache, stats=warm_stats)
+    warm_elapsed = time.perf_counter() - start  # repro-lint: disable=DET001
+
+    assert cold_stats == {"files": 8, "parsed": 8, "from_cache": 0}
+    assert warm_stats == {"files": 8, "parsed": 0, "from_cache": 8}
+    assert [f.rule for f in cold] == ["DET001"]
+    assert warm == cold
+    # The warm run skips parsing and rule execution; it must not be
+    # slower than the cold run by any meaningful margin.
+    assert warm_elapsed < cold_elapsed
+
+
+def test_mutation_invalidates_only_the_touched_file(tmp_path):
+    root = make_tree(tmp_path)
+    cache = LintCache(str(tmp_path / ".cache"))
+    lint_paths([root], cache=cache)
+
+    target = tmp_path / "src" / "repro" / "core" / "mod3.py"
+    target.write_text(CLEAN + "\n\ndef g(y):\n    return y\n")
+    os.utime(target, ns=(1, 1))  # force a distinct mtime
+
+    stats: dict = {}
+    lint_paths([root], cache=cache, stats=stats)
+    assert stats["parsed"] == 1
+    assert stats["from_cache"] == 7
+
+
+def test_changed_rule_set_invalidates_cached_findings(tmp_path):
+    """Findings are fingerprinted against the active rule set; the
+    summaries themselves stay cached."""
+    root = make_tree(tmp_path)
+    cache = LintCache(str(tmp_path / ".cache"))
+    lint_paths([root], cache=cache)
+
+    only_det003 = [r for r in all_rules() if r.id == "DET003"]
+    stats: dict = {}
+    findings = lint_paths([root], rules=only_det003, cache=cache, stats=stats)
+    assert findings == []
+    assert stats["from_cache"] == 0  # fingerprints no longer match
+    assert stats["parsed"] == 8  # re-read for the rules to run
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    root = make_tree(tmp_path, n_files=2)
+    cache_dir = tmp_path / ".cache"
+    cache = LintCache(str(cache_dir))
+    lint_paths([root], cache=cache)
+
+    for entry in cache_dir.glob("*.pkl"):
+        entry.write_bytes(b"not a pickle")
+
+    stats: dict = {}
+    findings = lint_paths([root], cache=LintCache(str(cache_dir)), stats=stats)
+    assert stats == {"files": 2, "parsed": 2, "from_cache": 0}
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+def test_store_failure_never_breaks_the_run(tmp_path):
+    """An unwritable cache directory degrades to cache-off behaviour."""
+    root = make_tree(tmp_path, n_files=2)
+    blocked = tmp_path / "blocked"
+    blocked.write_text("a file where the cache dir should go")
+    findings = lint_paths([root], cache=LintCache(str(blocked)))
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+def test_cli_no_cache_writes_nothing(tmp_path):
+    root = make_tree(tmp_path, n_files=2)
+    cache_dir = tmp_path / "cli-cache"
+    base = [sys.executable, "-m", "repro.lint", "--cache-dir", str(cache_dir)]
+
+    result = subprocess.run(
+        [*base, "--no-cache", root], capture_output=True, text=True, timeout=120
+    )
+    assert result.returncode == 1  # the planted DET001
+    assert not cache_dir.exists()
+
+    result = subprocess.run(
+        [*base, root], capture_output=True, text=True, timeout=120
+    )
+    assert result.returncode == 1
+    assert list(cache_dir.glob("*.pkl"))

@@ -1,0 +1,184 @@
+"""CFG construction: shapes, refinement labels, finally clones."""
+
+import ast
+
+from repro.lint import CFG
+
+
+def build(source: str) -> CFG:
+    """CFG of the body of the first function in ``source``."""
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return CFG.from_function(func)
+
+
+def stmt_label(stmt: ast.stmt) -> str:
+    if isinstance(stmt, ast.If):
+        return f"if {ast.unparse(stmt.test)}"
+    if isinstance(stmt, ast.While):
+        return f"while {ast.unparse(stmt.test)}"
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return f"for {ast.unparse(stmt.target)}"
+    if isinstance(stmt, ast.Try):
+        return "try"
+    if isinstance(stmt, ast.ExceptHandler):
+        return "except"
+    return ast.unparse(stmt)
+
+
+def paths(cfg: CFG) -> set[tuple[str, ...]]:
+    """All acyclic entry→exit paths as tuples of statement labels."""
+    found: set[tuple[str, ...]] = set()
+
+    def walk(block_id: int, visited: frozenset, acc: tuple):
+        if block_id == cfg.exit:
+            found.add(acc)
+            return
+        block = cfg.blocks[block_id]
+        labels = tuple(stmt_label(s) for s in block.stmts)
+        for edge in block.succs:
+            if edge.target in visited:
+                continue
+            walk(edge.target, visited | {block_id}, acc + labels)
+
+    walk(cfg.entry, frozenset(), ())
+    return found
+
+
+def test_linear_body_is_one_path():
+    cfg = build("def f():\n    a = 1\n    b = 2\n")
+    assert paths(cfg) == {("a = 1", "b = 2")}
+
+
+def test_if_else_edges_carry_refinements():
+    cfg = build(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        b = 2\n"
+        "    c = 3\n"
+    )
+    assert paths(cfg) == {
+        ("if x", "a = 1", "c = 3"),
+        ("if x", "b = 2", "c = 3"),
+    }
+    # The head's out-edges are labelled with the test and branch taken.
+    head = next(
+        b for b in cfg.blocks.values() if b.stmts and isinstance(b.stmts[0], ast.If)
+    )
+    branches = {e.branch for e in head.succs}
+    assert branches == {True, False}
+    assert all(e.test is head.stmts[0].test for e in head.succs)
+
+
+def test_if_without_else_falls_through():
+    cfg = build("def f(x):\n    if x:\n        a = 1\n    b = 2\n")
+    assert paths(cfg) == {
+        ("if x", "a = 1", "b = 2"),
+        ("if x", "b = 2"),
+    }
+
+
+def test_early_return_skips_the_rest():
+    cfg = build(
+        "def f(x):\n"
+        "    if x:\n"
+        "        return 1\n"
+        "    a = 2\n"
+        "    return a\n"
+    )
+    assert paths(cfg) == {
+        ("if x", "return 1"),
+        ("if x", "a = 2", "return a"),
+    }
+
+
+def test_constant_test_prunes_dead_branch():
+    cfg = build("def f():\n    if True:\n        a = 1\n    else:\n        b = 2\n")
+    assert paths(cfg) == {("if True", "a = 1")}
+
+
+def test_while_has_back_edge_and_exit_edge():
+    cfg = build("def f(x):\n    while x:\n        a = 1\n    b = 2\n")
+    head = next(
+        b for b in cfg.blocks.values() if b.stmts and isinstance(b.stmts[0], ast.While)
+    )
+    body = next(b for b in cfg.blocks.values() if b.stmts and stmt_label(b.stmts[0]) == "a = 1")
+    # The body's only continuation is the back edge to the head.
+    assert [e.target for e in body.succs] == [head.id]
+    # The head's exits: into the body (test true) and past it (test false).
+    assert {e.branch for e in head.succs} == {True, False}
+    # Acyclic paths cannot re-enter the head, so only the skip remains.
+    assert paths(cfg) == {("while x", "b = 2")}
+
+
+def test_break_leaves_the_loop():
+    cfg = build(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        if x:\n"
+        "            break\n"
+        "    done = 1\n"
+    )
+    assert ("for x", "if x", "break", "done = 1") in paths(cfg)
+
+
+def test_try_finally_clones_cover_both_continuations():
+    cfg = build(
+        "def f(work):\n"
+        "    try:\n"
+        "        work()\n"
+        "    finally:\n"
+        "        cleanup()\n"
+        "    after = 1\n"
+    )
+    clones = [
+        b
+        for b in cfg.blocks.values()
+        if b.stmts and stmt_label(b.stmts[0]) == "cleanup()"
+    ]
+    # One clone on the normal path, one on the uncaught-exception path.
+    assert len(clones) == 2
+    assert paths(cfg) == {
+        ("work()", "cleanup()", "after = 1"),  # normal
+        ("work()", "cleanup()"),  # exception unwinds out after finally
+    }
+
+
+def test_finally_runs_before_early_return():
+    cfg = build(
+        "def f(spans, sid, ready):\n"
+        "    try:\n"
+        "        if ready:\n"
+        "            return 1\n"
+        "        step()\n"
+        "    finally:\n"
+        "        spans.close(sid)\n"
+    )
+    for path in sorted(paths(cfg)):
+        if "return 1" in path:
+            # The finally clone runs between the return and the exit.
+            assert path.index("return 1") < path.index("spans.close(sid)")
+
+
+def test_except_handler_receives_body_raisers():
+    cfg = build(
+        "def f(work):\n"
+        "    try:\n"
+        "        work()\n"
+        "    except ValueError:\n"
+        "        fallback()\n"
+        "    after = 1\n"
+    )
+    assert paths(cfg) == {
+        ("work()", "after = 1"),
+        ("work()", "except", "fallback()", "after = 1"),
+    }
+
+
+def test_module_body_cfg():
+    tree = ast.parse("x = 1\ny = 2\n")
+    cfg = CFG.from_body(tree.body)
+    assert paths(cfg) == {("x = 1", "y = 2")}

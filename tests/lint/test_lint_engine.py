@@ -54,8 +54,12 @@ def test_known_rule_ids_cover_the_documented_set():
         "DET001",
         "DET002",
         "DET003",
+        "DET004",
+        "OBS002",
         "PROTO001",
         "PROTO002",
+        "PROTO003",
+        "PROTO004",
         "API001",
     } <= set(known_rule_ids())
 
@@ -127,5 +131,47 @@ def test_cli_findings_exit_one_text_and_json(run_cli, tmp_path):
 def test_cli_list_rules(run_cli):
     result = run_cli("--list-rules")
     assert result.returncode == 0
-    for rule_id in ("DET001", "DET002", "DET003", "PROTO001", "PROTO002", "API001"):
+    for rule_id in (
+        "DET001",
+        "DET002",
+        "DET003",
+        "DET004",
+        "OBS002",
+        "PROTO001",
+        "PROTO002",
+        "PROTO003",
+        "PROTO004",
+        "API001",
+    ):
         assert rule_id in result.stdout
+
+
+def test_cli_sarif_output(run_cli, tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    result = run_cli("--format=sarif", "--no-cache", str(dirty))
+    assert result.returncode == 1
+    log = json.loads(result.stdout)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert any(rule["id"] == "DET001" for rule in run["tool"]["driver"]["rules"])
+    (finding,) = run["results"]
+    assert finding["ruleId"] == "DET001"
+    region = finding["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 5
+    assert region["startColumn"] == 12  # 1-based (AST col 11)
+
+
+def test_cli_disable_skips_rules(run_cli, tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    result = run_cli("--no-cache", "--disable=DET001", str(dirty))
+    assert result.returncode == 0
+    assert result.stdout.strip() == ""
+
+
+def test_cli_disable_rejects_unknown_rule(run_cli, tmp_path):
+    result = run_cli("--disable=NOPE001", str(tmp_path))
+    assert result.returncode == 2
+    assert "NOPE001" in result.stderr

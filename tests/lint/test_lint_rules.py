@@ -5,13 +5,17 @@ Fixtures use the ``.pytxt`` extension so a directory-level
 ``python -m repro.lint src tests`` run never lints them; the engine only
 picks up explicitly named files regardless of extension, which is how
 these tests feed them in.
+
+DET004's fixtures are exercised with the rule selected explicitly: its
+taint sources (unseeded ``random.Random()``) are also DET002's beat, so
+the generic trips-exactly-its-rule pattern cannot apply.
 """
 
 import pathlib
 
 import pytest
 
-from repro.lint import lint_source
+from repro.lint import all_rules, lint_paths, lint_source
 
 FIXTURES = pathlib.Path(__file__).parent / "fixtures"
 
@@ -23,10 +27,12 @@ RULES = [
     "DET001",
     "DET002",
     "DET003",
-    "OBS001",
+    "OBS002",
     "PERF001",
     "PROTO001",
     "PROTO002",
+    "PROTO003",
+    "PROTO004",
     "API001",
 ]
 
@@ -35,17 +41,23 @@ EXPECTED_COUNTS = {
     "DET001": 2,  # time.time() + bare perf_counter()
     "DET002": 3,  # random.shuffle + np.random.random + bare default_rng()
     "DET003": 3,  # for over set param, .keys() comp, list(a - b) comp
-    "OBS001": 3,  # discarded open, loose local, returned open
+    "OBS002": 3,  # discarded open, early-return leak, finally w/o close
     "PERF001": 3,  # unguarded f-string, dict literal, list comprehension
     "PROTO001": 4,  # Unregistered: 1 aspect; Bare: all 3 aspects
     "PROTO002": 2,  # typo'd emit kind + typo'd span kind
+    "PROTO003": 2,  # one dead-letter send + one dead handler
+    "PROTO004": 2,  # hard-coded body_bytes + category disagreement
     "API001": 3,  # two mutable defaults + one float-time equality
 }
 
 
-def lint_fixture(name: str) -> list:
+def lint_fixture(name: str, rules=None) -> list:
     source = (FIXTURES / name).read_text(encoding="utf-8")
-    return lint_source(source, path=SRC_LIKE)
+    return lint_source(source, path=SRC_LIKE, rules=rules)
+
+
+def rules_named(*ids):
+    return [r for r in all_rules() if r.id in ids]
 
 
 @pytest.mark.parametrize("rule_id", RULES)
@@ -74,8 +86,8 @@ def test_det001_exempts_telemetry_paths():
     assert findings == []
 
 
-def test_obs001_exempts_test_paths():
-    source = (FIXTURES / "obs001_flagged.pytxt").read_text(encoding="utf-8")
+def test_obs002_exempts_test_paths():
+    source = (FIXTURES / "obs002_flagged.pytxt").read_text(encoding="utf-8")
     findings = lint_source(source, path="tests/core/test_fixture.py")
     assert findings == []
 
@@ -110,3 +122,87 @@ def test_det003_uses_cross_file_facts():
 
     # Without the declaring module's facts there is nothing to flag.
     assert lint_source(consuming, path=SRC_LIKE) == []
+
+
+def test_det003_sees_unannotated_set_attributes():
+    """``self.x = set()`` / ``field(default_factory=set)`` declare a set
+    even without an annotation (facts-pass regression)."""
+    findings = lint_fixture("det003_unannotated.pytxt")
+    assert [f.rule for f in findings] == ["DET003", "DET003"]
+
+
+# ----------------------------------------------------------------------
+# DET004 (selected explicitly: its taint sources also trip DET002)
+# ----------------------------------------------------------------------
+
+
+def test_det004_flagged_fixture():
+    findings = lint_fixture("det004_flagged.pytxt", rules=rules_named("DET004"))
+    assert [f.rule for f in findings] == ["DET004"] * 3
+    # One local draw, one attribute draw, one interprocedural hand-off.
+    messages = "\n".join(f.message for f in findings)
+    assert "draw_subset()" in messages
+    assert "unseeded RNG" in messages
+
+
+def test_det004_clean_fixture():
+    assert lint_fixture("det004_clean.pytxt", rules=rules_named("DET004")) == []
+
+
+def test_det004_suppressed_fixture():
+    findings = lint_fixture("det004_suppressed.pytxt", rules=rules_named("DET004"))
+    assert findings == []
+
+
+def test_det004_exempts_non_protocol_paths():
+    source = (FIXTURES / "det004_flagged.pytxt").read_text(encoding="utf-8")
+    findings = lint_source(
+        source, path="src/repro/experiments/fixture.py", rules=rules_named("DET004")
+    )
+    assert findings == []
+
+
+def test_det004_shared_stream_across_modules(tmp_path):
+    """The same named stream consumed from two protocol modules."""
+    net_dir = tmp_path / "src" / "repro" / "net"
+    hier_dir = tmp_path / "src" / "repro" / "hierarchy"
+    net_dir.mkdir(parents=True)
+    hier_dir.mkdir(parents=True)
+    (net_dir / "a.py").write_text(
+        "def delays(sim):\n    return sim.rng.stream('jitter')\n"
+    )
+    (hier_dir / "b.py").write_text(
+        "def repairs(sim):\n    return sim.rng.stream('jitter')\n"
+    )
+    findings = lint_paths(
+        [str(net_dir / "a.py"), str(hier_dir / "b.py")],
+        rules=rules_named("DET004"),
+    )
+    assert [f.rule for f in findings] == ["DET004", "DET004"]
+    assert all("'jitter'" in f.message for f in findings)
+    # Each acquisition site is reported once, in its own module.
+    assert {f.path for f in findings} == {
+        str(net_dir / "a.py"),
+        str(hier_dir / "b.py"),
+    }
+
+
+# ----------------------------------------------------------------------
+# PROTO003 end-to-end over a multi-file fixture package
+# ----------------------------------------------------------------------
+
+
+def test_proto003_end_to_end_dead_letter():
+    """The planted dead letter in the flowpkg package is found across
+    files — send in one module, declarations in another, handlers in a
+    third — and the tagged() send does NOT dilute the result."""
+    flow_dir = FIXTURES / "flowpkg"
+    paths = sorted(str(p) for p in flow_dir.glob("*.pytxt"))
+    assert len(paths) == 3
+    findings = lint_paths(paths)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "PROTO003"
+    assert finding.path.endswith("sender.pytxt")
+    assert "OrphanStatsPayload" in finding.message
+    assert "register_handler" in finding.message

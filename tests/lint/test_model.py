@@ -1,0 +1,211 @@
+"""ProtocolModel extraction and message-flow graph resolution."""
+
+import ast
+
+from repro.lint import ProtocolModel, extract_summary
+from repro.lint.facts import attach_parents
+
+PRELUDE = """\
+from dataclasses import dataclass
+
+from repro.net.codec import register_payload
+from repro.net.message import Payload
+from repro.net.tagging import tagged
+from repro.net.wire import CostCategory, SizeModel
+
+
+@register_payload
+@dataclass(frozen=True)
+class ProbePayload(Payload):
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return model.aggregate_bytes
+
+
+@register_payload
+@dataclass(frozen=True)
+class ReplyPayload(Payload):
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return model.aggregate_bytes
+"""
+
+
+def model_of(*sources: str) -> ProtocolModel:
+    summaries = []
+    for index, source in enumerate(sources):
+        tree = ast.parse(source)
+        attach_parents(tree)
+        summaries.append(extract_summary(f"src/repro/core/mod{index}.py", tree))
+    return ProtocolModel.build(summaries)
+
+
+def sent_names(model: ProtocolModel) -> set:
+    return set(model.flow.sent_names())
+
+
+def test_direct_constructor_send_resolves():
+    model = model_of(PRELUDE + "\ndef go(node, peer):\n    node.send(peer, ProbePayload())\n")
+    assert sent_names(model) == {"ProbePayload"}
+    assert not model.flow.has_unresolved_sends(include_tests=True)
+
+
+def test_local_variable_chain_resolves():
+    model = model_of(
+        PRELUDE
+        + "\ndef go(node, peer):\n"
+        "    msg = ProbePayload()\n"
+        "    prepared = msg\n"
+        "    node.send(peer, prepared)\n"
+    )
+    assert sent_names(model) == {"ProbePayload"}
+
+
+def test_tagged_send_collapses_onto_base():
+    model = model_of(
+        PRELUDE
+        + "\ndef go(node, peer):\n"
+        "    wave_cls = tagged(ProbePayload, 'wave-1')\n"
+        "    node.send(peer, wave_cls())\n"
+    )
+    assert sent_names(model) == {"ProbePayload"}
+
+
+def test_assert_isinstance_narrows():
+    model = model_of(
+        PRELUDE
+        + "\ndef forward(node, peer, msg):\n"
+        "    assert isinstance(msg, ReplyPayload)\n"
+        "    node.send(peer, msg)\n"
+    )
+    assert sent_names(model) == {"ReplyPayload"}
+
+
+def test_parameter_annotation_resolves():
+    model = model_of(
+        PRELUDE
+        + "\ndef forward(node, peer, msg: ReplyPayload):\n"
+        "    node.send(peer, msg)\n"
+    )
+    assert sent_names(model) == {"ReplyPayload"}
+
+
+def test_ifexp_union_resolves_both_arms():
+    model = model_of(
+        PRELUDE
+        + "\ndef go(node, peer, fast):\n"
+        "    node.send(peer, ProbePayload() if fast else ReplyPayload())\n"
+    )
+    assert sent_names(model) == {"ProbePayload", "ReplyPayload"}
+
+
+def test_attribute_table_resolves_stored_class():
+    model = model_of(
+        PRELUDE
+        + "\nclass Service:\n"
+        "    def __init__(self):\n"
+        "        self._probe_cls = tagged(ProbePayload, 'svc')\n"
+        "\n"
+        "    def go(self, node, peer):\n"
+        "        node.send(peer, self._probe_cls())\n"
+    )
+    assert sent_names(model) == {"ProbePayload"}
+
+
+def test_opaque_expression_is_unresolved():
+    model = model_of(
+        PRELUDE + "\ndef go(node, peer, queue):\n    node.send(peer, queue.pop())\n"
+    )
+    assert sent_names(model) == set()
+    assert model.flow.has_unresolved_sends(include_tests=True)
+
+
+def test_handler_bare_class_name_resolves():
+    model = model_of(
+        PRELUDE + "\ndef wire(node, fn):\n    node.register_handler(ProbePayload, fn)\n"
+    )
+    assert set(model.flow.handled_names()) == {"ProbePayload"}
+    assert not model.flow.has_unresolved_handlers()
+
+
+def test_payload_hierarchy_is_transitive():
+    source = (
+        PRELUDE
+        + "\n@register_payload\n"
+        "@dataclass(frozen=True)\n"
+        "class KeyedProbePayload(ProbePayload):\n"
+        "    def body_bytes(self, model: SizeModel) -> int:\n"
+        "        return model.aggregate_bytes\n"
+    )
+    model = model_of(source)
+    assert "KeyedProbePayload" in model.payload_classes
+    related = model.related_payloads("KeyedProbePayload")
+    assert "ProbePayload" in related
+    assert "ReplyPayload" not in related
+    # ...and downwards from the base too.
+    assert "KeyedProbePayload" in model.related_payloads("ProbePayload")
+
+
+def test_subclass_handler_covers_base_send():
+    """A send of the base is not a dead letter when a subclass handler
+    exists (name-lenient matching absorbs resolution approximation)."""
+    source = (
+        PRELUDE
+        + "\n@register_payload\n"
+        "@dataclass(frozen=True)\n"
+        "class KeyedProbePayload(ProbePayload):\n"
+        "    def body_bytes(self, model: SizeModel) -> int:\n"
+        "        return model.aggregate_bytes\n"
+        "\n"
+        "def go(node, peer, fn):\n"
+        "    node.send(peer, ProbePayload())\n"
+        "    node.register_handler(KeyedProbePayload, fn)\n"
+    )
+    model = model_of(source)
+    assert model.flow.dead_letters(model) == {}
+
+
+def test_flow_links_across_files():
+    sender = PRELUDE + "\ndef go(node, peer):\n    node.send(peer, ProbePayload())\n"
+    wiring = (
+        "def wire(node, fn):\n    node.register_handler(ProbePayload, fn)\n"
+    )
+    model = model_of(sender, wiring)
+    assert model.flow.dead_letters(model) == {}
+    assert model.flow.dead_handlers(model) == {}
+
+
+def test_dead_letter_and_dead_handler_detection():
+    model = model_of(
+        PRELUDE
+        + "\ndef go(node, peer, fn):\n"
+        "    node.send(peer, ProbePayload())\n"
+        "    node.register_handler(ReplyPayload, fn)\n"
+    )
+    assert set(model.flow.dead_letters(model)) == {"ProbePayload"}
+    assert set(model.flow.dead_handlers(model)) == {"ReplyPayload"}
+
+
+def test_rng_stream_table():
+    model = model_of(
+        "class Transport:\n"
+        "    def __init__(self, sim):\n"
+        "        self._loss = sim.rng.stream('transport.loss')\n"
+        "        self._latency = sim.rng.stream('transport.latency')\n"
+        "        self._dynamic = sim.rng.stream(f'peer.{sim.me}')\n"
+    )
+    assert set(model.rng_streams) == {"transport.loss", "transport.latency"}
+    acq = model.rng_streams["transport.loss"][0]
+    assert acq.path == "src/repro/core/mod0.py"
+    assert acq.scope == "Transport.__init__"
+
+
+def test_call_graph_and_symbol_index():
+    model = model_of(
+        "def helper(x):\n    return x + 1\n\n\ndef outer(x):\n    return helper(x)\n"
+    )
+    assert model.call_graph["src/repro/core/mod0.py::outer"] == ("helper",)
+    assert [s.kind for s in model.symbols["helper"]] == ["function"]
+    assert model.functions_by_name["helper"][0].params == ("x",)
