@@ -1,0 +1,68 @@
+"""Continuous-monitoring soak benchmark: the ISSUE-8 acceptance run.
+
+Drives the full churn soak (``repro.experiments.soak``) — the monitoring
+service under Poisson churn x BurstLoss windows x SuspendPeer gray
+failures, over a drifting-Zipf stream with flash crowds — twice with the
+same seed, and asserts the service contract:
+
+* every epoch yields a committed-or-degraded answer (the harness raises
+  otherwise),
+* staleness never exceeds the configured ceiling,
+* the two same-seed runs replay byte-identically (equal digests *and*
+  equal row streams).
+
+The per-epoch rows (recall-over-time, staleness, delta bytes) and the
+summary (staleness distribution, commit rate) are what lands in the
+committed ``BENCH_continuous.json``.  The default scale runs the 50-epoch
+smoke preset; set ``REPRO_BENCH_SCALE=paper`` (or ``large``) for the
+200-epoch acceptance configuration, and ``REPRO_BENCH_WRITE=1`` to
+refresh the committed file — the run is deterministic, so the file is
+reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from conftest import emit
+
+from repro.experiments.report import render_table
+from repro.experiments.soak import SoakConfig, SoakResult, run_soak
+
+
+def test_continuous_soak(benchmark, bench_scale):
+    if bench_scale.name == "small":
+        config = SoakConfig.smoke(seed=0)
+    else:
+        config = SoakConfig.full(seed=0)
+
+    def sweep() -> tuple[SoakResult, SoakResult]:
+        return run_soak(config), run_soak(config)
+
+    first, second = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    stride = max(1, len(first.rows) // 25)
+    emit(
+        render_table(
+            first.rows[::stride],
+            title=f"Continuous soak — every {stride}th of {config.epochs} epochs",
+        )
+    )
+    emit(json.dumps(first.summary, indent=2))
+
+    # run_soak already raised on any per-epoch invariant breach; the
+    # bench adds the replay gate and the serving-contract summary checks.
+    assert first.digest == second.digest
+    assert first.rows == second.rows
+    assert first.summary == second.summary
+    assert first.summary["epochs"] == config.epochs
+    assert first.summary["max_staleness_seen"] <= config.max_staleness
+    assert first.summary["committed_epochs"] > 0
+    # The faults actually fired: this is a soak, not a calm run.
+    assert first.summary["churn_failures"] > 0
+    assert first.summary["faults_injected"] > 0
+
+    if os.environ.get("REPRO_BENCH_WRITE") == "1":
+        out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_continuous.json"
+        out.write_text(json.dumps(first.as_dict(), indent=2) + "\n")

@@ -549,6 +549,24 @@ class AggregationEngine:
             promoted root.
         """
         handle = self.start(spec, request_data)
+        return self.drive_session(handle, max_events=max_events)
+
+    def drive_session(
+        self,
+        handle: SessionHandle,
+        deadline: float | None = None,
+        max_events: int = 50_000_000,
+    ) -> SessionHandle:
+        """Drive the simulation until ``handle`` completes, fails, or the
+        sim clock reaches ``deadline``.
+
+        A deadline return leaves the session in flight: the handle is not
+        ``done``, and a later ``sim.run`` may still complete it in the
+        background.  Deadline-aware callers (the monitoring service)
+        treat a not-``done`` handle as a missed deadline and abandon the
+        attempt; everything already staged for it stays uncommitted.
+        """
+        spec = handle.spec
         root_at_start = self.hierarchy.root
         steps = 0
         while not handle.done:
@@ -557,6 +575,8 @@ class AggregationEngine:
                 or self.hierarchy.root != root_at_start
             ):
                 self._fail_root_lost(handle, root_at_start, reason="died_mid_session")
+                break
+            if deadline is not None and self.sim.now >= deadline:
                 break
             if not self.sim.step():
                 raise AggregationError(

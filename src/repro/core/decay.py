@@ -1,0 +1,91 @@
+"""Time-decay semantics for continuous monitoring.
+
+The paper's one-shot query asks "which items are frequent over all data
+ever"; a standing monitor (Table I's applications, ROADMAP item 3) asks
+"which items are frequent *lately*".  Two standard decay models make
+"lately" precise, both folded into the delta-aggregation invariant of
+:mod:`repro.core.continuous`:
+
+* **Exponential fading** — every committed count is multiplied by
+  ``factor`` per elapsed epoch, so an item's faded value is
+  ``sum(factor**age(arrival) * count(arrival))``.  The threshold tracks
+  the faded grand total, which the root derives from its own faded
+  group-total vector (filter 0 partitions all items, so its slice sums
+  every item's faded mass exactly once).
+* **Sliding window** — only arrivals committed within the last
+  ``window`` epochs count.  Fully integer-exact: the root retires each
+  commit's delta vector when it ages out.
+
+Decay is applied **at the root, per commit** — peers ship raw integer
+arrival deltas, never faded floats, so tree aggregation stays
+order-independent and same-seed replays stay byte-identical.  Arrivals
+are dated by the commit that first includes them: data stranded on a
+crashed peer starts fading only once a later epoch actually commits it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: The two decay models (``DecayConfig.mode`` values).
+EXPONENTIAL = "exponential"
+WINDOW = "window"
+
+
+@dataclass(frozen=True)
+class DecayConfig:
+    """How committed counts age out of a continuous monitor.
+
+    Attributes
+    ----------
+    mode:
+        ``"exponential"`` (fading) or ``"window"`` (sliding window).
+    factor:
+        Per-epoch retention in fading mode: a count commits with weight 1
+        and is worth ``factor**k`` after ``k`` further epochs.
+    window:
+        Window length in epochs for sliding-window mode: a commit's
+        arrivals count for ``window`` epochs, then retire.
+
+    Examples
+    --------
+    >>> DecayConfig(mode="exponential", factor=0.5).multiplier(3)
+    0.125
+    >>> DecayConfig(mode="window", window=4).multiplier(3)
+    1.0
+    """
+
+    mode: str = EXPONENTIAL
+    factor: float = 0.9
+    window: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in (EXPONENTIAL, WINDOW):
+            raise ConfigurationError(
+                f"decay mode must be {EXPONENTIAL!r} or {WINDOW!r}, got {self.mode!r}"
+            )
+        if self.mode == EXPONENTIAL and not 0.0 < self.factor < 1.0:
+            raise ConfigurationError(
+                f"fading factor must be in (0, 1), got {self.factor}"
+            )
+        if self.mode == WINDOW and self.window < 1:
+            raise ConfigurationError(
+                f"window must be at least 1 epoch, got {self.window}"
+            )
+
+    @property
+    def exponential(self) -> bool:
+        return self.mode == EXPONENTIAL
+
+    @property
+    def windowed(self) -> bool:
+        return self.mode == WINDOW
+
+    def multiplier(self, epochs: int) -> float:
+        """Weight retained by a committed count after ``epochs`` epochs
+        (window mode retires by removal, not by weight — always 1.0)."""
+        if self.mode == EXPONENTIAL and epochs > 0:
+            return float(self.factor**epochs)
+        return 1.0

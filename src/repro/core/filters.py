@@ -137,7 +137,7 @@ class FilterBank:
         ]
 
     def heavy_groups_per_filter(
-        self, flat_aggregate: np.ndarray, threshold: int
+        self, flat_aggregate: np.ndarray, threshold: float
     ) -> list[np.ndarray]:
         """Per filter, the ids of the heavy item groups (aggregate ≥ t)."""
         return [

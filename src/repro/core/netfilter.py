@@ -73,7 +73,7 @@ class NetFilterResult:
     frequent: LocalItemSet
     candidates: LocalItemSet
     heavy_groups: HeavyGroups
-    threshold: int
+    threshold: float
     grand_total: int
     n_participants: int
     breakdown: CostBreakdown

@@ -37,7 +37,7 @@ class HeavyGroups:
 
     @classmethod
     def from_aggregate(
-        cls, bank: FilterBank, flat_aggregate: np.ndarray, threshold: int
+        cls, bank: FilterBank, flat_aggregate: np.ndarray, threshold: float
     ) -> "HeavyGroups":
         """Extract heavy groups from the phase-1 aggregate vector."""
         return cls(

@@ -49,3 +49,8 @@ class ConfigurationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was parameterized inconsistently."""
+
+
+class ExperimentError(ReproError):
+    """An experiment-harness invariant failed (soak oracle mismatch,
+    staleness ceiling breached, non-monotone commits, ...)."""

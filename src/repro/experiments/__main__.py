@@ -122,6 +122,29 @@ def _ablations(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
     return collected
 
 
+def _soak(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
+    # One long-lived service run; inherently sequential.
+    del jobs
+    from repro.experiments.soak import SoakConfig, run_soak
+
+    config = SoakConfig.smoke(seed) if scale.name == "small" else SoakConfig.full(seed)
+    result = run_soak(config)
+    stride = max(1, len(result.rows) // 25)
+    print(
+        render_table(
+            result.rows[::stride],
+            title=(
+                f"Soak — {config.epochs} epochs, {config.n_peers} peers, "
+                f"churn x burst loss x flash crowds (every {stride}th epoch)"
+            ),
+        )
+    )
+    print(f"\nReplay digest: {result.digest}")
+    for key in sorted(result.summary):
+        print(f"  {key}: {result.summary[key]}")
+    return {"soak": result.rows, "soak_summary": [result.summary]}
+
+
 COMMANDS = {
     "fig5": _fig5,
     "fig6": _fig6,
@@ -130,6 +153,7 @@ COMMANDS = {
     "model": _model,
     "ablations": _ablations,
     "robustness": _robustness,
+    "soak": _soak,
 }
 
 

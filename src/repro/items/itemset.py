@@ -191,6 +191,84 @@ class LocalItemSet:
             raise WorkloadError("mask must match the number of items")
         return LocalItemSet(self.ids[mask], self.values[mask])
 
-    def filter_values(self, minimum: int) -> "LocalItemSet":
+    def filter_values(self, minimum: float) -> "LocalItemSet":
         """Keep only items with value >= minimum."""
         return self.select(self.values >= minimum)
+
+
+class FadedItemSet(LocalItemSet):
+    """A :class:`LocalItemSet` whose values are time-faded ``float64``.
+
+    Exponential fading multiplies every committed count by a decay factor
+    per epoch, so values stop being integers the moment the first epoch
+    rolls over.  This subclass keeps the whole LocalItemSet API (merge
+    algebra, restriction, selection, wire-size-by-length) but skips the
+    integer cast, so faded values survive aggregation unrounded.
+
+    Fresh (undecayed) integer counts are exactly representable in
+    ``float64`` far beyond any realistic total, so merging fresh deltas
+    through a tree stays order-independent; only already-faded values
+    carry float rounding.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, ids: np.ndarray, values: np.ndarray) -> None:
+        ids = np.asarray(ids, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if ids.ndim != 1 or values.ndim != 1:
+            raise WorkloadError("ids and values must be 1-D arrays")
+        if ids.shape != values.shape:
+            raise WorkloadError(
+                f"ids and values must have equal length, got {len(ids)} != {len(values)}"
+            )
+        order = np.argsort(ids, kind="stable")
+        ids = ids[order]
+        values = values[order]
+        if ids.size and np.any(ids[1:] == ids[:-1]):
+            raise WorkloadError("item ids must be unique within a FadedItemSet")
+        self.ids = ids
+        self.values = values
+
+    @classmethod
+    def from_integer(cls, items: LocalItemSet) -> "FadedItemSet":
+        """Lift an integer item set into faded (float) space unchanged."""
+        return cls(items.ids, items.values.astype(np.float64))
+
+    def scaled(self, factor: float) -> "FadedItemSet":
+        """Every value multiplied by ``factor`` (one fading step)."""
+        return FadedItemSet(self.ids, self.values * float(factor))
+
+    def merge(self, other: "LocalItemSet") -> "FadedItemSet":
+        """Keyed sum; the result stays float-valued."""
+        return FadedItemSet.merge_faded([self, other])
+
+    @staticmethod
+    def merge_faded(sets: Iterable[LocalItemSet]) -> "FadedItemSet":
+        """Keyed float sum of any number of (faded or integer) item sets."""
+        kept = [s for s in sets if len(s)]
+        if not kept:
+            return FadedItemSet(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        if len(kept) == 1:
+            only = kept[0]
+            return (
+                only
+                if isinstance(only, FadedItemSet)
+                else FadedItemSet.from_integer(only)
+            )
+        ids = np.concatenate([s.ids for s in kept])
+        values = np.concatenate([s.values.astype(np.float64) for s in kept])
+        unique_ids, inverse = np.unique(ids, return_inverse=True)
+        summed = np.bincount(inverse, weights=values)
+        return FadedItemSet(unique_ids, summed)
+
+    def restrict_to(self, item_ids: np.ndarray) -> "FadedItemSet":
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        mask = np.isin(self.ids, item_ids, assume_unique=False)
+        return FadedItemSet(self.ids[mask], self.values[mask])
+
+    def select(self, mask: np.ndarray) -> "FadedItemSet":
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.ids.shape:
+            raise WorkloadError("mask must match the number of items")
+        return FadedItemSet(self.ids[mask], self.values[mask])

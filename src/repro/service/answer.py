@@ -1,0 +1,46 @@
+"""What the monitoring service serves and records per epoch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.continuous import EpochReport
+from repro.items.itemset import LocalItemSet
+
+
+@dataclass(frozen=True)
+class MonitorAnswer:
+    """The answer the root serves for one wall epoch.
+
+    A *fresh* answer carries the result committed this epoch
+    (``degraded=False``, ``staleness_epochs=0``).  A *degraded* answer
+    re-serves the newest committed result with an honest staleness bound:
+    the frequent set reflects data as of ``committed_epoch``, which is
+    ``staleness_epochs`` monitoring epochs ago.  Before anything has ever
+    committed, a degraded answer has ``committed_epoch=-1`` and an empty
+    frequent set — explicitly "no data yet", never a fabricated result.
+    """
+
+    epoch: int
+    committed_epoch: int
+    degraded: bool
+    staleness_epochs: int
+    threshold: float
+    frequent: LocalItemSet
+    grand_total: float
+    served_at: float
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """One scheduled epoch's bookkeeping: what happened and what was
+    served."""
+
+    epoch: int
+    committed: bool
+    attempts: int
+    answer: MonitorAnswer
+    #: The committed report, when this epoch committed one.
+    report: EpochReport | None = None
+    #: Why the last attempt failed, when the epoch ended degraded.
+    reason: str = ""

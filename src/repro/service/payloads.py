@@ -1,0 +1,39 @@
+"""Wire payloads of the monitoring service's query/answer exchange."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.codec import register_payload
+from repro.net.message import Payload
+from repro.net.wire import CostCategory, SizeModel
+from repro.service.answer import MonitorAnswer
+
+
+@register_payload
+@dataclass(frozen=True)
+class MonitorQueryPayload(Payload):
+    """A client peer asks the root for the current monitoring answer."""
+
+    requester: int
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return model.aggregate_bytes
+
+
+@register_payload
+@dataclass(frozen=True)
+class MonitorAnswerPayload(Payload):
+    """The root's reply: the served answer, fresh or degraded.
+
+    Priced as the frequent (id, value) pairs plus three scalars (epoch
+    stamp, staleness bound, threshold) — what a real deployment would
+    serialize.
+    """
+
+    answer: MonitorAnswer
+    category = CostCategory.DISSEMINATION
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return 3 * model.aggregate_bytes + model.pair_bytes * len(self.answer.frequent)

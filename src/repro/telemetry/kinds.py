@@ -68,6 +68,14 @@ TRACE_KINDS: dict[str, str] = {
     "filter.heavy_groups": "phase-1 outcome: heavy groups per filter",
     "verify.phase": "span: phase-2 candidate verification",
     "verify.materialized": "a peer materialized its partial candidate set",
+    # -- continuous monitoring / service layer -------------------------
+    "monitor.resync": "a peer re-shipped its full state after a re-baseline",
+    "service.epoch": "span: one scheduled monitoring epoch, commit or degrade",
+    "service.attempt": "span: one epoch attempt (three convergecasts)",
+    "service.commit": "an epoch attempt committed a fresh result",
+    "service.abandon": "an epoch attempt was abandoned (deadline/coverage/root)",
+    "service.degraded": "an epoch ended degraded: serving the last committed result",
+    "service.answer": "the root served a monitor answer (fresh or degraded)",
     # -- netFilter (gossip variant) ------------------------------------
     "gossip.filter.phase": "span: push-sum candidate filtering",
     "gossip.flood.phase": "span: heavy-group overlay flood",

@@ -39,6 +39,18 @@ class ZipfStream:
         How many rank positions the popularity head rotates per epoch
         (0 = stationary popularity).  Item ``(rank + epoch·drift) mod n``
         holds rank ``rank``'s probability in that epoch.
+    flash_every:
+        Flash-crowd cadence: every ``flash_every`` epochs a randomly
+        chosen item abruptly captures ``flash_share`` of the arrival mass
+        for ``flash_duration`` epochs, then vanishes back into the tail —
+        the slashdot pattern that stresses threshold tracking and (under
+        time decay) the speed at which faded counts forget it.  0
+        disables flash crowds.  The first flash starts at epoch
+        ``flash_every`` so every run has a calm lead-in.
+    flash_duration:
+        Epochs each flash crowd lasts.
+    flash_share:
+        Fraction of each flash epoch's instances aimed at the flash item.
 
     Examples
     --------
@@ -57,23 +69,61 @@ class ZipfStream:
         instances_per_epoch: int,
         rng: np.random.Generator,
         drift_per_epoch: int = 0,
+        flash_every: int = 0,
+        flash_duration: int = 1,
+        flash_share: float = 0.5,
     ) -> None:
         if instances_per_epoch <= 0:
             raise WorkloadError("instances_per_epoch must be positive")
         if drift_per_epoch < 0:
             raise WorkloadError("drift_per_epoch must be non-negative")
+        if flash_every < 0:
+            raise WorkloadError("flash_every must be non-negative")
+        if flash_every > 0 and flash_duration < 1:
+            raise WorkloadError("flash_duration must be at least 1 epoch")
+        if flash_every > 0 and not 0.0 < flash_share < 1.0:
+            raise WorkloadError("flash_share must be in (0, 1)")
         self.n_items = n_items
         self.n_peers = n_peers
         self.instances_per_epoch = instances_per_epoch
         self.drift_per_epoch = drift_per_epoch
+        self.flash_every = flash_every
+        self.flash_duration = flash_duration
+        self.flash_share = flash_share
         self._rng = rng
         self._rank_probabilities = zipf_probabilities(n_items, skew)
         self.epoch = 0
+        self._flash_index = -1
+        self._flash_item = -1
+
+    @property
+    def flash_active(self) -> bool:
+        """Whether the *next* generated epoch falls in a flash window."""
+        if self.flash_every <= 0 or self.epoch < self.flash_every:
+            return False
+        return self.epoch % self.flash_every < self.flash_duration
+
+    @property
+    def flash_item(self) -> int:
+        """The current flash crowd's target item (-1 when none yet)."""
+        return self._flash_item
 
     def _epoch_probabilities(self) -> np.ndarray:
-        """This epoch's per-item probabilities (ranks rotated by drift)."""
+        """This epoch's per-item probabilities (ranks rotated by drift,
+        flash crowd spliced in when a flash window is open)."""
         offset = (self.epoch * self.drift_per_epoch) % self.n_items
-        return np.roll(self._rank_probabilities, offset)
+        probabilities = np.roll(self._rank_probabilities, offset)
+        if not self.flash_active:
+            return probabilities
+        index = self.epoch // self.flash_every
+        if index != self._flash_index:
+            # A new flash crowd: pick its target off the stream's own RNG
+            # so same-seed runs flash the same item.
+            self._flash_index = index
+            self._flash_item = int(self._rng.integers(self.n_items))
+        probabilities = probabilities * (1.0 - self.flash_share)
+        probabilities[self._flash_item] += self.flash_share
+        return probabilities
 
     def next_epoch(self) -> dict[int, LocalItemSet]:
         """Generate the next epoch's per-peer *increments*."""

@@ -1,0 +1,89 @@
+"""The churn soak harness itself: invariants, replay, row schema.
+
+A short (16-epoch) soak with every fault generator active.  The harness
+raises :class:`~repro.errors.ExperimentError` on any per-epoch invariant
+breach (mirror mismatch, staleness over the ceiling, non-monotone
+commits), so merely *finishing* is most of the test; the assertions here
+pin the reported shape and the same-seed replay contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.soak import SoakConfig, run_soak
+from repro.telemetry.sink import read_trace
+
+SHORT = dataclasses.replace(
+    SoakConfig.smoke(seed=5),
+    epochs=16,
+    n_peers=16,
+    n_items=800,
+    instances_per_epoch=1500,
+    burst_every=5,
+    suspend_every=6,
+    flash_every=4,
+    flash_duration=1,
+)
+
+ROW_KEYS = {
+    "epoch", "committed", "attempts", "degraded", "staleness", "reason",
+    "recall", "n_frequent", "threshold", "mode", "resyncs", "changed_groups",
+    "filtering_bytes", "filtering_savings", "faded_total",
+}
+
+
+def test_short_soak_meets_the_service_contract():
+    result = run_soak(SHORT)
+    assert len(result.rows) == SHORT.epochs
+    for row in result.rows:
+        assert set(row) == ROW_KEYS
+        assert row["committed"] or row["degraded"]  # never blocks
+        assert 0 <= row["staleness"] <= SHORT.max_staleness
+        assert 0.0 <= row["recall"] <= 1.0
+        if row["committed"]:
+            assert row["staleness"] == 0
+            assert row["mode"] in ("sparse", "dense")
+    summary = result.summary
+    assert summary["epochs"] == SHORT.epochs
+    assert summary["committed_epochs"] + summary["degraded_epochs"] == SHORT.epochs
+    assert summary["committed_epochs"] > 0
+    assert sum(summary["staleness_histogram"].values()) == SHORT.epochs
+    assert 0.0 < summary["mean_recall"] <= 1.0
+    # The faults actually fired — this was a soak, not a calm run.
+    assert summary["faults_injected"] > 0
+    assert summary["churn_failures"] > 0
+    # The whole result is JSON-serializable as committed to BENCH files.
+    json.dumps(result.as_dict())
+
+
+def test_same_seed_soak_replays_byte_identically(tmp_path):
+    trace = tmp_path / "soak.jsonl"
+    first = run_soak(SHORT, trace_path=str(trace))
+    second = run_soak(SHORT)
+    assert first.digest == second.digest
+    assert first.rows == second.rows
+    assert first.summary == second.summary
+    # Attaching a trace must not perturb the run; and the trace carries
+    # the service lifecycle events the CI artifact upload relies on.
+    kinds = {record.get("kind") for record in read_trace(str(trace))}
+    assert "service.commit" in kinds
+    assert "fault.injected" in kinds
+
+
+def test_different_seed_diverges():
+    other = dataclasses.replace(SHORT, seed=6)
+    assert run_soak(SHORT).digest != run_soak(other).digest
+
+
+def test_soak_config_validation():
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(SHORT, epochs=0)
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(SHORT, churn_rate=-0.1)
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(SHORT, burst_every=-1)

@@ -162,3 +162,43 @@ def test_fault_matrix_replays_identically(scenario, seed, tmp_path):
     kinds = {record["kind"] for record in a}
     assert "fault.injected" in kinds or scenario == "partition"
     assert "netfilter.run" in kinds
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3], ids=lambda s: f"seed{s}")
+def test_soak_replays_identically(seed, tmp_path):
+    """The continuous-service cell: a ~50-epoch churn soak (Poisson churn
+    x burst loss x suspend windows x flash crowds) run twice, with the
+    harness's own per-epoch invariants active, under the same replay and
+    artifact contract as the one-shot cells."""
+    from repro.experiments.soak import SoakConfig, run_soak
+
+    artifact_dir = os.environ.get("REPRO_FAULT_TRACE_DIR")
+    base = pathlib.Path(artifact_dir) if artifact_dir else tmp_path
+    base.mkdir(parents=True, exist_ok=True)
+    first_path = str(base / f"soak-seed{seed}-first.jsonl")
+    second_path = str(base / f"soak-seed{seed}-second.jsonl")
+    config = SoakConfig.smoke(seed)
+    first = run_soak(config, trace_path=first_path)
+    second = run_soak(config, trace_path=second_path)
+    if artifact_dir:
+        from repro.telemetry.report import build_report, render_report
+        from repro.telemetry.sink import iter_trace
+
+        for path in (first_path, second_path):
+            rendered = render_report(build_report(iter_trace(path), path=path))
+            pathlib.Path(path + ".report.txt").write_text(rendered, encoding="utf-8")
+    assert first.digest == second.digest
+    assert first.rows == second.rows
+    assert first.summary == second.summary
+    a = strip_wall_clock(read_trace(first_path))
+    b = strip_wall_clock(read_trace(second_path))
+    assert len(a) == len(b)
+    for index, (left, right) in enumerate(zip(a, b)):
+        assert left == right, (
+            f"soak/seed{seed} trace diverges at record {index}: "
+            f"{left!r} != {right!r}"
+        )
+    kinds = {record["kind"] for record in a}
+    assert "service.commit" in kinds
+    assert "fault.injected" in kinds
+    assert "churn.failure" in kinds

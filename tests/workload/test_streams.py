@@ -85,3 +85,71 @@ def test_invalid_params():
         ZipfStream(10, 3, 1.0, 0, rng)
     with pytest.raises(WorkloadError):
         ZipfStream(10, 3, 1.0, 10, rng, drift_per_epoch=-1)
+    with pytest.raises(WorkloadError):
+        ZipfStream(10, 3, 1.0, 10, rng, flash_every=-1)
+    with pytest.raises(WorkloadError):
+        ZipfStream(10, 3, 1.0, 10, rng, flash_every=5, flash_duration=0)
+    with pytest.raises(WorkloadError):
+        ZipfStream(10, 3, 1.0, 10, rng, flash_every=5, flash_share=1.0)
+
+
+def _merged(batch):
+    from repro.items.itemset import LocalItemSet
+
+    return LocalItemSet.merge_many(list(batch.values()))
+
+
+def test_flash_crowd_captures_mass_then_vanishes():
+    stream = ZipfStream(
+        1000, 5, 1.0, 10_000, np.random.default_rng(4),
+        flash_every=4, flash_duration=1, flash_share=0.6,
+    )
+    # Calm lead-in: epochs 0-3 have no flash.
+    for _ in range(4):
+        assert not stream.flash_active
+        stream.next_epoch()
+    # Epoch 4 flashes: the flash item takes ~60% of the arrival mass.
+    assert stream.flash_active
+    batch = _merged(stream.next_epoch())
+    item = stream.flash_item
+    assert item >= 0
+    assert batch.value_of(item) > 0.5 * 10_000
+    # Epoch 5 is calm again: the flash item falls back into the tail.
+    assert not stream.flash_active
+    calm = _merged(stream.next_epoch())
+    assert calm.value_of(item) < 0.1 * 10_000
+
+
+def test_flash_duration_spans_epochs_and_retargets():
+    stream = ZipfStream(
+        500, 4, 1.0, 5_000, np.random.default_rng(5),
+        flash_every=3, flash_duration=2, flash_share=0.5,
+    )
+    hits: dict[int, int] = {}
+    for epoch in range(12):
+        active = stream.flash_active
+        stream.next_epoch()
+        if active:
+            hits[epoch] = stream.flash_item
+    # Windows open at epochs 3-4, 6-7, 9-10 (cadence 3, duration 2).
+    assert sorted(hits) == [3, 4, 6, 7, 9, 10]
+    # Within one window the target is stable; the window starting at a
+    # new flash index re-rolls it off the stream's own RNG.
+    assert hits[3] == hits[4]
+    assert hits[6] == hits[7]
+    assert len(set(hits.values())) > 1
+
+
+def test_flash_same_seed_flashes_same_item():
+    def run():
+        stream = ZipfStream(
+            300, 3, 1.0, 1_000, np.random.default_rng(6),
+            flash_every=2, flash_duration=1, flash_share=0.4,
+        )
+        items = []
+        for _ in range(8):
+            stream.next_epoch()
+            items.append(stream.flash_item)
+        return items
+
+    assert run() == run()
