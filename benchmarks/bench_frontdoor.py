@@ -1,0 +1,114 @@
+"""Front-door overload benchmark: the ISSUE-9 acceptance run.
+
+Two measurements back the committed ``BENCH_frontdoor.json``:
+
+* **The load axis** — :func:`repro.experiments.overload.run_flood`
+  cells at 1k/10k/100k requests open at a single instant against a
+  fixed-capacity front door.  Each cell reports queries/sec (sim time),
+  bytes/query, p50/p99 latency, and the shed rate; every cell runs
+  twice with the same seed and must replay byte-identically.  The
+  acceptance gate rides here: batched shared sessions must beat the
+  one-dedicated-run-per-request baseline on bytes/query by at least 3x
+  at 1k+ concurrent requests (measured: orders of magnitude).
+* **The fault story** — one :func:`run_overload` pass (flash crowds x
+  burst loss x a root crash/revive arc) whose harness raises on any
+  contract breach: every request terminates in COMMITTED / DEGRADED
+  (staleness within the requester's tolerance) / REJECTED (with a
+  reason), zero unhandled exceptions.
+
+The default scale runs the 1k and 10k cells plus the smoke overload run;
+set ``REPRO_BENCH_SCALE=paper`` (or ``large``) to add the 100k cell and
+the full overload configuration, and ``REPRO_BENCH_WRITE=1`` to refresh
+the committed file — the runs are deterministic, so the file is
+reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from conftest import emit
+
+from repro.experiments.overload import (
+    FloodConfig,
+    OverloadConfig,
+    run_flood,
+    run_overload,
+)
+from repro.experiments.report import render_table
+
+
+def test_frontdoor_overload(benchmark, bench_scale):
+    small = bench_scale.name == "small"
+    flood_sizes = [1_000, 10_000] if small else [1_000, 10_000, 100_000]
+    overload_config = (
+        OverloadConfig.smoke(seed=0) if small else OverloadConfig.full(seed=0)
+    )
+
+    def sweep():
+        cells = []
+        for size in flood_sizes:
+            config = FloodConfig(seed=0, open_requests=size)
+            first, second = run_flood(config), run_flood(config)
+            cells.append((size, first, second))
+        return cells, run_overload(overload_config), run_overload(overload_config)
+
+    cells, overload_first, overload_second = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    load_rows = []
+    for size, first, second in cells:
+        # run_flood already raised on any per-request contract breach;
+        # the bench adds the replay gate and the batching-gain floor.
+        assert first.digest == second.digest
+        assert first.summary == second.summary
+        summary = first.summary
+        assert summary["committed"] + summary["degraded"] + summary["rejected"] == size
+        assert summary["batching_gain"] >= 3.0, (
+            f"{size} open requests: batching gain {summary['batching_gain']} "
+            f"below the 3x acceptance floor"
+        )
+        load_rows.append(
+            {
+                "open_requests": size,
+                "queries_per_sim_sec": summary["queries_per_sim_sec"],
+                "bytes_per_query": summary["bytes_per_query"],
+                "baseline_bytes_per_query": summary["baseline_bytes_per_query"],
+                "batching_gain": summary["batching_gain"],
+                "p50_latency": summary["p50_latency"],
+                "p99_latency": summary["p99_latency"],
+                "answer_rate": summary["answer_rate"],
+                "shed_rate": summary["shed_rate"],
+                "sessions": summary["sessions"],
+                "cache_hits": summary["cache_hits"],
+            }
+        )
+    emit(render_table(load_rows, title="Front door — the load axis (flood cells)"))
+
+    assert overload_first.digest == overload_second.digest
+    assert overload_first.summary == overload_second.summary
+    overload = overload_first.summary
+    total = overload["requests"]
+    assert overload["committed"] + overload["degraded"] + overload["rejected"] == total
+    assert overload["faults_injected"] > 0  # the faults actually fired
+    assert overload["answer_rate"] > 0
+    emit(json.dumps(overload, indent=2))
+
+    # Shedding grows with offered load against fixed capacity — the
+    # overload curve the front door is for.
+    sheds = [row["shed_rate"] for row in load_rows]
+    assert sheds == sorted(sheds)
+
+    if os.environ.get("REPRO_BENCH_WRITE") == "1":
+        out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_frontdoor.json"
+        payload = {
+            "load_axis": load_rows,
+            "flood_digests": {
+                str(size): first.digest for size, first, _ in cells
+            },
+            "overload": overload_first.as_dict(),
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -13,6 +13,19 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 
 
+def ceil_threshold(threshold_ratio: float, grand_total: int | float) -> int:
+    """The canonical ratio-to-absolute threshold derivation ``t = ⌈ρ·v⌉``
+    (floored at 1 so an empty network still has a meaningful threshold).
+
+    Every layer that turns a ratio into an absolute threshold —
+    :meth:`NetFilterConfig.resolve_threshold`, the multi-request carving
+    of :mod:`repro.core.requests`, the front door's per-tenant answers —
+    must go through this one function, or two layers can disagree on
+    item-set membership at the threshold boundary.
+    """
+    return max(int(-(-threshold_ratio * grand_total // 1)), 1)
+
+
 @dataclass(frozen=True)
 class NetFilterConfig:
     """Parameters of one netFilter run.
@@ -73,5 +86,4 @@ class NetFilterConfig:
         if self.threshold is not None:
             return self.threshold
         assert self.threshold_ratio is not None
-        resolved = int(-(-self.threshold_ratio * grand_total // 1))  # ceil
-        return max(resolved, 1)
+        return ceil_threshold(self.threshold_ratio, grand_total)

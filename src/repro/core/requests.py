@@ -15,17 +15,26 @@ traffic in any reported component).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.aggregation.hierarchical import AggregationEngine
-from repro.core.config import NetFilterConfig
+from repro.core.config import NetFilterConfig, ceil_threshold
 from repro.core.netfilter import NetFilter, NetFilterResult
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, RequestTimeoutError
 from repro.items.itemset import LocalItemSet
 from repro.net.codec import register_payload
 from repro.net.message import Message, Payload
+from repro.net.network import Network
 from repro.net.wire import CostCategory, SizeModel
+
+#: Networks that already carry a coordinator's handler registrations.
+#: ``Node.register_handler`` refuses silent replacement, so a second
+#: coordinator on the same network would die halfway through its handler
+#: loop with a confusing per-node error; this guard turns it into one
+#: clear :class:`ProtocolError` before anything is touched.
+_ATTACHED_NETWORKS: "weakref.WeakSet[Network]" = weakref.WeakSet()
 
 
 @dataclass(frozen=True)
@@ -81,15 +90,22 @@ class MultiRequestCoordinator:
     """
 
     def __init__(self, engine: AggregationEngine, config: NetFilterConfig) -> None:
+        network = engine.network
+        if network in _ATTACHED_NETWORKS:
+            raise ProtocolError(
+                "a MultiRequestCoordinator already owns the request/result "
+                "handlers of this network; reuse the existing coordinator "
+                "instead of constructing a second one"
+            )
         self.engine = engine
         self.config = config
         self._pending_at_root: list[RequestPayload] = []
         self._delivered: dict[int, LocalItemSet] = {}
-        network = engine.network
         for peer in engine.hierarchy.participants():
             node = network.node(peer)
             node.register_handler(RequestPayload, self._make_request_handler(peer))
             node.register_handler(ResultPayload, self._make_result_handler(peer))
+        _ATTACHED_NETWORKS.add(network)
 
     # ------------------------------------------------------------------
     # Relaying
@@ -139,10 +155,55 @@ class MultiRequestCoordinator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _arrived_requesters(self) -> set[int]:
+        """Requesters whose request payloads have reached the root.  The
+        first route hop is the requester itself; an empty route means the
+        root asked for itself."""
+        root = self.engine.hierarchy.root
+        return {
+            payload.route[0] if payload.route else root
+            for payload in self._pending_at_root
+        }
+
+    def _await(
+        self,
+        done: Callable[[], bool],
+        deadline: float,
+        stage: str,
+        missing: Callable[[], list[int]],
+    ) -> None:
+        """Drive the simulation until ``done()``; raise a typed timeout —
+        naming the peers still owed traffic — when the deadline passes or
+        the event queue drains first (a drained queue means the missing
+        messages are gone, not merely late)."""
+        sim = self.engine.sim
+        while not done():
+            if sim.now >= deadline:
+                raise RequestTimeoutError(
+                    f"{stage} timed out at t={sim.now:g}: still missing "
+                    f"peers {missing()}"
+                )
+            if not sim.step():
+                raise RequestTimeoutError(
+                    f"{stage}: event queue drained at t={sim.now:g} with "
+                    f"peers {missing()} still missing (traffic lost)"
+                )
+
     def run(
-        self, requests: list[IfiRequest]
+        self, requests: list[IfiRequest], timeout: float = 600.0
     ) -> tuple[dict[int, LocalItemSet], NetFilterResult]:
         """Serve all requests with one shared netFilter run.
+
+        Parameters
+        ----------
+        requests:
+            The concurrent requests to serve.
+        timeout:
+            Simulated-time budget for *each* wire stage (request routing
+            to the root, result delivery back).  A stage that misses it
+            raises :class:`~repro.errors.RequestTimeoutError` naming the
+            peers whose traffic never arrived, instead of spinning the
+            event loop.
 
         Returns
         -------
@@ -154,10 +215,13 @@ class MultiRequestCoordinator:
         """
         if not requests:
             raise ProtocolError("no requests to serve")
+        if timeout <= 0:
+            raise ProtocolError(f"timeout must be positive, got {timeout}")
         engine = self.engine
         sim = engine.sim
         hierarchy = engine.hierarchy
         network = engine.network
+        requesters = {request.requester for request in requests}
 
         # 1. Every requester fires its request toward the root.
         self._pending_at_root.clear()
@@ -168,13 +232,12 @@ class MultiRequestCoordinator:
             )
             self._relay_request(request.requester, payload)
         expected = len(requests)
-        guard = 0
-        while len(self._pending_at_root) < expected:
-            if not sim.step():
-                raise ProtocolError("requests never reached the root")
-            guard += 1
-            if guard > 10_000_000:
-                raise ProtocolError("request routing did not converge")
+        self._await(
+            done=lambda: len(self._pending_at_root) >= expected,
+            deadline=sim.now + timeout,
+            stage="request routing",
+            missing=lambda: sorted(requesters - self._arrived_requesters()),
+        )
 
         # 2. One netFilter run at the minimum threshold ratio.
         min_ratio = min(p.threshold_ratio for p in self._pending_at_root)
@@ -188,8 +251,8 @@ class MultiRequestCoordinator:
 
         # 3. Carve out and deliver each requester's subset.
         for payload in self._pending_at_root:
-            threshold = max(
-                int(-(-payload.threshold_ratio * shared_result.grand_total // 1)), 1
+            threshold = ceil_threshold(
+                payload.threshold_ratio, shared_result.grand_total
             )
             subset = shared_result.frequent.filter_values(threshold)
             if not payload.route:
@@ -201,11 +264,10 @@ class MultiRequestCoordinator:
                 next_hop,
                 ResultPayload(items=subset, remaining_route=payload.route[:-1]),
             )
-        guard = 0
-        while len(self._delivered) < len({r.requester for r in requests}):
-            if not sim.step():
-                raise ProtocolError("results were not delivered to all requesters")
-            guard += 1
-            if guard > 10_000_000:
-                raise ProtocolError("result delivery did not converge")
+        self._await(
+            done=lambda: len(self._delivered) >= len(requesters),
+            deadline=sim.now + timeout,
+            stage="result delivery",
+            missing=lambda: sorted(requesters - set(self._delivered)),
+        )
         return dict(self._delivered), shared_result

@@ -145,6 +145,31 @@ def _soak(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
     return {"soak": result.rows, "soak_summary": [result.summary]}
 
 
+def _overload(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
+    # One long-lived front-door run; inherently sequential.
+    del jobs
+    from repro.experiments.overload import OverloadConfig, run_overload
+
+    config = (
+        OverloadConfig.smoke(seed) if scale.name == "small" else OverloadConfig.full(seed)
+    )
+    result = run_overload(config)
+    stride = max(1, len(result.round_rows) // 25)
+    print(
+        render_table(
+            result.round_rows[::stride],
+            title=(
+                f"Overload — {config.rounds} rounds, {config.n_peers} peers, "
+                f"flash crowds x burst loss x root crash (every {stride}th round)"
+            ),
+        )
+    )
+    print(f"\nReplay digest: {result.digest}")
+    for key in sorted(result.summary):
+        print(f"  {key}: {result.summary[key]}")
+    return {"overload": result.round_rows, "overload_summary": [result.summary]}
+
+
 COMMANDS = {
     "fig5": _fig5,
     "fig6": _fig6,
@@ -154,6 +179,7 @@ COMMANDS = {
     "ablations": _ablations,
     "robustness": _robustness,
     "soak": _soak,
+    "overload": _overload,
 }
 
 

@@ -1,0 +1,126 @@
+"""Admission control: per-tenant rate limits and cost budgets.
+
+The controller answers one question per arriving request — *may this
+tenant spend service capacity right now?* — and answers it explicitly:
+an :class:`Admission` either admits or names a reason and an honest
+``retry_after`` hint.  Nothing here ever queues silently; queue-depth
+shedding is part of the decision, so a flooded front door degrades to
+fast rejections instead of unbounded buffering.
+
+All state advances on simulated time only (token buckets refill by
+``now`` deltas), so admission decisions replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.frontdoor.config import NO_RETRY, FrontDoorConfig, TenantPolicy
+
+#: Rejection reasons the controller itself produces.
+REASON_RATE = "rate_limit"
+REASON_BUDGET = "budget"
+REASON_QUEUE_FULL = "queue_full"
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One admission verdict: admitted, or why not and when to retry."""
+
+    admitted: bool
+    reason: str = ""
+    retry_after: float = 0.0
+
+
+@dataclass
+class TenantAccount:
+    """One tenant's live admission state (token bucket + spend meter)."""
+
+    policy: TenantPolicy
+    tokens: float
+    refilled_at: float
+    bytes_spent: float = 0.0
+    admitted: int = 0
+    rejected: int = 0
+
+    def refill(self, now: float) -> None:
+        """Advance the bucket to ``now`` (deterministic: pure sim time)."""
+        if now > self.refilled_at:
+            self.tokens = min(
+                self.policy.burst,
+                self.tokens + (now - self.refilled_at) * self.policy.rate,
+            )
+            self.refilled_at = now
+
+    @property
+    def budget_exhausted(self) -> bool:
+        budget = self.policy.byte_budget
+        return budget is not None and self.bytes_spent >= budget
+
+
+class AdmissionController:
+    """Per-tenant rate/budget gate plus the queue-depth shed policy."""
+
+    def __init__(
+        self,
+        config: FrontDoorConfig,
+        policies: Mapping[str, TenantPolicy] | None = None,
+    ) -> None:
+        self.config = config
+        self._policies = dict(policies or {})
+        self._accounts: dict[str, TenantAccount] = {}
+
+    def account(self, tenant: str) -> TenantAccount:
+        """The tenant's live account (created on first sight, bucket
+        full — a new tenant starts with its whole burst allowance)."""
+        entry = self._accounts.get(tenant)
+        if entry is None:
+            policy = self._policies.get(tenant, self.config.default_policy)
+            entry = TenantAccount(
+                policy=policy, tokens=policy.burst, refilled_at=0.0
+            )
+            self._accounts[tenant] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # The decision
+    # ------------------------------------------------------------------
+    def decide(self, tenant: str, now: float, queue_depth: int) -> Admission:
+        """Admit or reject one arriving request.
+
+        Order matters and is part of the contract: the rate limit is
+        checked first (a flooding tenant is turned away before it can
+        consume anything, cache included), then the byte budget, then
+        the shared queue depth.  Only an admitted request may proceed to
+        the cache fast path or the batch queue.
+        """
+        account = self.account(tenant)
+        account.refill(now)
+        if account.tokens < 1.0:
+            account.rejected += 1
+            wait = (1.0 - account.tokens) / account.policy.rate
+            return Admission(False, REASON_RATE, retry_after=wait)
+        if account.budget_exhausted:
+            account.rejected += 1
+            return Admission(False, REASON_BUDGET, retry_after=NO_RETRY)
+        if queue_depth >= self.config.max_queue_depth:
+            account.rejected += 1
+            return Admission(
+                False, REASON_QUEUE_FULL, retry_after=self.config.round_interval
+            )
+        account.tokens -= 1.0
+        account.admitted += 1
+        return Admission(True)
+
+    def charge(self, tenant: str, nbytes: float) -> None:
+        """Charge ``nbytes`` of measured session cost to the tenant."""
+        self.account(tenant).bytes_spent += nbytes
+
+    def spent(self, tenant: str) -> float:
+        """Bytes charged to the tenant so far."""
+        return self.account(tenant).bytes_spent
+
+    def accounts(self) -> dict[str, TenantAccount]:
+        """Snapshot of every tenant account, sorted by tenant name."""
+        return {name: self._accounts[name] for name in sorted(self._accounts)}

@@ -1,0 +1,64 @@
+"""Wire payloads of the front door's query/answer exchange.
+
+A request is four scalars (tenant hash, threshold ratio, staleness
+tolerance, request id); an answer is the terminal verdict — status,
+reason, staleness bound, threshold — plus the frequent ``(id, value)``
+pairs when there are any.  Both go through the codec registry so traces,
+cost accounting, and reports see them like any protocol traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.items.itemset import LocalItemSet
+from repro.net.codec import register_payload
+from repro.net.message import Payload
+from repro.net.wire import CostCategory, SizeModel
+
+#: Terminal request statuses.  Every submitted request ends in exactly
+#: one of these — the front door's never-blocks contract.
+COMMITTED = "committed"
+DEGRADED = "degraded"
+REJECTED = "rejected"
+
+
+@register_payload
+@dataclass(frozen=True, eq=False)
+class QueryRequestPayload(Payload):
+    """A tenant's query on its way to the root."""
+
+    request_id: int
+    tenant: str
+    requester: int
+    threshold_ratio: float
+    max_staleness: int
+    category = CostCategory.CONTROL
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return 4 * model.aggregate_bytes
+
+
+@register_payload
+@dataclass(frozen=True, eq=False)
+class QueryAnswerPayload(Payload):
+    """The root's terminal answer for one request.
+
+    Priced as four scalars (status/reason code, staleness, threshold,
+    retry-after) plus the frequent pairs — what a real deployment would
+    serialize.  Rejections carry no items and cost four scalars.
+    """
+
+    request_id: int
+    requester: int
+    status: str
+    reason: str
+    retry_after: float
+    staleness: int
+    threshold: int
+    grand_total: float
+    items: LocalItemSet
+    category = CostCategory.DISSEMINATION
+
+    def body_bytes(self, model: SizeModel) -> int:
+        return 4 * model.aggregate_bytes + model.pair_bytes * len(self.items)

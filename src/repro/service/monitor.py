@@ -70,6 +70,7 @@ class MonitorService:
         self._last_report: EpochReport | None = None
         self._consecutive_degraded = 0
         self._client_answers: dict[int, MonitorAnswer] = {}
+        self._listeners: list[Callable[[EpochOutcome], None]] = []
         for peer in self.network.live_peers():
             self._install(peer)
         # fail() wipes a peer's handler table; re-install on every revive.
@@ -108,6 +109,12 @@ class MonitorService:
             grand_total=report.faded_total,
             served_at=now,
         )
+
+    def subscribe(self, listener: Callable[[EpochOutcome], None]) -> None:
+        """Call ``listener`` with every epoch outcome as it concludes
+        (committed or degraded).  Consumers like the query front door use
+        this to keep a warm cache of the newest honest answer."""
+        self._listeners.append(listener)
 
     def query_from(self, peer: int, timeout: float = 120.0) -> MonitorAnswer | None:
         """Ask the root for the current answer over the wire, from
@@ -227,7 +234,7 @@ class MonitorService:
             epochs_ts.record(
                 "service.staleness_epochs", float(answer.staleness_epochs)
             )
-        return EpochOutcome(
+        outcome = EpochOutcome(
             epoch=epoch,
             committed=report is not None,
             attempts=attempts,
@@ -235,6 +242,9 @@ class MonitorService:
             report=report,
             reason=reason,
         )
+        for listener in self._listeners:
+            listener(outcome)
+        return outcome
 
     # ------------------------------------------------------------------
     # One attempt

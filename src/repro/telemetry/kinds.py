@@ -76,6 +76,17 @@ TRACE_KINDS: dict[str, str] = {
     "service.abandon": "an epoch attempt was abandoned (deadline/coverage/root)",
     "service.degraded": "an epoch ended degraded: serving the last committed result",
     "service.answer": "the root served a monitor answer (fresh or degraded)",
+    # -- multi-tenant front door (repro.frontdoor) ----------------------
+    "frontdoor.submit": "a client peer fired a query request at the root",
+    "frontdoor.admit": "admission control accepted a request into the batch queue",
+    "frontdoor.reject": "the front door rejected a request (reason, retry_after)",
+    "frontdoor.cache_hit": "a still-fresh cached answer served the request",
+    "frontdoor.round": "span: one front-door scheduling round (admit, batch, serve)",
+    "frontdoor.session": "span: one shared aggregation session over a batch",
+    "frontdoor.session_retry": "a failed shared session was retried after backoff",
+    "frontdoor.answer": "the root sent a terminal answer back to a requester",
+    "frontdoor.timeout": "a client-side request deadline expired unanswered",
+    "frontdoor.breaker": "the overload circuit breaker changed state",
     # -- netFilter (gossip variant) ------------------------------------
     "gossip.filter.phase": "span: push-sum candidate filtering",
     "gossip.flood.phase": "span: heavy-group overlay flood",

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
-import pytest
+import math
 
-from repro.core.config import NetFilterConfig
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import NetFilterConfig, ceil_threshold
 from repro.errors import ConfigurationError
 
 
@@ -36,6 +40,28 @@ def test_both_thresholds_rejected():
 def test_neither_threshold_rejected():
     with pytest.raises(ConfigurationError):
         NetFilterConfig(filter_size=10)
+
+
+@given(
+    ratio=st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    total=st.integers(min_value=0, max_value=10**12),
+)
+def test_ceil_threshold_is_the_canonical_ceil(ratio, total):
+    """Every consumer of the t = ceil(rho * v) derivation (NetFilter,
+    request carving, the front-door cache) goes through
+    :func:`ceil_threshold`; pin it to the mathematical definition."""
+    value = ceil_threshold(ratio, total)
+    assert value == max(math.ceil(ratio * total), 1)
+    assert value >= 1
+
+
+@given(
+    ratio=st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    total=st.integers(min_value=1, max_value=10**9),
+)
+def test_ceil_threshold_agrees_with_resolve_threshold(ratio, total):
+    config = NetFilterConfig(filter_size=10, threshold_ratio=ratio)
+    assert config.resolve_threshold(total) == ceil_threshold(ratio, total)
 
 
 def test_invalid_filter_size_rejected():

@@ -7,9 +7,12 @@ import pytest
 from repro.core.config import NetFilterConfig
 from repro.core.oracle import oracle_frequent_items
 from repro.core.requests import IfiRequest, MultiRequestCoordinator
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, RequestTimeoutError
+from repro.faults import DropMessages, FaultInjector, FaultScenario, MessageMatch
 
 from tests.conftest import build_small_system
+
+CONFIG = NetFilterConfig(filter_size=60, num_filters=3, threshold_ratio=0.01)
 
 
 @pytest.fixture(scope="module")
@@ -79,3 +82,68 @@ def test_empty_request_list_rejected(setup):
 def test_invalid_ratio_rejected():
     with pytest.raises(ProtocolError):
         IfiRequest(requester=1, threshold_ratio=0.0)
+
+
+def test_second_coordinator_rejected():
+    system = build_small_system(seed=11)
+    MultiRequestCoordinator(system.engine, CONFIG)
+    with pytest.raises(ProtocolError, match="already owns"):
+        MultiRequestCoordinator(system.engine, CONFIG)
+
+
+def test_invalid_timeout_rejected():
+    system = build_small_system(seed=12)
+    coordinator = MultiRequestCoordinator(system.engine, CONFIG)
+    requester = system.hierarchy.leaves()[0]
+    with pytest.raises(ProtocolError):
+        coordinator.run([IfiRequest(requester, 0.01)], timeout=0.0)
+
+
+def test_dropped_request_times_out_promptly():
+    """A lost RequestPayload must surface as a typed timeout naming the
+    silent requester — not as an endless event-loop spin."""
+    system = build_small_system(seed=13)
+    coordinator = MultiRequestCoordinator(system.engine, CONFIG)
+    requester = system.hierarchy.leaves()[0]
+    FaultInjector(
+        system.network,
+        FaultScenario(
+            name="eat-requests",
+            actions=(
+                DropMessages(
+                    match=MessageMatch(payload_kind="RequestPayload"), count=1
+                ),
+            ),
+        ),
+    ).install()
+    started = system.sim.now
+    with pytest.raises(RequestTimeoutError, match="request routing") as excinfo:
+        coordinator.run([IfiRequest(requester, 0.01)], timeout=50.0)
+    assert str(requester) in str(excinfo.value)
+    assert system.sim.now <= started + 50.0 + 1e-9
+
+
+def test_dropped_result_times_out_promptly():
+    """A lost ResultPayload: the shared run finishes, but the delivery
+    stage raises the typed timeout naming the unanswered requester."""
+    system = build_small_system(seed=14)
+    coordinator = MultiRequestCoordinator(system.engine, CONFIG)
+    leaves = system.hierarchy.leaves()
+    FaultInjector(
+        system.network,
+        FaultScenario(
+            name="eat-results",
+            actions=(
+                DropMessages(
+                    match=MessageMatch(payload_kind="ResultPayload"), count=50
+                ),
+            ),
+        ),
+    ).install()
+    with pytest.raises(RequestTimeoutError, match="result delivery") as excinfo:
+        coordinator.run(
+            [IfiRequest(leaves[0], 0.01), IfiRequest(leaves[1], 0.02)],
+            timeout=80.0,
+        )
+    message = str(excinfo.value)
+    assert str(leaves[0]) in message or str(leaves[1]) in message

@@ -1,0 +1,94 @@
+"""Minimum-threshold carving under faults (Section III-A.1 hardened).
+
+N requesters with distinct threshold ratios share one netFilter run while
+burst loss chews on the wire (ACK/retransmit reliability recovers the
+dropped hops).  Every answer must be the oracle's exact frequent set at
+that requester's own threshold, every stricter answer a subset of every
+looser one, and the whole exchange must replay byte-identically under the
+same seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation.hierarchical import AggregationEngine
+from repro.core.config import NetFilterConfig, ceil_threshold
+from repro.core.oracle import oracle_frequent_items
+from repro.core.requests import IfiRequest, MultiRequestCoordinator
+from repro.faults import BurstLoss, FaultInjector, FaultScenario
+from repro.hierarchy.builder import Hierarchy
+from repro.net.network import Network
+from repro.net.overlay import Topology
+from repro.net.transport import ReliabilityConfig, TransportConfig
+from repro.sim.engine import Simulation
+from repro.workload.workload import Workload
+
+RATIOS = (0.01, 0.02, 0.03, 0.05, 0.08)
+
+
+def run_carving(seed: int):
+    """One faulted multi-request exchange; returns everything a replay
+    gate needs to compare."""
+    sim = Simulation(seed=seed)
+    topology = Topology.random_connected(24, 4.0, sim.rng.stream("topology"))
+    network = Network(
+        sim,
+        topology,
+        transport_config=TransportConfig(latency=1.0, latency_jitter=0.3),
+        reliability=ReliabilityConfig(max_retransmits=8),
+    )
+    workload = Workload.zipf(
+        n_items=400, n_peers=24, skew=1.0, rng=sim.rng.stream("workload")
+    )
+    network.assign_items(workload.item_sets)
+    hierarchy = Hierarchy.build(network, root=0)
+    engine = AggregationEngine(hierarchy, child_timeout=120.0, hardened=True)
+    coordinator = MultiRequestCoordinator(
+        engine, NetFilterConfig(filter_size=60, num_filters=3, threshold_ratio=0.01)
+    )
+    # Loss opens immediately and outlives the whole exchange, so both the
+    # request hops and the result hops retransmit through it.
+    FaultInjector(
+        network,
+        FaultScenario(
+            name="carve-loss",
+            actions=(BurstLoss(start=0.0, duration=5000.0, probability=0.25),),
+        ),
+    ).install()
+    leaves = sorted(hierarchy.leaves())[: len(RATIOS)]
+    requests = [
+        IfiRequest(leaf, ratio) for leaf, ratio in zip(leaves, RATIOS)
+    ]
+    answers, shared = coordinator.run(requests, timeout=2000.0)
+    return network, requests, answers, shared
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_carving_exact_under_burst_loss(seed):
+    network, requests, answers, shared = run_carving(seed)
+    assert shared.config.threshold_ratio == min(RATIOS)
+    for request in requests:
+        threshold = ceil_threshold(request.threshold_ratio, shared.grand_total)
+        truth = oracle_frequent_items(network, threshold)
+        assert answers[request.requester] == truth
+    # Strictly increasing ratios answer with nested subsets.
+    ordered = [answers[request.requester] for request in requests]
+    for loose, strict in zip(ordered, ordered[1:]):
+        assert np.isin(strict.ids, loose.ids).all()
+        assert len(strict) <= len(loose)
+
+
+def test_carving_replays_identically():
+    _, _, first_answers, first_shared = run_carving(seed=33)
+    _, _, second_answers, second_shared = run_carving(seed=33)
+    assert sorted(first_answers) == sorted(second_answers)
+    for requester in first_answers:
+        assert first_answers[requester] == second_answers[requester]
+        assert np.array_equal(
+            first_answers[requester].values, second_answers[requester].values
+        )
+    assert first_shared.grand_total == second_shared.grand_total
+    assert first_shared.threshold == second_shared.threshold
+    assert first_shared.breakdown == second_shared.breakdown

@@ -202,3 +202,44 @@ def test_soak_replays_identically(seed, tmp_path):
     assert "service.commit" in kinds
     assert "fault.injected" in kinds
     assert "churn.failure" in kinds
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3], ids=lambda s: f"seed{s}")
+def test_frontdoor_overload_replays_identically(seed, tmp_path):
+    """The front-door cell: a multi-tenant overload run (flash crowds x
+    burst loss x a root crash/revive) where every verdict — committed,
+    degraded, or rejected-with-reason — feeds a replay digest, under the
+    same trace and artifact contract as the other cells."""
+    from repro.experiments.overload import OverloadConfig, run_overload
+
+    artifact_dir = os.environ.get("REPRO_FAULT_TRACE_DIR")
+    base = pathlib.Path(artifact_dir) if artifact_dir else tmp_path
+    base.mkdir(parents=True, exist_ok=True)
+    first_path = str(base / f"frontdoor-seed{seed}-first.jsonl")
+    second_path = str(base / f"frontdoor-seed{seed}-second.jsonl")
+    config = OverloadConfig.smoke(seed)
+    first = run_overload(config, trace_path=first_path)
+    second = run_overload(config, trace_path=second_path)
+    if artifact_dir:
+        from repro.telemetry.report import build_report, render_report
+        from repro.telemetry.sink import iter_trace
+
+        for path in (first_path, second_path):
+            rendered = render_report(build_report(iter_trace(path), path=path))
+            pathlib.Path(path + ".report.txt").write_text(rendered, encoding="utf-8")
+    assert first.digest == second.digest
+    assert first.request_rows == second.request_rows
+    assert first.summary == second.summary
+    a = strip_wall_clock(read_trace(first_path))
+    b = strip_wall_clock(read_trace(second_path))
+    assert len(a) == len(b)
+    for index, (left, right) in enumerate(zip(a, b)):
+        assert left == right, (
+            f"frontdoor/seed{seed} trace diverges at record {index}: "
+            f"{left!r} != {right!r}"
+        )
+    kinds = {record["kind"] for record in a}
+    assert "frontdoor.submit" in kinds
+    assert "frontdoor.session" in kinds
+    assert "frontdoor.reject" in kinds
+    assert "fault.injected" in kinds

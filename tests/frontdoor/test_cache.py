@@ -1,0 +1,90 @@
+"""Unit tests for the honest-staleness answer cache."""
+
+from __future__ import annotations
+
+from repro.core.config import ceil_threshold
+from repro.frontdoor.cache import AnswerCache
+from repro.items.itemset import LocalItemSet
+
+FREQUENT = LocalItemSet.from_pairs({1: 500, 2: 300, 3: 120, 4: 101})
+
+
+def seeded_cache(base_ratio: float = 0.01, grand_total: float = 10_000.0):
+    cache = AnswerCache()
+    cache.put_monitor(
+        frequent=FREQUENT,
+        base_ratio=base_ratio,
+        grand_total=grand_total,
+        staleness=0,
+        round_no=0,
+    )
+    return cache
+
+
+def test_hit_carves_at_the_request_threshold():
+    cache = seeded_cache()
+    hit = cache.lookup(threshold_ratio=0.03, max_staleness=0, current_round=0)
+    assert hit is not None
+    assert hit.threshold == ceil_threshold(0.03, 10_000.0)
+    assert hit.items.to_dict() == {1: 500, 2: 300}
+    assert hit.staleness == 0
+    assert cache.hits == 1
+
+
+def test_lower_ratio_never_served():
+    # The cached run verified items at 1%; a 0.5% request needs items the
+    # run never looked at — must miss, not fabricate.
+    cache = seeded_cache(base_ratio=0.01)
+    assert cache.lookup(0.005, max_staleness=10, current_round=0) is None
+    assert cache.misses == 1
+
+
+def test_staleness_is_age_plus_base():
+    cache = AnswerCache()
+    cache.put_monitor(
+        frequent=FREQUENT,
+        base_ratio=0.01,
+        grand_total=10_000.0,
+        staleness=2,
+        round_no=5,
+    )
+    hit = cache.lookup(0.01, max_staleness=5, current_round=8)
+    assert hit is not None
+    assert hit.staleness == 5  # 3 rounds of age + 2 born-with
+    assert cache.lookup(0.01, max_staleness=4, current_round=8) is None
+
+
+def test_tolerance_zero_requires_same_round():
+    cache = seeded_cache()
+    assert cache.lookup(0.01, max_staleness=0, current_round=0) is not None
+    assert cache.lookup(0.01, max_staleness=0, current_round=1) is None
+
+
+def test_least_stale_source_wins():
+    cache = seeded_cache()  # monitor entry, round 0
+    fresher = LocalItemSet.from_pairs({1: 600})
+
+    class FakeResult:
+        grand_total = 12_000
+        frequent = fresher
+
+    cache.put_session(FakeResult(), base_ratio=0.02, round_no=3)
+    hit = cache.lookup(0.02, max_staleness=10, current_round=3)
+    assert hit is not None
+    assert hit.source == "session"
+    assert hit.staleness == 0
+    assert hit.grand_total == 12_000.0
+
+
+def test_newer_deposit_supersedes():
+    cache = seeded_cache()
+    cache.put_monitor(
+        frequent=LocalItemSet.from_pairs({9: 900}),
+        base_ratio=0.01,
+        grand_total=5_000.0,
+        staleness=0,
+        round_no=2,
+    )
+    hit = cache.lookup(0.01, max_staleness=0, current_round=2)
+    assert hit is not None
+    assert hit.items.to_dict() == {9: 900}
