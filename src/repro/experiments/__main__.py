@@ -170,6 +170,33 @@ def _overload(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
     return {"overload": result.round_rows, "overload_summary": [result.summary]}
 
 
+#: Engine/shard selection for the `scaling` command, set by main() from
+#: --engine/--shards before dispatch (handlers share one signature).
+_SCALING_OPTS = {"engine": "vec", "shards": 1}
+
+
+def _scaling(scale: ExperimentScale, seed: int, jobs: int = 1) -> RowsByTable:
+    from repro.experiments.scaling import run_scaling
+
+    engine = str(_SCALING_OPTS["engine"])
+    shards = int(_SCALING_OPTS["shards"])
+    rows = run_scaling(scale, seed, engine=engine, shards=shards, jobs=jobs)
+    print(
+        render_table(
+            [row.as_dict() for row in rows],
+            title=(
+                f"Scaling — population sweep, engine={engine}, "
+                f"shards={shards} ({scale.name})"
+            ),
+        )
+    )
+    if engine == "vec":
+        print("\nReplay digests (pure functions of seed x plan):")
+        for row in rows:
+            print(f"  N={row.n_peers}: {row.digest}")
+    return {"scaling": [row.as_dict() for row in rows]}
+
+
 COMMANDS = {
     "fig5": _fig5,
     "fig6": _fig6,
@@ -180,6 +207,7 @@ COMMANDS = {
     "robustness": _robustness,
     "soak": _soak,
     "overload": _overload,
+    "scaling": _scaling,
 }
 
 
@@ -210,6 +238,22 @@ def main(argv: list[str] | None = None) -> int:
         "(results are identical to --jobs 1; see repro.experiments.parallel)",
     )
     parser.add_argument(
+        "--engine",
+        default="vec",
+        choices=["scalar", "vec"],
+        help="execution tier for the `scaling` command: the event-driven "
+        "scalar engine or the columnar vectorized tier (default: vec)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="split the `scaling` command's vectorized populations into K "
+        "independent space shards merged at a super-root (results are a "
+        "pure function of seed x K, independent of --jobs)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -238,6 +282,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    _SCALING_OPTS["engine"] = args.engine
+    _SCALING_OPTS["shards"] = args.shards
     scale = ExperimentScale.by_name(args.scale)
     selected = list(COMMANDS) if args.experiment == "all" else [args.experiment]
     jobs = args.jobs

@@ -1,0 +1,184 @@
+"""The scaling campaign: one protocol, two execution tiers.
+
+Sweeps the population N at a fixed item universe and runs netFilter
+under the selected engine — ``scalar`` (the event-driven stack, one
+message at a time) or ``vec`` (the columnar tier, optionally space-
+sharded over worker processes via :func:`repro.vec.shard.run_sharded`).
+Each cell reports the paper's per-peer byte breakdown plus the evidence
+that makes a vectorized number trustworthy: the sharded replay digest
+and (on request) a sampled-subpopulation audit against the scalar
+engine.
+
+Both engines ride :mod:`repro.experiments.parallel`, so results come
+back in spec order and are identical for ``jobs=1`` and ``jobs=K`` —
+pinned by ``tests/experiments/test_scaling.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter
+from repro.errors import ConfigurationError
+from repro.experiments.harness import ExperimentScale, build_trial
+from repro.vec.build import build_table
+from repro.vec.escape import SubpopulationAudit, verify_sampled_subpopulation
+from repro.vec.shard import ShardPlan, run_sharded
+
+#: The campaign's protocol parameters (the paper's g=100, f=3 figure
+#: configuration at rho=1%).
+SCALING_CONFIG = NetFilterConfig(filter_size=100, num_filters=3, threshold_ratio=0.01)
+
+#: Population multipliers applied to the scale's base N for the sweep.
+SWEEP_MULTIPLIERS = (1, 4, 16)
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One (N, engine) cell of the scaling campaign."""
+
+    n_peers: int
+    n_items: int
+    engine: str
+    shards: int
+    grand_total: int
+    threshold: int
+    n_frequent: int
+    n_candidates: int
+    total_cost: float
+    filtering: float
+    dissemination: float
+    aggregation: float
+    control: float
+    coverage: float
+    complete: bool
+    digest: str | None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "N": self.n_peers,
+            "n": self.n_items,
+            "engine": self.engine,
+            "shards": self.shards,
+            "total B/peer": round(self.total_cost, 2),
+            "filtering": round(self.filtering, 2),
+            "dissemination": round(self.dissemination, 2),
+            "aggregation": round(self.aggregation, 2),
+            "control": round(self.control, 2),
+            "frequent": self.n_frequent,
+            "candidates": self.n_candidates,
+            "digest": (self.digest or "")[:12],
+        }
+
+
+def scaling_plan(
+    n_peers: int,
+    n_items: int,
+    seed: int,
+    shards: int,
+    config: NetFilterConfig = SCALING_CONFIG,
+) -> ShardPlan:
+    """The canonical plan for one vectorized cell: the paper's ``10·n``
+    instance budget, split equally over ``shards`` independent shards."""
+    return ShardPlan(
+        n_peers=n_peers,
+        n_items=n_items,
+        seed=seed,
+        n_shards=shards,
+        config=config,
+    )
+
+
+def run_scaling_cell(
+    n_peers: int,
+    n_items: int,
+    seed: int,
+    *,
+    engine: str = "vec",
+    shards: int = 1,
+    jobs: int = 1,
+    config: NetFilterConfig = SCALING_CONFIG,
+) -> ScalingRow:
+    """Run one (N, engine) cell and distill it into a :class:`ScalingRow`."""
+    if engine == "vec":
+        plan = scaling_plan(n_peers, n_items, seed, shards, config)
+        sharded = run_sharded(plan, jobs=jobs)
+        result, digest = sharded.result, sharded.digest
+    elif engine == "scalar":
+        if shards != 1:
+            raise ConfigurationError("the scalar engine does not shard")
+        scale = ExperimentScale("custom", n_peers, n_items)
+        trial = build_trial(scale, seed=seed)
+        result, digest = NetFilter(config).run(trial.engine), None
+    else:
+        raise ConfigurationError(f"unknown engine {engine!r} (use 'scalar' or 'vec')")
+    return ScalingRow(
+        n_peers=n_peers,
+        n_items=n_items,
+        engine=engine,
+        shards=shards,
+        grand_total=result.grand_total,
+        threshold=result.threshold,
+        n_frequent=len(result.frequent),
+        n_candidates=len(result.candidates),
+        total_cost=result.breakdown.total,
+        filtering=result.breakdown.filtering,
+        dissemination=result.breakdown.dissemination,
+        aggregation=result.breakdown.aggregation,
+        control=result.breakdown.control,
+        coverage=result.coverage,
+        complete=result.complete,
+        digest=digest,
+    )
+
+
+def run_scaling(
+    scale: ExperimentScale,
+    seed: int,
+    *,
+    engine: str = "vec",
+    shards: int = 1,
+    jobs: int = 1,
+    config: NetFilterConfig = SCALING_CONFIG,
+) -> list[ScalingRow]:
+    """The campaign: N swept over ``SWEEP_MULTIPLIERS``x the scale's base
+    population, fixed item universe, one row per cell in sweep order."""
+    return [
+        run_scaling_cell(
+            multiplier * scale.n_peers,
+            scale.n_items,
+            seed,
+            engine=engine,
+            shards=shards,
+            jobs=jobs,
+            config=config,
+        )
+        for multiplier in SWEEP_MULTIPLIERS
+    ]
+
+
+def audit_cell(
+    n_peers: int,
+    n_items: int,
+    seed: int,
+    *,
+    shards: int = 1,
+    max_peers: int = 2_000,
+    config: NetFilterConfig = SCALING_CONFIG,
+) -> SubpopulationAudit:
+    """The exactness audit for one vectorized cell: rebuild shard 0
+    deterministically and run the scalar engine against the vectorized
+    tier on a sampled subtree (at most ``max_peers`` peers, so the audit
+    is affordable at any N)."""
+    plan = scaling_plan(n_peers, n_items, seed, shards, config)
+    table = build_table(
+        n_peers=plan.shard_peers(0),
+        n_items=plan.n_items,
+        seed=plan.seed,
+        shard=0,
+        n_shards=plan.n_shards,
+        total_instances=plan.shard_instances(0),
+    ).table
+    return verify_sampled_subpopulation(table, config, max_peers=max_peers)

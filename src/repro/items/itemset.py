@@ -6,9 +6,15 @@ values.  It is immutable by convention: every operation returns a new set
 set — see Algorithm 2 of the paper — and must never mutate a neighbour's
 message in place).
 
-Values are ``int64``.  Intermediate keyed sums use ``float64`` bincounts for
-speed but are exact for any realistic workload (totals stay far below
-``2**53``) and are cast back to ``int64`` with a verification in debug mode.
+Values are ``int64`` and keyed sums stay in ``int64`` end to end (a sort
+plus ``np.add.reduceat``), so merges are exact for the full int64 range —
+no ``float64`` intermediate, no silent rounding above ``2**53``.
+
+Construction takes the fast path when the ids are already strictly
+increasing — one comparison pass, **no sort and no copy**: the set aliases
+the caller's arrays.  This is the hot path for merge outputs and for the
+vectorized tier's CSR slices; it relies on the repo-wide convention that
+item sets are immutable (callers must not mutate arrays they handed over).
 """
 
 from __future__ import annotations
@@ -19,6 +25,27 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import WorkloadError
+
+
+def _canonical_sorted(
+    ids: np.ndarray, values: np.ndarray, label: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate shapes and return ``(ids, values)`` sorted by id with ids
+    unique — aliasing the inputs (zero copies) when already in order."""
+    if ids.ndim != 1 or values.ndim != 1:
+        raise WorkloadError("ids and values must be 1-D arrays")
+    if ids.shape != values.shape:
+        raise WorkloadError(
+            f"ids and values must have equal length, got {len(ids)} != {len(values)}"
+        )
+    if ids.size <= 1 or bool(np.all(ids[1:] > ids[:-1])):
+        return ids, values
+    order = np.argsort(ids, kind="stable")
+    ids = ids[order]
+    values = values[order]
+    if np.any(ids[1:] == ids[:-1]):
+        raise WorkloadError(f"item ids must be unique within a {label}")
+    return ids, values
 
 
 class LocalItemSet:
@@ -47,19 +74,7 @@ class LocalItemSet:
     def __init__(self, ids: np.ndarray, values: np.ndarray) -> None:
         ids = np.asarray(ids, dtype=np.int64)
         values = np.asarray(values, dtype=np.int64)
-        if ids.ndim != 1 or values.ndim != 1:
-            raise WorkloadError("ids and values must be 1-D arrays")
-        if ids.shape != values.shape:
-            raise WorkloadError(
-                f"ids and values must have equal length, got {len(ids)} != {len(values)}"
-            )
-        order = np.argsort(ids, kind="stable")
-        ids = ids[order]
-        values = values[order]
-        if ids.size and np.any(ids[1:] == ids[:-1]):
-            raise WorkloadError("item ids must be unique within a LocalItemSet")
-        self.ids = ids
-        self.values = values
+        self.ids, self.values = _canonical_sorted(ids, values, "LocalItemSet")
 
     # ------------------------------------------------------------------
     # Construction
@@ -101,9 +116,20 @@ class LocalItemSet:
 
     @classmethod
     def _from_possibly_duplicated(cls, ids: np.ndarray, values: np.ndarray) -> "LocalItemSet":
-        unique_ids, inverse = np.unique(ids, return_inverse=True)
-        summed = np.bincount(inverse, weights=values.astype(np.float64))
-        return cls(unique_ids, summed.astype(np.int64))
+        """Keyed int64 sum of possibly-duplicated pairs — sort, find run
+        starts, ``add.reduceat`` per run.  Exact over the whole int64
+        range (the old float64 bincount silently rounded above 2**53)
+        and copy-free on the way out: the deduplicated arrays feed the
+        constructor already strictly increasing."""
+        if ids.size == 0:
+            return cls.empty()
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        starts_mask = np.empty(sorted_ids.size, dtype=bool)
+        starts_mask[0] = True
+        np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=starts_mask[1:])
+        starts = np.flatnonzero(starts_mask)
+        return cls(sorted_ids[starts], np.add.reduceat(values[order], starts))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -216,19 +242,7 @@ class FadedItemSet(LocalItemSet):
     def __init__(self, ids: np.ndarray, values: np.ndarray) -> None:
         ids = np.asarray(ids, dtype=np.int64)
         values = np.asarray(values, dtype=np.float64)
-        if ids.ndim != 1 or values.ndim != 1:
-            raise WorkloadError("ids and values must be 1-D arrays")
-        if ids.shape != values.shape:
-            raise WorkloadError(
-                f"ids and values must have equal length, got {len(ids)} != {len(values)}"
-            )
-        order = np.argsort(ids, kind="stable")
-        ids = ids[order]
-        values = values[order]
-        if ids.size and np.any(ids[1:] == ids[:-1]):
-            raise WorkloadError("item ids must be unique within a FadedItemSet")
-        self.ids = ids
-        self.values = values
+        self.ids, self.values = _canonical_sorted(ids, values, "FadedItemSet")
 
     @classmethod
     def from_integer(cls, items: LocalItemSet) -> "FadedItemSet":

@@ -1,10 +1,18 @@
-"""Performance rules: PERF001 (unguarded telemetry payload construction).
+"""Performance rules: PERF001 (unguarded telemetry payload construction)
+and PERF002 (per-element python loops in the vectorized tier).
 
 The telemetry fast path (docs/PERFORMANCE.md) makes a disabled
 ``trace.emit(...)`` cost one predicate — but only if the *arguments* are
 also free.  A dict literal, list literal, or f-string built at the call
 site is paid before ``emit`` can decline it, so hot-path emits must hide
 payload construction behind ``if trace.active:``.
+
+The vectorized tier (``src/repro/vec``) exists to replace per-peer python
+work with array programs; one ``for`` statement over a million-element
+array silently reintroduces the scalar ceiling.  PERF002 keeps that tier
+honest.  Bounded control loops (multi-argument ``range`` over tree
+levels) pass; the dense↔sparse escape hatch iterates legitimately and
+says so with an explicit ``# repro-lint: disable=PERF002``.
 """
 
 from __future__ import annotations
@@ -114,3 +122,127 @@ class UnguardedTracePayloadRule(Rule):
                         "the emit with `if trace.active:` so disabled telemetry "
                         "costs one predicate (docs/PERFORMANCE.md)",
                     )
+
+
+def _is_numpy_call(node: ast.expr) -> bool:
+    """``np.anything(...)`` / ``numpy.lib.anything(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted_name(node.func)
+    return dotted is not None and dotted.split(".")[0] in ("np", "numpy")
+
+
+def _is_ndarray_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    dotted = _dotted_name(annotation)
+    return dotted in ("np.ndarray", "numpy.ndarray", "ndarray")
+
+
+def _array_names(tree: ast.Module) -> set[str]:
+    """Names bound to numpy arrays: assigned from an ``np.*`` call, or
+    annotated ``np.ndarray`` (assignments and function parameters)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_numpy_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and (
+                _is_ndarray_annotation(node.annotation)
+                or (node.value is not None and _is_numpy_call(node.value))
+            ):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in node.args.args + node.args.kwonlyargs + node.args.posonlyargs:
+                if _is_ndarray_annotation(arg.annotation):
+                    names.add(arg.arg)
+    return names
+
+
+def _elementwise_range(node: ast.Call, arrays: set[str]) -> bool:
+    """``range(len(a))`` / ``range(a.size)`` / ``range(a.shape[0])`` for a
+    known array ``a`` — single-argument only; bounded multi-argument
+    ranges (level sweeps over tree depth) are legitimate control loops."""
+    if not (isinstance(node.func, ast.Name) and node.func.id == "range"):
+        return False
+    if len(node.args) != 1:
+        return False
+    arg = node.args[0]
+    if (
+        isinstance(arg, ast.Call)
+        and isinstance(arg.func, ast.Name)
+        and arg.func.id == "len"
+        and len(arg.args) == 1
+        and isinstance(arg.args[0], ast.Name)
+    ):
+        return arg.args[0].id in arrays
+    if isinstance(arg, ast.Attribute) and arg.attr == "size":
+        owner = arg.value
+        return isinstance(owner, ast.Name) and owner.id in arrays
+    if (
+        isinstance(arg, ast.Subscript)
+        and isinstance(arg.value, ast.Attribute)
+        and arg.value.attr == "shape"
+        and isinstance(arg.value.value, ast.Name)
+    ):
+        return arg.value.value.id in arrays
+    return False
+
+
+@rule
+class ScalarLoopInVectorTierRule(Rule):
+    """PERF002: a per-element python ``for`` loop over a numpy array
+    inside the vectorized tier.
+
+    ``src/repro/vec`` holds the code whose whole contract is batch array
+    execution; a statement loop that touches each element from python
+    undoes that contract for the full population size.  Replace it with
+    the equivalent array program (``np.add.at``, ``np.repeat``-based flat
+    gathers, boolean masks), or — at the dense↔sparse escape boundary,
+    where per-peer object construction is the point — acknowledge the
+    iteration with ``# repro-lint: disable=PERF002``.
+    """
+
+    id = "PERF002"
+    summary = "per-element python loop over a numpy array in src/repro/vec"
+
+    def applies_to(self, path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return "vec" in parts and "tests" not in parts
+
+    def check(
+        self, tree: ast.Module, source: str, path: str, facts: ProjectFacts
+    ) -> Iterator[Finding]:
+        arrays = _array_names(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.For):
+                continue
+            iterator = node.iter
+            if isinstance(iterator, ast.Name) and iterator.id in arrays:
+                yield self.finding(
+                    path,
+                    node,
+                    f"python for-loop over numpy array `{iterator.id}`; "
+                    "replace per-element iteration with a batch array op "
+                    "(this tier's contract) or disable at an escape boundary",
+                )
+            elif isinstance(iterator, ast.Call) and _elementwise_range(
+                iterator, arrays
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    "python for-loop over every index of a numpy array; "
+                    "replace per-element iteration with a batch array op "
+                    "(this tier's contract) or disable at an escape boundary",
+                )
+            elif _is_numpy_call(iterator):
+                yield self.finding(
+                    path,
+                    node,
+                    "python for-loop directly over a numpy call result; "
+                    "replace per-element iteration with a batch array op "
+                    "(this tier's contract) or disable at an escape boundary",
+                )

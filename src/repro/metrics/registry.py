@@ -160,6 +160,33 @@ class HistogramMetric:
         if value > self.max:
             self.max = value
 
+    def observe_bulk(self, values: Any) -> None:
+        """Merge a whole array of observations in one vectorized pass.
+
+        Semantically identical to ``observe`` per element (``searchsorted``
+        with ``side='left'`` is elementwise ``bisect_left``), but O(len +
+        buckets) instead of one python call per value — the batched tier
+        records a million per-peer samples through this without touching
+        the hot path one value at a time.
+        """
+        import numpy as np
+
+        array = np.asarray(values, dtype=np.float64)
+        if array.size == 0:
+            return
+        indices = np.searchsorted(np.asarray(self.bounds), array, side="left")
+        merged = np.bincount(indices, minlength=len(self.bucket_counts))
+        for index, extra in enumerate(merged):
+            if extra:
+                self.bucket_counts[index] += int(extra)
+        self.count += int(array.size)
+        self.total += float(array.sum())
+        low, high = float(array.min()), float(array.max())
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+
     @property
     def mean(self) -> float:
         """Mean observed value (0.0 when empty)."""

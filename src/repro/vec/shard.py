@@ -1,0 +1,312 @@
+"""Multiprocess space-sharding for million-peer runs.
+
+The vectorized tier removes the per-event ceiling; this module removes
+the single-core ceiling.  The peer id space is split into ``K`` equal
+shards, each an independent columnar population (its own overlay, tree,
+and slice of the instance budget — see :mod:`repro.vec.build`), and the
+driver plays the role of a super-root with the ``K`` shard roots as
+children:
+
+* **Round 1** (one task per shard, via
+  :func:`repro.experiments.parallel.run_trials`): each shard computes
+  its totals and phase-1 group aggregates; the driver merges ``v``,
+  ``N`` and the ``f·g`` vector, resolves the global threshold, and
+  extracts the heavy groups — the protocol's phase barrier, exactly as
+  the real root would.
+* **Round 2**: the heavy groups travel back down; each shard verifies
+  its candidates and returns its root's keyed candidate sums plus its
+  exact phase byte totals; the driver merges the candidate sets and
+  prices the ``K`` super-root links like any other tree edge.
+
+Workers are pure functions of ``(plan, shard)`` — same spec order, same
+results for ``jobs=1`` and ``jobs=K`` (the :mod:`repro.experiments.parallel`
+determinism contract), and the whole run collapses to a replay digest
+that is a pure function of ``(seed, K, N, n, config)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import NetFilterConfig
+from repro.core.filters import FilterBank
+from repro.core.netfilter import NetFilterResult
+from repro.core.verification import HeavyGroups
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import TrialSpec, run_trials
+from repro.items.itemset import LocalItemSet
+from repro.metrics.breakdown import CostBreakdown
+from repro.net.wire import CostCategory, SizeModel
+from repro.vec import engine as vec_engine
+from repro.vec.build import build_table
+from repro.vec.state import PeerTable
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete, picklable description of one sharded run."""
+
+    n_peers: int
+    n_items: int
+    seed: int
+    n_shards: int
+    config: NetFilterConfig
+    skew: float = 1.0
+    mean_degree: float = 4.0
+    instances_per_item: int = 10
+
+    def __post_init__(self) -> None:
+        if self.n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {self.n_shards}")
+        if self.n_peers < self.n_shards:
+            raise ConfigurationError("need at least one peer per shard")
+
+    def shard_peers(self, shard: int) -> int:
+        """Peer count of one shard (the remainder spreads over the first
+        few shards, so counts differ by at most one)."""
+        base, extra = divmod(self.n_peers, self.n_shards)
+        return base + (1 if shard < extra else 0)
+
+    def shard_instances(self, shard: int) -> int:
+        """Instance budget of one shard (equal split of ``10·n``)."""
+        total = self.instances_per_item * self.n_items
+        base, extra = divmod(total, self.n_shards)
+        return base + (1 if shard < extra else 0)
+
+
+def _build_shard(plan: ShardPlan, shard: int) -> tuple[PeerTable, np.ndarray]:
+    built = build_table(
+        n_peers=plan.shard_peers(shard),
+        n_items=plan.n_items,
+        seed=plan.seed,
+        shard=shard,
+        n_shards=plan.n_shards,
+        skew=plan.skew,
+        mean_degree=plan.mean_degree,
+        total_instances=plan.shard_instances(shard),
+    )
+    return built.table, built.global_values
+
+
+def _phase1_worker(plan: ShardPlan, shard: int, return_truth: bool) -> dict[str, Any]:
+    """Round 1: totals + phase-1 aggregates for one shard."""
+    table, truth = _build_shard(plan, shard)
+    reach = table.reachable_mask()
+    n_edges = int(np.count_nonzero(reach)) - 1
+    model = table.size_model
+    bank = FilterBank(
+        plan.config.num_filters, plan.config.filter_size, plan.config.hash_seed
+    )
+    grand_total, participants = vec_engine.grand_totals(table, reach)
+    aggregate = vec_engine.group_aggregate(table, reach, bank)
+    return {
+        "shard": shard,
+        "grand_total": grand_total,
+        "participants": participants,
+        "aggregate": aggregate,
+        "height": table.reachable_height(reach),
+        "control_bytes": n_edges * (3 * model.aggregate_bytes + model.aggregate_bytes)
+        + n_edges * 4 * model.header_bytes,
+        "filtering_bytes": n_edges * model.aggregate_bytes * bank.total_groups,
+        "truth": truth if return_truth else None,
+    }
+
+
+def _phase2_worker(
+    plan: ShardPlan, shard: int, heavy_arrays: tuple[Any, ...], threshold: int
+) -> dict[str, Any]:
+    """Round 2: candidate verification for one shard, given the globally
+    merged heavy groups (rebuilds the shard deterministically — the
+    table is a pure function of ``(plan, shard)``)."""
+    table, _ = _build_shard(plan, shard)
+    reach = table.reachable_mask()
+    n_edges = int(np.count_nonzero(reach)) - 1
+    model = table.size_model
+    bank = FilterBank(
+        plan.config.num_filters, plan.config.filter_size, plan.config.hash_seed
+    )
+    heavy = HeavyGroups(
+        per_filter=tuple(np.asarray(groups, dtype=np.int64) for groups in heavy_arrays)
+    )
+    rows = vec_engine.candidate_rows(table, reach, bank, heavy)
+    pairs_sent, root_count, _ = vec_engine.subtree_candidate_pairs(table, rows)
+    values = vec_engine.candidate_global_values(rows)
+    return {
+        "shard": shard,
+        "candidate_ids": rows.universe,
+        "candidate_values": values,
+        "root_count": root_count,
+        "dissemination_bytes": n_edges * (heavy.wire_bytes(model) + model.header_bytes),
+        "aggregation_bytes": pairs_sent * model.pair_bytes
+        + n_edges * model.header_bytes,
+    }
+
+
+@dataclass(frozen=True)
+class ShardedResult:
+    """A merged sharded run: the global answer plus replay evidence."""
+
+    result: NetFilterResult
+    plan: ShardPlan
+    #: SHA-256 over the canonical JSON of every decision-relevant output —
+    #: two runs of the same plan must produce the same digest.
+    digest: str
+    per_shard: tuple[dict[str, Any], ...]
+
+
+def run_sharded(
+    plan: ShardPlan,
+    jobs: int = 1,
+    telemetry: object = None,
+    return_truth: bool = False,
+) -> ShardedResult:
+    """Run netFilter over ``plan.n_shards`` independent shards and merge
+    at the super-root.  ``jobs`` workers execute shards concurrently;
+    results are identical for any ``jobs`` (spec-order merge).
+
+    With ``return_truth=True`` each round-1 worker also ships its shard's
+    exact generation-side global values, so callers can check the merged
+    answer against the oracle (used by ``bench_scaling``).
+    """
+    shards = list(range(plan.n_shards))
+    round1 = run_trials(
+        [
+            TrialSpec(
+                fn=_phase1_worker,
+                kwargs={"plan": plan, "shard": s, "return_truth": return_truth},
+                label=f"shard{s}-phase1",
+            )
+            for s in shards
+        ],
+        jobs=jobs,
+    )
+    model = SizeModel()
+    bank = FilterBank(
+        plan.config.num_filters, plan.config.filter_size, plan.config.hash_seed
+    )
+    grand_total = sum(r["grand_total"] for r in round1)
+    participants = sum(r["participants"] for r in round1)
+    aggregate = np.sum([r["aggregate"] for r in round1], axis=0)
+    threshold = plan.config.resolve_threshold(int(grand_total))
+    heavy = HeavyGroups.from_aggregate(bank, aggregate, threshold)
+    if telemetry is not None:
+        telemetry.emit(  # type: ignore[attr-defined]
+            vec_engine.VEC_SHARD_KIND,
+            shards=plan.n_shards,
+            grand_total=int(grand_total),
+            heavy_groups=heavy.total_count,
+        )
+
+    round2 = run_trials(
+        [
+            TrialSpec(
+                fn=_phase2_worker,
+                kwargs={
+                    "plan": plan,
+                    "shard": s,
+                    "heavy_arrays": tuple(g for g in heavy.per_filter),
+                    "threshold": threshold,
+                },
+                label=f"shard{s}-phase2",
+            )
+            for s in shards
+        ],
+        jobs=jobs,
+    )
+    candidates = LocalItemSet.merge_many(
+        [
+            LocalItemSet(r["candidate_ids"], r["candidate_values"])
+            for r in round2
+        ]
+    )
+    frequent = candidates.filter_values(threshold)
+
+    # The K super-root links are tree edges like any other: requests down
+    # (totals, filtering, heavy dissemination), replies up (totals pair,
+    # aggregate vector, the shard root's distinct candidate pairs).
+    k = plan.n_shards
+    totals: dict[CostCategory, int] = {
+        CostCategory.CONTROL: sum(r["control_bytes"] for r in round1)
+        + k * (4 * model.aggregate_bytes + 4 * model.header_bytes),
+        CostCategory.FILTERING: sum(r["filtering_bytes"] for r in round1)
+        + k * model.aggregate_bytes * bank.total_groups,
+        CostCategory.DISSEMINATION: sum(r["dissemination_bytes"] for r in round2)
+        + k * (heavy.wire_bytes(model) + model.header_bytes),
+        CostCategory.AGGREGATION: sum(r["aggregation_bytes"] for r in round2)
+        + sum(r["root_count"] for r in round2) * model.pair_bytes
+        + k * model.header_bytes,
+    }
+    population = plan.n_peers
+    breakdown = CostBreakdown(
+        filtering=totals[CostCategory.FILTERING] / population,
+        dissemination=totals[CostCategory.DISSEMINATION] / population,
+        aggregation=totals[CostCategory.AGGREGATION] / population,
+        control=totals[CostCategory.CONTROL] / population,
+    )
+    height = max(r["height"] for r in round1) + 1  # +1: the super-root hop
+    result = NetFilterResult(
+        frequent=frequent,
+        candidates=candidates,
+        heavy_groups=heavy,
+        threshold=threshold,
+        grand_total=int(grand_total),
+        n_participants=int(participants),
+        breakdown=breakdown,
+        avg_candidates_per_peer=(
+            totals[CostCategory.AGGREGATION] / model.pair_bytes / population
+        ),
+        config=plan.config,
+        elapsed_time=6.0 * height,
+        coverage=1.0,
+        complete=True,
+    )
+    digest = replay_digest(plan, result, totals)
+    truth = None
+    if return_truth:
+        truth = np.sum([r["truth"] for r in round1], axis=0)
+    per_shard = tuple(
+        {
+            "shard": s,
+            "participants": round1[s]["participants"],
+            "grand_total": round1[s]["grand_total"],
+            "height": round1[s]["height"],
+            "root_candidates": round2[s]["root_count"],
+            **({"truth": truth} if return_truth and s == 0 else {}),
+        }
+        for s in shards
+    )
+    return ShardedResult(result=result, plan=plan, digest=digest, per_shard=per_shard)
+
+
+def replay_digest(
+    plan: ShardPlan, result: NetFilterResult, totals: dict[CostCategory, int]
+) -> str:
+    """SHA-256 of every decision-relevant output of a sharded run."""
+    payload = {
+        "plan": {
+            "n_peers": plan.n_peers,
+            "n_items": plan.n_items,
+            "seed": plan.seed,
+            "n_shards": plan.n_shards,
+            "g": plan.config.filter_size,
+            "f": plan.config.num_filters,
+            "threshold_ratio": plan.config.threshold_ratio,
+            "threshold": plan.config.threshold,
+            "hash_seed": plan.config.hash_seed,
+            "skew": plan.skew,
+        },
+        "grand_total": result.grand_total,
+        "participants": result.n_participants,
+        "threshold": result.threshold,
+        "heavy": [groups.tolist() for groups in result.heavy_groups.per_filter],
+        "frequent": sorted(result.frequent.to_dict().items()),
+        "candidates": len(result.candidates),
+        "bytes": {str(cat): int(n) for cat, n in sorted(totals.items())},
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,78 @@
+"""Tests for the scaling campaign and its CLI command."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.scaling import (
+    audit_cell,
+    run_scaling,
+    run_scaling_cell,
+)
+
+SCALE = ExperimentScale("custom", 120, 2_000)
+
+
+class TestCampaign:
+    def test_rows_in_sweep_order(self):
+        rows = run_scaling(SCALE, seed=0, engine="vec", shards=2)
+        assert [row.n_peers for row in rows] == [120, 480, 1920]
+        assert all(row.engine == "vec" and row.shards == 2 for row in rows)
+        assert all(row.complete and row.coverage == 1.0 for row in rows)
+
+    def test_jobs_parity(self):
+        sequential = run_scaling(SCALE, seed=0, engine="vec", shards=3, jobs=1)
+        concurrent = run_scaling(SCALE, seed=0, engine="vec", shards=3, jobs=3)
+        assert [r.digest for r in sequential] == [r.digest for r in concurrent]
+        assert [r.as_dict() for r in sequential] == [r.as_dict() for r in concurrent]
+
+    def test_scalar_engine_runs(self):
+        row = run_scaling_cell(100, 1_000, seed=0, engine="scalar")
+        assert row.engine == "scalar"
+        assert row.digest is None
+        assert row.n_frequent > 0
+
+    def test_scalar_rejects_shards(self):
+        with pytest.raises(ConfigurationError):
+            run_scaling_cell(100, 1_000, seed=0, engine="scalar", shards=2)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scaling_cell(100, 1_000, seed=0, engine="gpu")
+
+    def test_audit_cell_matches_scalar(self):
+        audit = audit_cell(400, 2_000, seed=0, shards=2, max_peers=150)
+        audit.raise_on_mismatch()
+        assert audit.peers_sampled <= 150
+
+
+class TestCli:
+    def test_scaling_command_exports_rows(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "rows.json"
+        code = main(
+            [
+                "scaling",
+                "--scale",
+                "small",
+                "--engine",
+                "vec",
+                "--shards",
+                "2",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "engine=vec" in captured
+        exported = json.loads(out.read_text())
+        rows = exported["tables"]["scaling"]
+        assert len(rows) == 3
+        assert all(row["engine"] == "vec" and row["shards"] == 2 for row in rows)
+        assert all(row["digest"] for row in rows)

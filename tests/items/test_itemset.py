@@ -154,3 +154,53 @@ class TestProperties:
         item_set = LocalItemSet.from_pairs(pairs)
         ids = item_set.ids
         assert np.all(ids[1:] > ids[:-1]) if ids.size > 1 else True
+
+
+class TestNoCopyAndExactness:
+    """Regressions for the merge-path optimization: sorted input must not
+    be copied, and keyed sums must stay exact int64 (no float rounding)."""
+
+    def test_sorted_input_shares_memory(self):
+        ids = np.array([1, 4, 9], dtype=np.int64)
+        values = np.array([10, 20, 30], dtype=np.int64)
+        item_set = LocalItemSet(ids, values)
+        assert np.shares_memory(item_set.ids, ids)
+        assert np.shares_memory(item_set.values, values)
+
+    def test_unsorted_input_is_reordered_not_aliased(self):
+        ids = np.array([9, 1, 4], dtype=np.int64)
+        values = np.array([30, 10, 20], dtype=np.int64)
+        item_set = LocalItemSet(ids, values)
+        assert item_set.ids.tolist() == [1, 4, 9]
+        assert item_set.values.tolist() == [10, 20, 30]
+        assert not np.shares_memory(item_set.ids, ids)
+
+    def test_duplicate_ids_still_rejected(self):
+        with pytest.raises(WorkloadError):
+            LocalItemSet(np.array([1, 1, 2]), np.array([1, 2, 3]))
+        with pytest.raises(WorkloadError):
+            LocalItemSet(np.array([2, 1, 1]), np.array([1, 2, 3]))
+
+    def test_merge_exact_beyond_float53(self):
+        # 2**60 values would silently round under a float64 intermediate.
+        big = 1 << 60
+        a = LocalItemSet.from_pairs({7: big, 8: 3})
+        b = LocalItemSet.from_pairs({7: 1, 8: big})
+        merged = a.merge(b)
+        assert merged.to_dict() == {7: big + 1, 8: big + 3}
+        assert merged.values.dtype == np.int64
+
+    def test_from_pairs_duplicates_exact_beyond_float53(self):
+        big = (1 << 60) + 1
+        item_set = LocalItemSet.from_pairs([(5, big), (5, 2), (3, 1)])
+        assert item_set.to_dict() == {3: 1, 5: big + 2}
+
+    def test_merge_output_feeds_fast_path(self):
+        # merge_many's deduplicated output is already strictly increasing,
+        # so round-tripping it through the constructor must not copy.
+        merged = LocalItemSet.merge_many(
+            [LocalItemSet.from_pairs({1: 2, 3: 4}), LocalItemSet.from_pairs({3: 1})]
+        )
+        again = LocalItemSet(merged.ids, merged.values)
+        assert np.shares_memory(again.ids, merged.ids)
+        assert np.shares_memory(again.values, merged.values)

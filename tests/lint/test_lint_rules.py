@@ -206,3 +206,47 @@ def test_proto003_end_to_end_dead_letter():
     assert finding.path.endswith("sender.pytxt")
     assert "OrphanStatsPayload" in finding.message
     assert "register_handler" in finding.message
+
+
+# ----------------------------------------------------------------------
+# PERF002 (path-scoped to the vectorized tier, so it gets its own section)
+# ----------------------------------------------------------------------
+
+VEC_LIKE = "src/repro/vec/fixture.py"
+
+
+def lint_vec_fixture(name: str) -> list:
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, path=VEC_LIKE)
+
+
+def test_perf002_flagged_fixture():
+    findings = lint_vec_fixture("perf002_flagged.pytxt")
+    assert {f.rule for f in findings} == {"PERF002"}
+    # Loop over an array name, range(len(array)), loop over an np call.
+    assert len(findings) == 3
+
+
+def test_perf002_clean_fixture():
+    assert lint_vec_fixture("perf002_clean.pytxt") == []
+
+
+def test_perf002_suppressed_fixture():
+    assert lint_vec_fixture("perf002_suppressed.pytxt") == []
+
+
+def test_perf002_only_applies_to_vec_paths():
+    source = (FIXTURES / "perf002_flagged.pytxt").read_text(encoding="utf-8")
+    assert lint_source(source, path=SRC_LIKE) == []
+    assert lint_source(source, path="tests/vec/test_fixture.py") == []
+
+
+def test_perf002_vec_package_itself_is_clean():
+    """The shipped vectorized tier must satisfy its own rule (the one
+    escape-boundary loop carries an explicit disable)."""
+    import glob
+
+    paths = sorted(glob.glob("src/repro/vec/*.py"))
+    assert paths, "vec package not found (test must run from the repo root)"
+    findings = [f for f in lint_paths(paths) if f.rule == "PERF002"]
+    assert findings == []

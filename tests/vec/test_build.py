@@ -1,0 +1,74 @@
+"""Tests for vectorized population construction and the sharding model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vec.build import bfs_tree, build_table, random_overlay, shard_rng
+
+
+class TestRandomOverlay:
+    def test_connected_and_deterministic(self):
+        a = random_overlay(500, 4.0, shard_rng(1, 1, 0, 1))
+        b = random_overlay(500, 4.0, shard_rng(1, 1, 0, 1))
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        depth, _ = bfs_tree(*a, root=0)
+        assert (depth >= 0).all()
+
+    def test_mean_degree_near_target(self):
+        indptr, targets = random_overlay(2_000, 6.0, shard_rng(3, 1, 0, 1))
+        mean_degree = targets.size / 2_000
+        assert 5.0 <= mean_degree <= 6.5
+
+    def test_no_self_or_duplicate_edges(self):
+        indptr, targets = random_overlay(300, 5.0, shard_rng(7, 1, 0, 1))
+        src = np.repeat(np.arange(300), np.diff(indptr))
+        assert (src != targets).all()
+        keys = src * 300 + targets
+        assert np.unique(keys).size == keys.size
+
+
+class TestBfsTree:
+    def test_depths_are_shortest_paths(self):
+        indptr, targets = random_overlay(400, 4.0, shard_rng(5, 1, 0, 1))
+        depth, parent = bfs_tree(indptr, targets, root=0)
+        non_root = np.flatnonzero(np.arange(400) != 0)
+        assert (depth[parent[non_root]] == depth[non_root] - 1).all()
+
+    def test_min_parent_tie_break(self):
+        # Diamond: 0-1, 0-2, 1-3, 2-3.  Peers 1 and 2 both offer to adopt
+        # peer 3 in the same frontier; the smaller id must win.
+        indptr = np.array([0, 2, 4, 6, 8], dtype=np.int64)
+        targets = np.array([1, 2, 0, 3, 0, 3, 1, 2], dtype=np.int64)
+        depth, parent = bfs_tree(indptr, targets, root=0)
+        assert depth.tolist() == [0, 1, 1, 2]
+        assert parent[3] == 1
+
+
+class TestBuildTable:
+    def test_truth_matches_csr(self):
+        built = build_table(n_peers=100, n_items=500, seed=9)
+        summed = np.zeros(500, dtype=np.int64)
+        np.add.at(summed, built.table.item_ids, built.table.item_values)
+        assert np.array_equal(summed, built.global_values)
+
+    def test_budget_is_exact(self):
+        built = build_table(n_peers=100, n_items=500, seed=9)
+        assert built.global_values.sum() == 10 * 500
+
+    def test_deterministic(self):
+        a = build_table(n_peers=100, n_items=500, seed=9)
+        b = build_table(n_peers=100, n_items=500, seed=9)
+        assert np.array_equal(a.table.item_values, b.table.item_values)
+        assert np.array_equal(a.table.parent, b.table.parent)
+
+    def test_shards_are_independent_streams(self):
+        one = build_table(n_peers=100, n_items=500, seed=9, shard=0, n_shards=2)
+        two = build_table(n_peers=100, n_items=500, seed=9, shard=1, n_shards=2)
+        assert not np.array_equal(one.global_values, two.global_values)
+
+    def test_shard_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            build_table(n_peers=10, n_items=10, seed=0, shard=2, n_shards=2)

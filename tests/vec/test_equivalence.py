@@ -1,0 +1,99 @@
+"""The differential-equivalence gate: scalar engine vs vectorized tier.
+
+Same seed, same population, two execution models — every result field
+must agree *exactly*: frequent-item sets, candidate values, byte totals
+per cost category, coverage/completeness, and the protocol clock.  This
+is the contract that lets ``bench_scaling`` trust the vectorized numbers
+at population sizes the event engine cannot reach.
+
+Two directions are pinned:
+
+* scalar-built population (the repo's own ``Topology.random_connected``
+  + event-driven ``Hierarchy.build`` path at N=2,000) lowered into a
+  :class:`PeerTable` via ``from_network``;
+* vec-built population (:func:`build_table`) lifted into a full
+  event-driven stack via ``materialize_population``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import NetFilterConfig
+from repro.core.netfilter import NetFilter
+from repro.vec import (
+    PeerTable,
+    VecNetFilter,
+    build_table,
+    compare_results,
+    materialize_population,
+    verify_sampled_subpopulation,
+)
+
+from tests.conftest import build_small_system
+
+GATE_PEERS = 2_000
+
+CONFIG = NetFilterConfig(filter_size=64, num_filters=2, threshold_ratio=0.01)
+
+
+@pytest.fixture(scope="module")
+def gate_system():
+    return build_small_system(seed=1, n_peers=GATE_PEERS, n_items=2_000)
+
+
+class TestScalarBuiltGate:
+    """N=2,000 on the scalar construction path — the CI gate proper."""
+
+    def test_identical_results_and_byte_totals(self, gate_system):
+        scalar = NetFilter(CONFIG).run(gate_system.engine)
+        table = PeerTable.from_network(gate_system.network, gate_system.hierarchy)
+        vec = VecNetFilter(CONFIG).run(table)
+        assert compare_results(scalar, vec) == ()
+        assert scalar.frequent.to_dict() == vec.frequent.to_dict()
+
+    def test_identical_protocol_clock(self, gate_system):
+        scalar = NetFilter(CONFIG).run(gate_system.engine)
+        table = PeerTable.from_network(gate_system.network, gate_system.hierarchy)
+        vec = VecNetFilter(CONFIG).run(table)
+        assert scalar.elapsed_time == vec.elapsed_time
+
+    def test_static_faults(self):
+        system = build_small_system(seed=4, n_peers=400, n_items=1_000)
+        rng = np.random.default_rng(9)
+        for peer in rng.choice(np.arange(1, 400), size=40, replace=False):
+            system.network.fail_peer(int(peer))
+        scalar = NetFilter(CONFIG).run(system.engine)
+        table = PeerTable.from_network(system.network, system.hierarchy)
+        vec = VecNetFilter(CONFIG).run(table)
+        assert compare_results(scalar, vec) == ()
+        assert vec.coverage == scalar.coverage
+        assert vec.complete == scalar.complete
+        assert scalar.elapsed_time == vec.elapsed_time
+
+
+class TestVecBuiltGate:
+    """vec-built population lifted through the escape hatch."""
+
+    def test_materialized_population_agrees(self):
+        table = build_table(n_peers=300, n_items=2_000, seed=6).table
+        materialized = materialize_population(table)
+        scalar = NetFilter(CONFIG).run(materialized.engine)
+        vec = VecNetFilter(CONFIG).run(table)
+        assert compare_results(scalar, vec) == ()
+
+    def test_sampled_subpopulation_audit(self):
+        table = build_table(n_peers=600, n_items=3_000, seed=13).table
+        audit = verify_sampled_subpopulation(table, CONFIG, max_peers=250)
+        audit.raise_on_mismatch()
+        assert audit.match
+        assert 2 <= audit.peers_sampled <= 250
+
+    def test_sampled_audit_under_faults(self):
+        table = build_table(n_peers=600, n_items=3_000, seed=14).table
+        rng = np.random.default_rng(2)
+        dead = rng.choice(np.arange(1, 600), size=50, replace=False)
+        table.alive[dead] = False
+        audit = verify_sampled_subpopulation(table, CONFIG, max_peers=250)
+        audit.raise_on_mismatch()

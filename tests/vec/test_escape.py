@@ -1,0 +1,57 @@
+"""Tests for the dense↔sparse escape hatch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import NetFilterConfig
+from repro.errors import ConfigurationError
+from repro.vec import build_table, materialize_population, sample_subtree
+
+CONFIG = NetFilterConfig(filter_size=64, num_filters=2, threshold_ratio=0.01)
+
+
+class TestMaterialize:
+    def test_items_survive_materialization(self):
+        table = build_table(n_peers=80, n_items=400, seed=4).table
+        materialized = materialize_population(table)
+        for peer in range(80):
+            assert (
+                materialized.network.node(peer).items.to_dict()
+                == table.materialize(peer).to_dict()
+            )
+
+    def test_hierarchy_matches_columnar_tree(self):
+        table = build_table(n_peers=80, n_items=400, seed=4).table
+        materialized = materialize_population(table)
+        for peer in range(80):
+            assert materialized.hierarchy.depth_of(peer) == int(table.depth[peer])
+
+    def test_dead_peers_are_failed_after_build(self):
+        table = build_table(n_peers=60, n_items=200, seed=5).table
+        table.alive[7] = False
+        materialized = materialize_population(table)
+        assert not materialized.network.node(7).alive
+        assert materialized.network.n_live_peers == 59
+
+
+class TestSampleSubtree:
+    def test_deterministic_and_bounded(self):
+        table = build_table(n_peers=500, n_items=1_000, seed=6).table
+        a = sample_subtree(table, max_peers=100)
+        b = sample_subtree(table, max_peers=100)
+        assert np.array_equal(a, b)
+        assert 2 <= a.size <= 100
+
+    def test_picks_largest_qualifying(self):
+        table = build_table(n_peers=500, n_items=1_000, seed=6).table
+        peers = sample_subtree(table, max_peers=100)
+        sizes = table.subtree_sizes()
+        qualifying = sizes[(sizes >= 2) & (sizes <= 100)]
+        assert peers.size == int(qualifying.max())
+
+    def test_raises_when_no_subtree_fits(self):
+        table = build_table(n_peers=50, n_items=100, seed=7).table
+        with pytest.raises(ConfigurationError):
+            sample_subtree(table, max_peers=100, min_peers=51)

@@ -1,0 +1,119 @@
+"""Unit tests for the columnar :class:`PeerTable`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vec import PeerTable, build_table
+
+from tests.conftest import build_small_system
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_table(n_peers=200, n_items=1_000, seed=3).table
+
+
+class TestInvariants:
+    def test_validate_passes(self, table):
+        table.validate()
+
+    def test_per_peer_totals_match_slices(self, table):
+        totals = table.per_peer_totals()
+        for peer in (0, 1, 57, 199):
+            _, values = table.peer_items(peer)
+            assert totals[peer] == values.sum()
+
+    def test_slices_sorted_unique(self, table):
+        for peer in (0, 3, 120):
+            ids, _ = table.peer_items(peer)
+            if ids.size > 1:
+                assert bool(np.all(ids[1:] > ids[:-1]))
+
+    def test_flat_peer_ids_aligns_with_indptr(self, table):
+        flat = table.flat_peer_ids()
+        assert flat.size == table.total_items
+        counts = np.bincount(flat, minlength=table.n_peers)
+        assert np.array_equal(counts, np.diff(table.item_indptr))
+
+
+class TestTreeOps:
+    def test_level_order_sorted_by_depth(self, table):
+        order, starts = table.level_order()
+        assert np.array_equal(np.sort(table.depth), table.depth[order])
+        assert starts[0] == 0 and starts[-1] == table.n_peers
+
+    def test_reachable_all_alive(self, table):
+        assert table.reachable_mask().all()
+
+    def test_reachability_cuts_subtrees(self, table):
+        sizes = table.subtree_sizes()
+        # Kill the largest non-root subtree's head: its whole subtree
+        # (and only it) becomes unreachable.
+        head = int(np.argmax(np.where(np.arange(table.n_peers) != table.root, sizes, -1)))
+        clone = build_table(n_peers=200, n_items=1_000, seed=3).table
+        clone.alive[head] = False
+        reach = clone.reachable_mask()
+        in_subtree = np.zeros(table.n_peers, dtype=bool)
+        in_subtree[table.subtree_peers(head)] = True
+        assert not reach[in_subtree].any()
+        assert reach[~in_subtree].all()
+
+    def test_subtree_sizes_sum(self, table):
+        sizes = table.subtree_sizes()
+        assert sizes[table.root] == table.n_peers
+        leaves = sizes == 1
+        assert leaves.any()
+
+
+class TestSubsetAndEscapeHatch:
+    def test_subset_relabels_densely(self, table):
+        sizes = table.subtree_sizes()
+        eligible = np.flatnonzero((sizes >= 5) & (sizes < table.n_peers))
+        head = int(eligible[0])
+        peers = table.subtree_peers(head)
+        sub = table.subset(peers)
+        sub.validate()
+        assert sub.n_peers == peers.size
+        assert sub.depth[sub.root] == 0
+        # Items survive relabeling byte-for-byte.
+        total_before = table.per_peer_totals()[peers].sum()
+        assert sub.per_peer_totals().sum() == total_before
+
+    def test_subset_rejects_non_subtree(self, table):
+        # Two disjoint leaves: neither contains the other's parent.
+        sizes = table.subtree_sizes()
+        leaves = np.flatnonzero(sizes == 1)[:2]
+        with pytest.raises(ConfigurationError):
+            table.subset(leaves)
+
+    def test_materialize_absorb_roundtrip(self):
+        clone = build_table(n_peers=50, n_items=200, seed=8).table
+        items = clone.materialize(7)
+        before = items.to_dict()
+        doubled = items.merge(items)
+        clone.absorb(7, doubled)
+        clone.validate()
+        assert clone.materialize(7).to_dict() == {k: 2 * v for k, v in before.items()}
+
+
+class TestFromNetwork:
+    def test_round_trips_scalar_population(self):
+        system = build_small_system(seed=2, n_peers=80)
+        table = PeerTable.from_network(system.network, system.hierarchy)
+        table.validate()
+        assert table.n_peers == 80
+        assert table.n_live == system.network.n_live_peers
+        for peer in (0, 11, 79):
+            assert (
+                table.materialize(peer).to_dict()
+                == system.network.node(peer).items.to_dict()
+            )
+
+    def test_depths_match_hierarchy(self):
+        system = build_small_system(seed=2, n_peers=80)
+        table = PeerTable.from_network(system.network, system.hierarchy)
+        for peer in range(80):
+            assert table.depth[peer] == system.hierarchy.depth_of(peer)
